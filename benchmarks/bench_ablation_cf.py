@@ -1,0 +1,16 @@
+"""Ablation C: cf-awareness on non-proportional machines (ours).
+
+Table 1 exists because some machines (Xeon E5-2620, cf_min 0.803) are far
+from frequency-proportional.  This ablation runs PAS with and without the
+correction factor on that machine: the cf-blind variant under-compensates
+credits by ~20 %, silently shrinking the very capacity PAS is supposed to
+protect.
+"""
+
+from repro.experiments import run_cf_ablation
+
+from .conftest import run_and_check
+
+
+def test_ablation_cf_awareness(benchmark):
+    run_and_check(benchmark, run_cf_ablation, unpack=False)

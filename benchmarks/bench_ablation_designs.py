@@ -1,0 +1,17 @@
+"""Ablation B: the three PAS implementation designs of §4.1 (ours).
+
+in-scheduler PAS vs (1) a user-level manager chasing the stock ondemand
+governor and (2) a user-level manager owning both frequency and credits.
+Measured: mean and max deviation of V20's delivered absolute capacity from
+its booked 20 % over the whole active window.  The in-scheduler design (the
+paper's choice) tracks best; chasing an oscillating governor from user
+level tracks worst.
+"""
+
+from repro.experiments import run_design_comparison
+
+from .conftest import run_and_check
+
+
+def test_ablation_design_comparison(benchmark):
+    run_and_check(benchmark, run_design_comparison, unpack=False)

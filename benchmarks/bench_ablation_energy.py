@@ -1,0 +1,16 @@
+"""Ablation A: energy vs SLA across schedulers (ours).
+
+The paper motivates PAS with energy saving but reports loads and times;
+this ablation integrates the package power model over the thrashing profile
+to make §3.2's claims measurable: the fix-credit scheduler saves energy but
+breaks the SLA, SEDF holds throughput but wastes energy, and only PAS does
+both — energy at the credit-scheduler level with the SLA held.
+"""
+
+from repro.experiments import run_energy_ablation
+
+from .conftest import run_and_check
+
+
+def test_ablation_energy_vs_sla(benchmark):
+    run_and_check(benchmark, run_energy_ablation, unpack=False)

@@ -1,0 +1,15 @@
+"""Figure 10: PAS absolute loads under thrashing load.
+
+"With this strategy, the absolute loads of each VM is consistent with
+credit allocations" (§5.7): V20 receives exactly its booked 20 % absolute
+capacity in every phase, at whatever frequency PAS selected — and never
+more, which is what keeps the frequency (and energy) down.
+"""
+
+from repro.experiments import run_fig10
+
+from .conftest import run_and_check
+
+
+def test_fig10_pas_absolute_loads(benchmark):
+    run_and_check(benchmark, run_fig10)

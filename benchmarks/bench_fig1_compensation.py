@@ -1,0 +1,18 @@
+"""Figure 1: compensation of frequency reduction with credit allocation.
+
+pi-app at 2667 MHz with credits 10..100, then at 2133 MHz with the Eq.-4
+credits (top axis of the figure: 13 25 38 50 63 75 88 100 113 125).  The two
+execution-time curves must coincide until the compensated credit saturates
+at 100 %.
+"""
+
+from repro.experiments import run_compensation
+
+from .conftest import run_and_check
+
+
+def test_fig1_compensation(benchmark):
+    points, _ = run_and_check(benchmark, run_compensation)
+    # The paper's top-axis credit ladder, rounded: 13 25 38 50 63 75 88 100 113 125.
+    ladder = [round(p.compensated_credit) for p in points]
+    assert ladder == [13, 25, 38, 50, 63, 75, 88, 100, 113, 125]

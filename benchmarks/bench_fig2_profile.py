@@ -1,0 +1,13 @@
+"""Figure 2: the execution profile at the maximum frequency.
+
+Credit scheduler + performance governor, exact loads: V20 plateaus at 20 %
+and V70 at 70 % global load with the frequency pinned at 2667 MHz.
+"""
+
+from repro.experiments import run_fig2
+
+from .conftest import run_and_check
+
+
+def test_fig2_load_profile(benchmark):
+    run_and_check(benchmark, run_fig2)

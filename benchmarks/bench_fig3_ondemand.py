@@ -1,0 +1,16 @@
+"""Figure 3: the stock Ondemand governor is aggressive and unstable.
+
+Credit scheduler + stock ondemand, exact loads: the frequency trace
+oscillates wildly (orders of magnitude more DVFS transitions than the
+authors' stabilised governor of Fig. 4).
+"""
+
+from repro.experiments import run_fig3
+
+from .conftest import run_and_check
+
+
+def test_fig3_ondemand_oscillation(benchmark):
+    result, _ = run_and_check(benchmark, run_fig3)
+    # Sanity: the oscillation is massive in absolute terms too.
+    assert result.frequency_transitions > 1000

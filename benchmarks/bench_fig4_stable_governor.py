@@ -1,0 +1,13 @@
+"""Figure 4: the authors' stabilised governor (credit scheduler, exact load).
+
+Same plateaus as Fig. 3 without the oscillation: 1600 MHz while only V20 is
+active, 2667 MHz when V70 joins, and a handful of DVFS transitions overall.
+"""
+
+from repro.experiments import run_fig4
+
+from .conftest import run_and_check
+
+
+def test_fig4_stable_governor(benchmark):
+    run_and_check(benchmark, run_fig4)

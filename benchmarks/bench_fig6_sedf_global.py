@@ -1,0 +1,14 @@
+"""Figure 6: SEDF global loads under exact load.
+
+SEDF hands V70's unused slices to V20, whose global load rises to ~35 %
+while solo (its 20 % absolute demand needs 33 % nominal at 1600 MHz); once
+V70 activates, credits are respected and V20 returns to 20 %.
+"""
+
+from repro.experiments import run_fig6
+
+from .conftest import run_and_check
+
+
+def test_fig6_sedf_global_loads(benchmark):
+    run_and_check(benchmark, run_fig6)

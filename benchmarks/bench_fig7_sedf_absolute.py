@@ -1,0 +1,14 @@
+"""Figure 7: SEDF absolute loads under exact load.
+
+The extra slices exactly compensate the lowered frequency: V20's absolute
+load holds at 20 % through the entire experiment — SEDF "brings a solution"
+(§5.5) for exact loads.
+"""
+
+from repro.experiments import run_fig7
+
+from .conftest import run_and_check
+
+
+def test_fig7_sedf_absolute_loads(benchmark):
+    run_and_check(benchmark, run_fig7)

@@ -1,0 +1,15 @@
+"""Figure 8: SEDF in default under thrashing load.
+
+With a thrashing V20, SEDF's unused-slice redistribution lets a 20 %-credit
+VM consume ~85-95 % of the machine, which pins the frequency at the maximum
+— "the provider does not benefit from a frequency reduction due to V70
+inactivity" (§5.6).
+"""
+
+from repro.experiments import run_fig8
+
+from .conftest import run_and_check
+
+
+def test_fig8_sedf_thrashing(benchmark):
+    run_and_check(benchmark, run_fig8)

@@ -1,0 +1,15 @@
+"""Figure 9: PAS global loads under thrashing load.
+
+"The PAS scheduler computes that in the first phase, V20 should be granted
+33% of credit in order to compensate the low processor frequency (1600
+MHz).  In the second phase, V20 is granted 20% of credit as the processor
+frequency reaches the maximum value." (§5.7)
+"""
+
+from repro.experiments import run_fig9
+
+from .conftest import run_and_check
+
+
+def test_fig9_pas_global_loads(benchmark):
+    run_and_check(benchmark, run_fig9)

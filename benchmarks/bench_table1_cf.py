@@ -1,0 +1,16 @@
+"""Table 1: cf_min on different processors (§5.8).
+
+Replays the §5.2 calibration procedure on every Grid'5000 machine model and
+compares the recovered correction factors against the paper's measurements:
+X3440 0.94867, L5420 0.99903, E5-2620 0.80338, Opteron 6164 HE 0.99508,
+i7-3770 0.86206.
+"""
+
+from repro.experiments import run_table1
+
+from .conftest import run_and_check
+
+
+def test_table1_cf_min(benchmark):
+    results, _ = run_and_check(benchmark, run_table1)
+    assert len(results) == 5

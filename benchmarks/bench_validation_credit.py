@@ -1,0 +1,13 @@
+"""§5.2 validation: proportionality of credit and performance (Eq. 3).
+
+Paper: "We ran different pi-app workloads on VMs configured with different
+credits (with the Xen credit scheduler) ... in order to verify equation 3."
+"""
+
+from repro.experiments import validate_credit_time
+
+from .conftest import run_and_check
+
+
+def test_eq3_credit_vs_execution_time(benchmark):
+    run_and_check(benchmark, validate_credit_time, unpack=False)

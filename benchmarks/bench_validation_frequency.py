@@ -1,0 +1,20 @@
+"""§5.2 validation: proportionality of frequency and performance (Eqs. 1-2).
+
+Paper: "We ran different Web-app workloads at the different processor
+frequencies ... in order to compute the cf values for each frequency and to
+verify that they were constant under various workloads.  We also ran
+different pi-app workloads at different processor frequencies and measured
+the execution times."
+"""
+
+from repro.experiments import validate_frequency_load, validate_frequency_time
+
+from .conftest import run_and_check
+
+
+def test_eq1_frequency_vs_load(benchmark):
+    run_and_check(benchmark, validate_frequency_load)
+
+
+def test_eq2_frequency_vs_execution_time(benchmark):
+    run_and_check(benchmark, validate_frequency_time, unpack=False)

@@ -1,0 +1,37 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one table or figure of the paper through
+:mod:`repro.experiments`, prints the paper-vs-measured report (run pytest
+with ``-s`` to see it inline; reports are also written to
+``benchmarks/reports/``), asserts the DESIGN.md shape criteria, and times
+the full experiment via pytest-benchmark.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def emit(report) -> None:
+    """Print a report and persist it under benchmarks/reports/."""
+    text = report.render()
+    print()
+    print(text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    slug = report.experiment.lower().replace(" ", "_").replace("(", "").replace(")", "")
+    (REPORT_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def run_and_check(benchmark, runner, *, unpack: bool = True):
+    """Benchmark *runner* once, emit its report, assert its checks."""
+    outcome = benchmark.pedantic(runner, rounds=1, iterations=1)
+    report = outcome[-1] if unpack and isinstance(outcome, tuple) else outcome
+    emit(report)
+    assert report.all_passed, f"shape criteria failed: {[str(c) for c in report.failures]}"
+    return outcome

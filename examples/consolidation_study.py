@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Consolidation study: why DVFS survives server consolidation (§2.3).
+
+A hosting centre of eight 16 GB machines runs a dozen VMs with light,
+diurnal CPU demand but 5 GB memory footprints.  Consolidation packs them
+three-per-host (memory-bound!) and powers the rest of the fleet off — yet
+the packed hosts still idle around half their CPU, so per-host DVFS keeps
+paying on top.  The paper's §2.3 in one table and one chart.
+
+Run:  python examples/consolidation_study.py
+"""
+
+from repro import TimeSeries, render_chart
+from repro.cluster import ClusterSim, consolidate_first_fit, MachineSpec, spread_round_robin
+from repro.cpu import catalog
+from repro.experiments.consolidation import _make_population
+from repro.telemetry import table_to_text
+
+
+def run(policy, dvfs: bool) -> ClusterSim:
+    sim = ClusterSim(
+        n_machines=8,
+        machine_spec=MachineSpec(processor=catalog.CORE_I7_3770, memory_mb=16384),
+        vms=_make_population(12, seed=7),
+        policy=policy,
+        dvfs=dvfs,
+    )
+    sim.run(600.0)
+    return sim
+
+
+def main() -> None:
+    strategies = {
+        "spread, no DVFS": run(spread_round_robin, False),
+        "spread + DVFS": run(spread_round_robin, True),
+        "consolidation, no DVFS": run(consolidate_first_fit, False),
+        "consolidation + DVFS": run(consolidate_first_fit, True),
+    }
+    baseline = strategies["spread, no DVFS"].fleet_energy_joules
+    print(
+        table_to_text(
+            ["strategy", "energy kJ", "vs baseline", "machines on", "SLA"],
+            [
+                [
+                    label,
+                    f"{sim.fleet_energy_joules / 1000:7.1f}",
+                    f"-{(1 - sim.fleet_energy_joules / baseline) * 100:4.1f}%",
+                    f"{sim.mean_machines_on:4.1f}",
+                    f"{sim.mean_sla_fraction * 100:5.1f}%",
+                ]
+                for label, sim in strategies.items()
+            ],
+            title="Fleet energy over one diurnal cycle (8 machines, 12 VMs)",
+        )
+    )
+
+    best = strategies["consolidation + DVFS"]
+    demand = TimeSeries(
+        "fleet demand %", [(s.time, s.demand_percent) for s in best.stats]
+    )
+    power = TimeSeries(
+        "fleet power (W)", [(s.time, s.energy_joules / best.epoch) for s in best.stats]
+    )
+    print()
+    print(
+        render_chart(
+            [demand, power],
+            title="consolidation + DVFS: fleet demand vs fleet power over the day",
+            labels=["fleet CPU demand (% of one host)", "fleet power (W)"],
+        )
+    )
+    print()
+    packed = [m for m in best.machines if m.vms]
+    print(f"packed hosts: {len(packed)} of 8; per-host CPU demand at noon: "
+          + ", ".join(f"{sum(vm.demand_at(300.0) for vm in m.vms):.0f}%" for m in packed))
+    print("memory binds at 3 VMs/host; CPU never fills -> DVFS stays complementary.")
+
+
+if __name__ == "__main__":
+    main()

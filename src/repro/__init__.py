@@ -1,0 +1,120 @@
+"""repro — reproduction of *DVFS Aware CPU Credit Enforcement in a
+Virtualized System* (Hagimont et al., Middleware 2013).
+
+The package builds, from scratch, everything the paper's evaluation needs:
+a deterministic Xen-like hypervisor simulator, the Credit/SEDF/Credit2
+schedulers, the stock and stabilised DVFS governors, the paper's Web-app and
+pi-app workloads — and the contribution itself, the Power-Aware Scheduler
+(PAS), which rescales VM credits whenever the processor frequency changes so
+that every VM keeps exactly the absolute computing capacity it was sold.
+
+Quickstart
+----------
+>>> from repro import Host, catalog
+>>> from repro.workloads import WebApp, LoadProfile, exact_rate
+>>> host = Host(processor=catalog.OPTIPLEX_755, scheduler="pas", governor="userspace")
+>>> dom0 = host.create_domain("Dom0", credit=10, dom0=True)
+>>> v20 = host.create_domain("V20", credit=20)
+>>> rate = exact_rate(20, request_cost=0.005)
+>>> v20.attach_workload(WebApp(LoadProfile.three_phase(5, 60, rate)))
+>>> host.run(until=90)
+>>> round(host.recorder.series("V20.absolute_load").window(30, 60).mean(), 0) >= 18
+True
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from .cpu import catalog, CpuFreq, FrequencyTable, PowerModel, Processor, ProcessorSpec, PState
+from .core import laws, PasScheduler, UserCreditManager, UserFullManager
+from .errors import (
+    AdmissionError,
+    ConfigurationError,
+    FrequencyError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    TelemetryError,
+    WorkloadError,
+)
+from .governors import (
+    ConservativeGovernor,
+    Governor,
+    GOVERNOR_NAMES,
+    make_governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    StableGovernor,
+    UserspaceGovernor,
+)
+from .hypervisor import Domain, DomainConfig, Host, LoadMonitor, VCpu, VCpuState
+from .schedulers import (
+    Credit2Scheduler,
+    CreditScheduler,
+    make_scheduler,
+    Scheduler,
+    SCHEDULER_NAMES,
+    SedfScheduler,
+)
+from .sim import Engine, PeriodicTimer, RngStreams
+from .telemetry import Recorder, render_chart, rolling_mean, TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # hypervisor
+    "Host",
+    "Domain",
+    "DomainConfig",
+    "VCpu",
+    "VCpuState",
+    "LoadMonitor",
+    # cpu
+    "catalog",
+    "CpuFreq",
+    "FrequencyTable",
+    "PowerModel",
+    "Processor",
+    "ProcessorSpec",
+    "PState",
+    # core (the contribution)
+    "laws",
+    "PasScheduler",
+    "UserCreditManager",
+    "UserFullManager",
+    # schedulers
+    "Scheduler",
+    "CreditScheduler",
+    "Credit2Scheduler",
+    "SedfScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    # governors
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+    "StableGovernor",
+    "make_governor",
+    "GOVERNOR_NAMES",
+    # sim & telemetry
+    "Engine",
+    "PeriodicTimer",
+    "RngStreams",
+    "Recorder",
+    "TimeSeries",
+    "rolling_mean",
+    "render_chart",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulerError",
+    "AdmissionError",
+    "FrequencyError",
+    "WorkloadError",
+    "TelemetryError",
+]

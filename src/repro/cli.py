@@ -1,0 +1,244 @@
+"""Command-line interface: regenerate any experiment from a terminal.
+
+Examples::
+
+    python -m repro list
+    python -m repro figure 9
+    python -m repro table 2
+    python -m repro validate eq1
+    python -m repro ablation energy
+    python -m repro calibrate "Intel Xeon E5-2620"
+    python -m repro scenario --scheduler pas --v20-load thrashing
+
+Every command prints the same paper-vs-measured report the benchmarks
+assert on, and exits non-zero when a shape criterion fails — so the CLI
+doubles as a reproduction smoke-check in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from . import experiments
+from .cpu import catalog
+from .experiments import (
+    PHASE_BOTH,
+    PHASE_SOLO_EARLY,
+    PHASE_SOLO_LATE,
+    ScenarioConfig,
+    run_scenario,
+)
+from .platforms import calibrate_cf_table
+from .telemetry import render_chart, table_to_text
+
+_FIGURES: dict[int, Callable] = {
+    1: experiments.run_compensation,
+    2: experiments.run_fig2,
+    3: experiments.run_fig3,
+    4: experiments.run_fig4,
+    5: experiments.run_fig5,
+    6: experiments.run_fig6,
+    7: experiments.run_fig7,
+    8: experiments.run_fig8,
+    9: experiments.run_fig9,
+    10: experiments.run_fig10,
+}
+
+_TABLES: dict[int, Callable] = {
+    1: experiments.run_table1,
+    2: experiments.run_table2,
+}
+
+_VALIDATIONS: dict[str, Callable] = {
+    "eq1": experiments.validate_frequency_load,
+    "eq2": experiments.validate_frequency_time,
+    "eq3": experiments.validate_credit_time,
+}
+
+_ABLATIONS: dict[str, Callable] = {
+    "energy": experiments.run_energy_ablation,
+    "designs": experiments.run_design_comparison,
+    "cf": experiments.run_cf_ablation,
+    "qos": experiments.run_qos_ablation,
+    "consolidation": experiments.run_consolidation_ablation,
+    "sensitivity": experiments.run_pas_sensitivity,
+}
+
+
+def _report_of(outcome) -> object:
+    return outcome[-1] if isinstance(outcome, tuple) else outcome
+
+
+def _emit_and_exit_code(outcome) -> int:
+    report = _report_of(outcome)
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("figures   :", ", ".join(str(n) for n in sorted(_FIGURES)))
+    print("tables    :", ", ".join(str(n) for n in sorted(_TABLES)))
+    print("validate  :", ", ".join(sorted(_VALIDATIONS)))
+    print("ablations :", ", ".join(sorted(_ABLATIONS)))
+    print("processors:", ", ".join(sorted(catalog.ALL_PROCESSORS)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    return _emit_and_exit_code(_FIGURES[args.number]())
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    return _emit_and_exit_code(_TABLES[args.number]())
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    return _emit_and_exit_code(_VALIDATIONS[args.equation]())
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    return _emit_and_exit_code(_ABLATIONS[args.name]())
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    try:
+        spec = catalog.ALL_PROCESSORS[args.processor]
+    except KeyError:
+        print(
+            f"unknown processor {args.processor!r}; choose one of: "
+            + ", ".join(sorted(catalog.ALL_PROCESSORS)),
+            file=sys.stderr,
+        )
+        return 2
+    results = calibrate_cf_table(spec)
+    print(
+        table_to_text(
+            ["frequency", "ratio", "cf measured", "cf substrate", "error"],
+            [
+                [
+                    f"{r.freq_mhz} MHz",
+                    f"{r.ratio:.4f}",
+                    f"{r.cf_measured:.5f}",
+                    f"{r.cf_spec:.5f}",
+                    f"{r.error * 100:.3f}%",
+                ]
+                for r in results
+            ],
+            title=f"cf calibration (§5.2 procedure) on {spec.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        scheduler=args.scheduler,
+        governor=args.governor,
+        v20_load=args.v20_load,
+        v70_load=args.v70_load,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    result = run_scenario(config)
+    rows = []
+    for name in ("V20.global_load", "V20.absolute_load", "V70.global_load", "host.freq_mhz"):
+        rows.append(
+            [
+                name,
+                f"{result.phase_mean(name, PHASE_SOLO_EARLY):8.2f}",
+                f"{result.phase_mean(name, PHASE_BOTH):8.2f}",
+                f"{result.phase_mean(name, PHASE_SOLO_LATE):8.2f}",
+            ]
+        )
+    print(
+        table_to_text(
+            ["series", "V20 solo", "both", "V20 solo late"],
+            rows,
+            title=(
+                f"§5.3 scenario: scheduler={args.scheduler} governor={args.governor} "
+                f"v20={args.v20_load} v70={args.v70_load}"
+            ),
+        )
+    )
+    freq_percent = result.series("host.freq_mhz").map(
+        lambda mhz: 100.0 * mhz / result.host.processor.max_frequency_mhz
+    )
+    print()
+    print(
+        render_chart(
+            [
+                result.series("V20.global_load"),
+                result.series("V70.global_load"),
+                freq_percent,
+            ],
+            title="global loads + frequency",
+            y_max=100.0,
+            labels=["V20 %", "V70 %", "freq (% max)"],
+        )
+    )
+    print()
+    print(f"energy: {result.energy_joules:.0f} J   DVFS transitions: {result.frequency_transitions}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'DVFS Aware CPU Credit Enforcement in a Virtualized System' (Middleware 2013).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
+
+    figure = commands.add_parser("figure", help="regenerate a figure (1-10)")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.set_defaults(fn=_cmd_figure)
+
+    table = commands.add_parser("table", help="regenerate a table (1-2)")
+    table.add_argument("number", type=int, choices=sorted(_TABLES))
+    table.set_defaults(fn=_cmd_table)
+
+    validate = commands.add_parser("validate", help="run a §5.2 validation sweep")
+    validate.add_argument("equation", choices=sorted(_VALIDATIONS))
+    validate.set_defaults(fn=_cmd_validate)
+
+    ablation = commands.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument("name", choices=sorted(_ABLATIONS))
+    ablation.set_defaults(fn=_cmd_ablation)
+
+    calibrate = commands.add_parser("calibrate", help="measure cf on a catalog processor")
+    calibrate.add_argument("processor", nargs="?", default=catalog.OPTIPLEX_755.name)
+    calibrate.set_defaults(fn=_cmd_calibrate)
+
+    scenario = commands.add_parser("scenario", help="run a custom §5.3 scenario")
+    scenario.add_argument("--scheduler", default="pas", choices=["credit", "credit2", "sedf", "pas"])
+    scenario.add_argument(
+        "--governor",
+        default="stable",
+        choices=["performance", "powersave", "userspace", "ondemand", "conservative", "stable"],
+    )
+    scenario.add_argument(
+        "--v20-load", default="exact", choices=["exact", "near_exact", "thrashing", "idle"]
+    )
+    scenario.add_argument(
+        "--v70-load", default="exact", choices=["exact", "near_exact", "thrashing", "idle"]
+    )
+    scenario.add_argument("--duration", type=float, default=800.0)
+    scenario.add_argument("--seed", type=int, default=1)
+    scenario.set_defaults(fn=_cmd_scenario)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Hosting-center consolidation substrate (the paper's §2.3 argument).
+
+§2.3 claims — without measuring — that server consolidation cannot replace
+DVFS because **memory bounds packing**: "Any VM, even idle, needs physical
+memory, which limits the number of VMs that can be executed on a host ...
+Consequently, DVFS is complementary to consolidation."  This package makes
+the claim quantitative.
+
+It is a *fleet-scale, epoch-fluid* model (demand and capacity as rates per
+epoch), deliberately coarser than the slice-level single-host simulator in
+:mod:`repro.hypervisor`: cluster placement decisions play out over minutes,
+where per-slice mechanics average out.  It reuses the same processor catalog,
+the Eq. 1 capacity law and the package power model, so per-host frequency
+selection is exactly Listing 1.1.
+
+Pieces:
+
+* :class:`~repro.cluster.machine.MachineSpec` / ``Machine`` — a host with a
+  processor and finite memory;
+* :class:`~repro.cluster.vm.ClusterVM` — a VM with booked credit, a memory
+  footprint and a demand trace;
+* placement policies (:mod:`~repro.cluster.placement`) — spread vs
+  memory-bound first-fit consolidation;
+* :class:`~repro.cluster.simulator.ClusterSim` — epoch loop producing
+  energy, machines-on and SLA-delivery series.
+"""
+
+from .machine import Machine, MachineSpec
+from .vm import ClusterVM
+from .placement import consolidate_first_fit, PlacementError, spread_round_robin
+from .simulator import ClusterSim, EpochStats
+
+__all__ = [
+    "Machine",
+    "MachineSpec",
+    "ClusterVM",
+    "consolidate_first_fit",
+    "spread_round_robin",
+    "PlacementError",
+    "ClusterSim",
+    "EpochStats",
+]

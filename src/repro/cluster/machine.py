@@ -1,0 +1,134 @@
+"""Cluster-level machine: a processor plus finite memory.
+
+Per epoch, a powered-on machine serves the demand of its placed VMs up to
+its capacity at the chosen P-state; frequency selection is Listing 1.1 on
+the aggregate demand (plus a fixed hypervisor overhead), identical to the
+single-host PAS rule.  A powered-off machine consumes nothing and hosts
+nothing — the consolidation pay-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import laws
+from ..cpu import catalog
+from ..cpu.processor import ProcessorSpec
+from ..errors import ConfigurationError
+from ..units import check_non_negative, check_positive
+from .vm import ClusterVM
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware of one hosting-center machine."""
+
+    processor: ProcessorSpec = field(default_factory=lambda: catalog.CORE_I7_3770)
+    memory_mb: int = 16384
+    #: Hypervisor/Dom0 overhead in percent of max-frequency capacity.
+    overhead_percent: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.memory_mb, "memory_mb")
+        check_non_negative(self.overhead_percent, "overhead_percent")
+
+
+class Machine:
+    """Runtime machine state: placed VMs, power state, energy integrator."""
+
+    def __init__(self, name: str, spec: MachineSpec) -> None:
+        self.name = name
+        self.spec = spec
+        self._table = spec.processor.table()
+        self._vms: dict[str, ClusterVM] = {}
+        self.powered_on = True
+        self.energy_joules = 0.0
+        self.freq_mhz = self._table.max_state.freq_mhz
+
+    # ------------------------------------------------------------ placement
+
+    @property
+    def vms(self) -> list[ClusterVM]:
+        """VMs currently placed here."""
+        return list(self._vms.values())
+
+    @property
+    def memory_used_mb(self) -> int:
+        """Memory claimed by placed VMs."""
+        return sum(vm.memory_mb for vm in self._vms.values())
+
+    @property
+    def memory_free_mb(self) -> int:
+        """Remaining memory."""
+        return self.spec.memory_mb - self.memory_used_mb
+
+    def fits(self, vm: ClusterVM) -> bool:
+        """True when *vm*'s memory footprint fits (the §2.3 constraint)."""
+        return vm.memory_mb <= self.memory_free_mb
+
+    def place(self, vm: ClusterVM) -> None:
+        """Place *vm* here; raises when memory does not fit."""
+        if vm.name in self._vms:
+            raise ConfigurationError(f"VM {vm.name!r} already on {self.name!r}")
+        if not self.fits(vm):
+            raise ConfigurationError(
+                f"VM {vm.name!r} ({vm.memory_mb} MB) does not fit on {self.name!r} "
+                f"({self.memory_free_mb} MB free)"
+            )
+        self._vms[vm.name] = vm
+        self.powered_on = True
+
+    def evict(self, vm: ClusterVM) -> None:
+        """Remove *vm* from this machine."""
+        if vm.name not in self._vms:
+            raise ConfigurationError(f"VM {vm.name!r} is not on {self.name!r}")
+        del self._vms[vm.name]
+
+    def clear(self) -> list[ClusterVM]:
+        """Remove and return all VMs (used when re-packing)."""
+        vms = list(self._vms.values())
+        self._vms.clear()
+        return vms
+
+    # ----------------------------------------------------------------- epoch
+
+    def run_epoch(self, time: float, dt: float, *, dvfs: bool) -> tuple[float, float]:
+        """Serve one epoch; returns ``(demand, served)`` in absolute percent.
+
+        With *dvfs* the machine picks the lowest absorbing P-state for the
+        aggregate demand (Listing 1.1); without, it stays at maximum.  An
+        empty, powered-off machine consumes no energy.
+        """
+        check_non_negative(dt, "dt")
+        if not self.powered_on:
+            if self._vms:
+                raise ConfigurationError(
+                    f"machine {self.name!r} is off but hosts {len(self._vms)} VMs"
+                )
+            self.freq_mhz = self._table.min_state.freq_mhz
+            return 0.0, 0.0
+        demand = sum(vm.demand_at(time) for vm in self._vms.values())
+        total = demand + (self.spec.overhead_percent if self._vms else 0.0)
+        if dvfs:
+            self.freq_mhz = laws.compute_new_frequency(self._table, total)
+        else:
+            self.freq_mhz = self._table.max_state.freq_mhz
+        state = self._table.state_for(self.freq_mhz)
+        capacity = state.capacity_fraction(self._table.max_state.freq_mhz) * 100.0
+        served = min(demand, max(0.0, capacity - self.spec.overhead_percent))
+        utilization = min(1.0, (served + (self.spec.overhead_percent if self._vms else 0.0)) / capacity) if capacity > 0 else 0.0
+        self.energy_joules += self.spec.processor.power.energy(
+            state, self._table, utilization, dt
+        )
+        return demand, served
+
+    def power_off_if_empty(self) -> bool:
+        """Power down when no VMs remain; True if a shutdown happened."""
+        if not self._vms and self.powered_on:
+            self.powered_on = False
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.powered_on else "off"
+        return f"Machine({self.name!r}, {state}, vms={len(self._vms)}, mem={self.memory_used_mb}MB)"

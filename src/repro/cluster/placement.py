@@ -1,0 +1,75 @@
+"""Placement policies: spread vs memory-bound consolidation.
+
+Both policies are *memory-feasible by construction* — a VM is only placed
+where its footprint fits, which is exactly the §2.3 constraint that keeps
+consolidated hosts CPU-underloaded and DVFS relevant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ReproError
+from .machine import Machine
+from .vm import ClusterVM
+
+
+class PlacementError(ReproError):
+    """The fleet cannot host the VM set (memory-infeasible)."""
+
+
+def spread_round_robin(machines: Sequence[Machine], vms: Sequence[ClusterVM]) -> int:
+    """Place VMs round-robin across all machines (no consolidation).
+
+    Models the pre-consolidation hosting centre: every machine stays on.
+    Returns the number of machines used (all of them, when any VM exists).
+    """
+    _clear_all(machines)
+    for index, vm in enumerate(sorted(vms, key=lambda v: v.name)):
+        placed = False
+        for offset in range(len(machines)):
+            machine = machines[(index + offset) % len(machines)]
+            if machine.fits(vm):
+                machine.place(vm)
+                placed = True
+                break
+        if not placed:
+            raise PlacementError(
+                f"VM {vm.name!r} ({vm.memory_mb} MB) fits no machine"
+            )
+    for machine in machines:
+        machine.powered_on = True  # spread keeps the whole fleet on
+    return len(machines)
+
+
+def consolidate_first_fit(machines: Sequence[Machine], vms: Sequence[ClusterVM]) -> int:
+    """First-fit-decreasing by memory: the classic consolidation packer.
+
+    VMs are packed onto as few machines as memory allows; empty machines
+    are switched off (the consolidation energy saving).  Returns the number
+    of machines left powered on.
+    """
+    _clear_all(machines)
+    ordered = sorted(vms, key=lambda vm: (-vm.memory_mb, vm.name))
+    for vm in ordered:
+        for machine in machines:
+            if machine.fits(vm):
+                machine.place(vm)
+                break
+        else:
+            raise PlacementError(
+                f"VM {vm.name!r} ({vm.memory_mb} MB) fits no machine"
+            )
+    used = 0
+    for machine in machines:
+        if machine.vms:
+            machine.powered_on = True
+            used += 1
+        else:
+            machine.powered_on = False
+    return used
+
+
+def _clear_all(machines: Sequence[Machine]) -> None:
+    for machine in machines:
+        machine.clear()

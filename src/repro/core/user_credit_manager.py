@@ -1,0 +1,106 @@
+"""§4.1 design 1: *user level — credit management*.
+
+"We let the Ondemand governor manage the processor frequency.  Then, a user
+level application monitors the processor frequency, and periodically
+computes and sets VM credits in order to guarantee initially allocated
+credits."
+
+This manager runs beside any frequency-autonomous governor (ondemand,
+stable, conservative): every *poll_period* it reads the current P-state and
+pushes Eq.-4 caps through the scheduler, *reaction latency* later — the
+paper's reason to reject this design is exactly that system-call plumbing
+"may lack reactivity", which the design-comparison ablation quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim import PeriodicTimer
+from ..units import check_non_negative, check_positive
+from . import laws
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hypervisor.host import Host
+
+
+class UserCreditManager:
+    """Polls the frequency; rescales VM caps by Eq. 4 (§4.1 design 1).
+
+    Parameters
+    ----------
+    host:
+        The host whose scheduler's caps are managed (the scheduler must
+        support caps, i.e. be the Credit family).
+    poll_period:
+        Seconds between polls of the current frequency.
+    reaction_latency:
+        Seconds between reading the frequency and the caps taking effect
+        (models the user-level round trip through hypercalls/sysfs).
+    update_dom0:
+        Whether Dom0's cap is rescaled too.
+    use_cf:
+        Apply the correction factor ``cf`` in Eq. 4.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        *,
+        poll_period: float = 1.0,
+        reaction_latency: float = 0.05,
+        update_dom0: bool = True,
+        use_cf: bool = True,
+    ) -> None:
+        self._host = host
+        self.poll_period = check_positive(poll_period, "poll_period")
+        self.reaction_latency = check_non_negative(reaction_latency, "reaction_latency")
+        self.update_dom0 = update_dom0
+        self.use_cf = use_cf
+        self._timer = PeriodicTimer(
+            host.engine, self.poll_period, self._poll, label="user-credit-manager"
+        )
+        self._applied_caps = 0
+
+    def start(self) -> None:
+        """Begin polling."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop polling (pending applications still fire)."""
+        self._timer.stop()
+
+    @property
+    def applied_caps(self) -> int:
+        """Number of cap applications performed (telemetry/tests)."""
+        return self._applied_caps
+
+    # ------------------------------------------------------------ internals
+
+    def _poll(self, now: float) -> None:
+        freq_mhz = self._host.processor.frequency_mhz
+        initial_credits = {
+            domain.name: domain.credit
+            for domain in self._host.domains
+            if (self.update_dom0 or not domain.is_dom0) and domain.credit > 0
+        }
+        caps = laws.compensated_caps(
+            self._host.processor.table, freq_mhz, initial_credits, use_cf=self.use_cf
+        )
+        if self.reaction_latency > 0:
+            self._host.engine.schedule(
+                self.reaction_latency,
+                lambda: self._apply(caps),
+                label="user-credit-manager.apply",
+            )
+        else:
+            self._apply(caps)
+
+    def _apply(self, caps: dict[str, float]) -> None:
+        scheduler = self._host.scheduler
+        for domain in self._host.domains:
+            cap = caps.get(domain.name)
+            if cap is not None:
+                scheduler.set_cap(domain, cap)
+                self._applied_caps += 1
+        self._host.kick()

@@ -1,0 +1,35 @@
+"""Physical CPU and DVFS substrate (subsystem S2).
+
+This package models the hardware the paper's hypervisor runs on:
+
+* :class:`~repro.cpu.pstate.PState` — one DVFS operating point (frequency,
+  voltage, architecture correction factor ``cf``);
+* :class:`~repro.cpu.freq_table.FrequencyTable` — the ordered set of P-states
+  a processor supports;
+* :class:`~repro.cpu.processor.Processor` — the runtime processor: delivers
+  ``ratio * cf`` *absolute seconds* of work per wall second (paper Eq. 1/2),
+  integrates energy, counts transitions;
+* :class:`~repro.cpu.power.PowerModel` — analytic P = f(state, utilisation);
+* :class:`~repro.cpu.cpufreq.CpuFreq` — the in-kernel cpufreq subsystem that
+  governors drive;
+* :mod:`~repro.cpu.catalog` — specs for every machine the paper measures
+  (Optiplex 755 Core 2 Duo, the Grid'5000 Xeons/Opteron of Table 1, and the
+  HP Elite 8300 i7-3770 of Table 2).
+"""
+
+from .pstate import PState
+from .freq_table import FrequencyTable
+from .power import PowerModel
+from .processor import Processor, ProcessorSpec
+from .cpufreq import CpuFreq
+from . import catalog
+
+__all__ = [
+    "PState",
+    "FrequencyTable",
+    "PowerModel",
+    "Processor",
+    "ProcessorSpec",
+    "CpuFreq",
+    "catalog",
+]

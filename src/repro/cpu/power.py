@@ -1,0 +1,63 @@
+"""Analytic processor power model.
+
+Used by the energy ablation benchmarks (the paper motivates PAS with energy
+saving but reports loads and times; we additionally integrate power so the
+"SEDF wastes energy under thrashing" claim in §3.2/§5.6 becomes measurable).
+
+The model is the standard CMOS decomposition:
+
+``P(state, util) = P_idle(state) + (P_busy_max - P_idle_max) * util * (V/Vmax)^2 * (f/fmax)``
+
+* dynamic power scales with ``C * V^2 * f`` and the fraction of cycles doing
+  work (*util*);
+* idle power shrinks with the square of voltage (leakage is in truth
+  super-linear in V; the quadratic term is the usual first-order model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import check_fraction, check_positive
+from .freq_table import FrequencyTable
+from .pstate import PState
+
+
+@dataclass(frozen=True, slots=True)
+class PowerModel:
+    """Watts as a function of P-state and utilisation.
+
+    Parameters
+    ----------
+    idle_watts:
+        Package power at the *maximum* P-state with 0 % utilisation.
+    busy_watts:
+        Package power at the *maximum* P-state with 100 % utilisation.
+    """
+
+    idle_watts: float = 45.0
+    busy_watts: float = 95.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.idle_watts, "idle_watts")
+        check_positive(self.busy_watts, "busy_watts")
+        if self.busy_watts < self.idle_watts:
+            raise ValueError(
+                f"busy_watts ({self.busy_watts}) must be >= idle_watts ({self.idle_watts})"
+            )
+
+    def power(self, state: PState, table: FrequencyTable, utilization: float) -> float:
+        """Instantaneous package watts at *state* with *utilization* in [0, 1]."""
+        check_fraction(utilization, "utilization")
+        max_state = table.max_state
+        voltage_ratio_sq = (state.voltage / max_state.voltage) ** 2
+        freq_ratio = state.freq_mhz / max_state.freq_mhz
+        dynamic_span = self.busy_watts - self.idle_watts
+        idle = self.idle_watts * voltage_ratio_sq
+        dynamic = dynamic_span * utilization * voltage_ratio_sq * freq_ratio
+        return idle + dynamic
+
+    def energy(self, state: PState, table: FrequencyTable, utilization: float, dt: float) -> float:
+        """Joules consumed over *dt* seconds at constant state and utilisation."""
+        check_positive(dt, "dt")
+        return self.power(state, table, utilization) * dt

@@ -1,0 +1,65 @@
+"""A single DVFS operating point.
+
+The paper's performance model (Eq. 1/2) says a processor at frequency ``F_i``
+behaves like a machine running at the fraction ``ratio_i * cf_i`` of its
+maximum-frequency speed, where ``ratio_i = F_i / F_max`` and ``cf_i`` is an
+architecture-dependent correction factor close to (but not always equal to)
+one — Table 1 measures ``cf_min`` between 0.803 (Xeon E5-2620) and 0.999
+(Xeon L5420).  A :class:`PState` carries both numbers plus the core voltage
+used by the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class PState:
+    """One immutable DVFS operating point.
+
+    Parameters
+    ----------
+    freq_mhz:
+        Core frequency in MHz (e.g. 1600).
+    voltage:
+        Core voltage in volts at this operating point.  Used only by the
+        power model; 1.0 is a fine default for experiments that do not
+        report energy.
+    cf:
+        The paper's correction factor ``cf_i`` for this operating point:
+        effective speed is ``(freq/freq_max) * cf``.  ``cf = 1`` means
+        performance is exactly frequency-proportional; ``cf < 1`` means the
+        machine is *slower* than the ratio predicts (memory-bound effects).
+    """
+
+    freq_mhz: int
+    voltage: float = 1.0
+    cf: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.freq_mhz, int):
+            raise ConfigurationError(f"freq_mhz must be an int (MHz), got {self.freq_mhz!r}")
+        check_positive(self.freq_mhz, "freq_mhz")
+        check_positive(self.voltage, "voltage")
+        if not 0.0 < self.cf <= 1.5:
+            raise ConfigurationError(f"cf must be in (0, 1.5], got {self.cf!r}")
+
+    def ratio_to(self, max_freq_mhz: int) -> float:
+        """The paper's ``ratio_i = F_i / F_max`` against *max_freq_mhz*."""
+        check_positive(max_freq_mhz, "max_freq_mhz")
+        return self.freq_mhz / max_freq_mhz
+
+    def capacity_fraction(self, max_freq_mhz: int) -> float:
+        """Effective speed at this P-state as a fraction of maximum speed.
+
+        This is ``ratio_i * cf_i`` — the number the PAS scheduler compares
+        against the absolute load (Listing 1.1: ``ratio * 100 * CF[i]``).
+        """
+        return self.ratio_to(max_freq_mhz) * self.cf
+
+    def __str__(self) -> str:
+        return f"{self.freq_mhz} MHz (cf={self.cf:.5f})"

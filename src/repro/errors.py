@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Each subsystem raises the most specific subclass available;
+messages always name the offending value to make failures actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class SchedulerError(ReproError):
+    """A VM scheduler was driven into an illegal state."""
+
+
+class AdmissionError(SchedulerError):
+    """A domain could not be admitted under the scheduler's admission test."""
+
+
+class FrequencyError(ConfigurationError):
+    """A frequency outside the processor's P-state table was requested."""
+
+
+class WorkloadError(ReproError):
+    """A workload was attached or driven incorrectly."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry probe or series was queried incorrectly."""

@@ -1,0 +1,75 @@
+"""Experiment harness (subsystem S10).
+
+One runner per table/figure of the paper's evaluation (§5), all built on the
+shared §5.3 scenario (V20/V70 three-phase execution profile).  Benchmarks
+under ``benchmarks/`` call these runners and print paper-vs-measured
+reports; integration tests assert the shape criteria listed in DESIGN.md.
+"""
+
+from .scenario import (
+    analysis_windows,
+    PHASE_BOTH,
+    PHASE_SOLO_EARLY,
+    PHASE_SOLO_LATE,
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+)
+from .report import Check, ExperimentReport
+from .validation import (
+    validate_credit_time,
+    validate_frequency_load,
+    validate_frequency_time,
+)
+from .compensation import CompensationPoint, run_compensation
+from .figures import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+from .tables import run_table1, run_table2
+from .energy import run_energy_ablation, run_cf_ablation
+from .designs import run_design_comparison
+from .qos import run_qos_ablation
+from .consolidation import run_consolidation_ablation
+from .sensitivity import run_pas_sensitivity
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "analysis_windows",
+    "PHASE_SOLO_EARLY",
+    "PHASE_BOTH",
+    "PHASE_SOLO_LATE",
+    "Check",
+    "ExperimentReport",
+    "validate_frequency_load",
+    "validate_frequency_time",
+    "validate_credit_time",
+    "CompensationPoint",
+    "run_compensation",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_table1",
+    "run_table2",
+    "run_energy_ablation",
+    "run_cf_ablation",
+    "run_design_comparison",
+    "run_qos_ablation",
+    "run_consolidation_ablation",
+    "run_pas_sensitivity",
+]

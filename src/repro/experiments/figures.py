@@ -1,0 +1,317 @@
+"""Runners for Figs. 2–10: the §5.3 execution profile under each scheduler.
+
+Every runner executes the shared scenario (:mod:`.scenario`) with the
+figure's scheduler/governor/load combination and reduces the traces to the
+plateau values the published plots show.  Expected numbers come from the
+paper's text and figures:
+
+========  ==========================  ======================================
+Figure    configuration                paper's plateaus (V20 solo / both)
+========  ==========================  ======================================
+Fig. 2    credit + performance/exact   global 20 / 20 (V70 70), 2667 MHz
+Fig. 3    credit + ondemand/exact      as Fig. 4 but wildly oscillating
+Fig. 4    credit + stable/exact        global 20 / 20; 1600 MHz when solo
+Fig. 5    (absolute of Fig. 4)         absolute ~10-12 / 20  <- the SLA hole
+Fig. 6    SEDF + stable/exact          global ~35 / 20 (extra slices)
+Fig. 7    (absolute of Fig. 6)         absolute 20 / 20   <- SEDF "solution"
+Fig. 8    SEDF + stable/thrashing      global ~85-90 at 2667 MHz <- waste
+Fig. 9    PAS + thrashing              global 33 / 20; 1600 MHz when solo
+Fig. 10   (absolute of Fig. 9)         absolute 20 / 20 at low frequency
+========  ==========================  ======================================
+"""
+
+from __future__ import annotations
+
+from ..telemetry import render_chart
+from .report import ExperimentReport
+from .scenario import (
+    analysis_windows,
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+)
+
+
+def _within(value: float, target: float, tolerance: float) -> bool:
+    return abs(value - target) <= tolerance
+
+
+def _loads_chart(result: ScenarioResult, title: str) -> str:
+    freq_percent = result.series("host.freq_mhz").map(
+        lambda mhz: 100.0 * mhz / result.host.processor.max_frequency_mhz
+    )
+    return render_chart(
+        [result.series("V20.global_load"), result.series("V70.global_load"), freq_percent],
+        title=title,
+        y_max=100.0,
+        labels=["V20 global load %", "V70 global load %", "frequency (% of max)"],
+    )
+
+
+def _absolute_chart(result: ScenarioResult, title: str) -> str:
+    freq_percent = result.series("host.freq_mhz").map(
+        lambda mhz: 100.0 * mhz / result.host.processor.max_frequency_mhz
+    )
+    return render_chart(
+        [result.series("V20.absolute_load"), result.series("V70.absolute_load"), freq_percent],
+        title=title,
+        y_max=100.0,
+        labels=["V20 absolute load %", "V70 absolute load %", "frequency (% of max)"],
+    )
+
+
+# --------------------------------------------------------------------- Fig 2
+
+
+def run_fig2(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 2: the execution profile at the maximum frequency."""
+    config = ScenarioConfig(scheduler="credit", governor="performance").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 2",
+        title="load profile at the maximum frequency (credit scheduler)",
+        chart=_loads_chart(result, "V20/V70 global loads, performance governor"),
+    )
+    v20_a = result.phase_mean("V20.global_load", solo)
+    v20_b = result.phase_mean("V20.global_load", both)
+    v70_b = result.phase_mean("V70.global_load", both)
+    freq_min = result.series("host.freq_mhz", smooth=False).min()
+    report.add_row("V20 global load (solo)", 20.0, round(v20_a, 2))
+    report.add_row("V20 global load (both)", 20.0, round(v20_b, 2))
+    report.add_row("V70 global load (both)", 70.0, round(v70_b, 2))
+    report.add_row("frequency (whole run)", 2667, int(freq_min))
+    report.check("V20 holds its 20% credit in both phases", _within(v20_a, 20, 1.5) and _within(v20_b, 20, 1.5))
+    report.check("V70 holds its 70% credit when active", _within(v70_b, 70, 2.0))
+    report.check("frequency pinned at the maximum", freq_min == result.host.processor.max_frequency_mhz)
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 3
+
+
+def run_fig3(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 3: the stock ondemand governor oscillates (credit scheduler)."""
+    config = ScenarioConfig(scheduler="credit", governor="ondemand").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    stable = run_scenario(config.with_changes(governor="stable"))
+    report = ExperimentReport(
+        experiment="Figure 3",
+        title="global loads with the stock Ondemand governor (aggressive, unstable)",
+        chart=_loads_chart(result, "V20/V70 global loads, stock ondemand governor"),
+    )
+    transitions = result.frequency_transitions
+    stable_transitions = stable.frequency_transitions
+    report.add_row("governor behaviour", "aggressive and unstable", f"{transitions} DVFS transitions")
+    report.add_row("(Fig. 4 comparison)", "stable", f"{stable_transitions} DVFS transitions")
+    report.check(
+        "ondemand makes at least 50x more transitions than the stable governor",
+        transitions >= 50 * max(stable_transitions, 1),
+    )
+    v20_b = result.phase_mean("V20.global_load", both)
+    report.add_row("V20 global load (both)", 20.0, round(v20_b, 2))
+    report.check("credit cap still enforced under oscillation", v20_b <= 21.5)
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 4
+
+
+def run_fig4(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 4: the authors' stabilised governor (credit scheduler, exact load)."""
+    config = ScenarioConfig(scheduler="credit", governor="stable").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 4",
+        title="global loads with the authors' governor (credit scheduler, exact load)",
+        chart=_loads_chart(result, "V20/V70 global loads, stable governor"),
+    )
+    v20_a = result.phase_mean("V20.global_load", solo)
+    v20_b = result.phase_mean("V20.global_load", both)
+    v70_b = result.phase_mean("V70.global_load", both)
+    freq_a = result.phase_mean("host.freq_mhz", solo, smooth=False)
+    freq_b = result.phase_mean("host.freq_mhz", both, smooth=False)
+    report.add_row("V20 global load (solo)", 20.0, round(v20_a, 2))
+    report.add_row("V70 global load (both)", 70.0, round(v70_b, 2))
+    report.add_row("frequency (solo)", 1600, int(freq_a))
+    report.add_row("frequency (both)", 2667, int(freq_b))
+    report.add_row("DVFS transitions", "few (stable)", result.frequency_transitions)
+    report.check("V20 nominal load capped at its 20% credit", _within(v20_a, 20, 1.5) and _within(v20_b, 20, 1.5))
+    report.check("governor clocks down while the host is underloaded", freq_a == 1600)
+    report.check("governor reaches the maximum under combined load", freq_b == 2667)
+    report.check("stable: fewer than 20 transitions over the run", result.frequency_transitions < 20)
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 5
+
+
+def run_fig5(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 5: absolute loads expose the credit scheduler's SLA violation."""
+    config = ScenarioConfig(scheduler="credit", governor="stable").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 5",
+        title="absolute loads with the credit scheduler: V20 loses capacity when solo",
+        chart=_absolute_chart(result, "V20/V70 absolute loads, credit + stable governor"),
+    )
+    v20_abs_a = result.phase_mean("V20.absolute_load", solo)
+    v20_abs_b = result.phase_mean("V20.absolute_load", both)
+    v20_abs_c = result.phase_mean("V20.absolute_load", late)
+    report.add_row("V20 absolute load (solo)", "~10 (penalized)", round(v20_abs_a, 2))
+    report.add_row("V20 absolute load (both)", 20.0, round(v20_abs_b, 2))
+    report.add_row("V20 absolute load (solo, late)", "~10 (penalized)", round(v20_abs_c, 2))
+    report.check(
+        "V20's absolute load collapses well below its 20% SLA while solo",
+        v20_abs_a < 15.0 and v20_abs_c < 15.0,
+    )
+    report.check(
+        "V20 only gets its booked 20% when the host load forces max frequency",
+        _within(v20_abs_b, 20, 1.5),
+    )
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 6
+
+
+def run_fig6(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 6: SEDF hands unused slices to V20 (global loads, exact load)."""
+    config = ScenarioConfig(scheduler="sedf", governor="stable").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 6",
+        title="global loads with SEDF (exact load): extra slices raise V20's share",
+        chart=_loads_chart(result, "V20/V70 global loads, SEDF + stable governor"),
+    )
+    v20_a = result.phase_mean("V20.global_load", solo)
+    v20_b = result.phase_mean("V20.global_load", both)
+    freq_a = result.phase_mean("host.freq_mhz", solo, smooth=False)
+    report.add_row("V20 global load (solo)", "~35 (extra slices)", round(v20_a, 2))
+    report.add_row("V20 global load (both)", 20.0, round(v20_b, 2))
+    report.add_row("frequency (solo)", 1600, int(freq_a))
+    report.check("V20 receives extra slices beyond its credit while solo", 30.0 <= v20_a <= 40.0)
+    report.check("credits respected again once V70 is active", _within(v20_b, 20, 2.0))
+    report.check("frequency stays low while solo (demand fits)", freq_a == 1600)
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 7
+
+
+def run_fig7(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 7: SEDF's extra slices restore V20's absolute 20% under exact load."""
+    config = ScenarioConfig(scheduler="sedf", governor="stable").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 7",
+        title="absolute loads with SEDF (exact load): V20 keeps 20% throughout",
+        chart=_absolute_chart(result, "V20/V70 absolute loads, SEDF + stable governor"),
+    )
+    v20_abs_a = result.phase_mean("V20.absolute_load", solo)
+    v20_abs_b = result.phase_mean("V20.absolute_load", both)
+    v20_abs_c = result.phase_mean("V20.absolute_load", late)
+    report.add_row("V20 absolute load (solo)", 20.0, round(v20_abs_a, 2))
+    report.add_row("V20 absolute load (both)", 20.0, round(v20_abs_b, 2))
+    report.add_row("V20 absolute load (solo, late)", 20.0, round(v20_abs_c, 2))
+    report.check(
+        "V20's absolute load holds at ~20% during the entire experiment",
+        all(_within(v, 20, 2.0) for v in (v20_abs_a, v20_abs_b, v20_abs_c)),
+    )
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 8
+
+
+def run_fig8(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 8: SEDF under thrashing load — V20 eats the machine, no DVFS saving."""
+    config = ScenarioConfig(
+        scheduler="sedf", governor="stable", v20_load="thrashing"
+    ).with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 8",
+        title="SEDF under thrashing load: V20 consumes far beyond its credit",
+        chart=_loads_chart(result, "V20/V70 global loads, SEDF, thrashing V20"),
+    )
+    v20_a = result.phase_mean("V20.global_load", solo)
+    v20_b = result.phase_mean("V20.global_load", both)
+    freq_a = result.phase_mean("host.freq_mhz", solo, smooth=False)
+    report.add_row("V20 global load (solo)", "~85 (paper)", round(v20_a, 2))
+    report.add_row("V20 global load (both)", "~20", round(v20_b, 2))
+    report.add_row("frequency (solo)", 2667, int(freq_a))
+    report.check("V20 consumes several times its 20% credit while solo", v20_a >= 80.0)
+    report.check(
+        "the frequency is pinned at the maximum (no energy saving possible)",
+        freq_a == result.host.processor.max_frequency_mhz,
+    )
+    report.check("V70's guaranteed credit still respected when active", result.phase_mean("V70.global_load", both) >= 67.0)
+    return result, report
+
+
+# --------------------------------------------------------------------- Fig 9
+
+
+def run_fig9(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 9: PAS under thrashing load — compensated credits at low frequency."""
+    config = ScenarioConfig(scheduler="pas", v20_load="thrashing").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 9",
+        title="global loads with the PAS scheduler (thrashing V20)",
+        chart=_loads_chart(result, "V20/V70 global loads, PAS scheduler"),
+    )
+    v20_a = result.phase_mean("V20.global_load", solo)
+    v20_b = result.phase_mean("V20.global_load", both)
+    freq_a = result.phase_mean("host.freq_mhz", solo, smooth=False)
+    freq_b = result.phase_mean("host.freq_mhz", both, smooth=False)
+    report.add_row("V20 global load (solo)", "33 (compensated credit)", round(v20_a, 2))
+    report.add_row("V20 global load (both)", 20.0, round(v20_b, 2))
+    report.add_row("frequency (solo)", 1600, int(freq_a))
+    report.add_row("frequency (both)", 2667, int(freq_b))
+    report.check("PAS grants V20 ~33% nominal credit at 1600 MHz", _within(v20_a, 33.3, 1.5))
+    report.check("V20 back to 20% when the frequency reaches the maximum", _within(v20_b, 20, 1.5))
+    report.check("frequency stays low while the host is underloaded", freq_a == 1600)
+    report.check("frequency reaches the maximum under combined load", freq_b == 2667)
+    return result, report
+
+
+# -------------------------------------------------------------------- Fig 10
+
+
+def run_fig10(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
+    """Fig. 10: PAS absolute loads — every VM gets exactly what it bought."""
+    config = ScenarioConfig(scheduler="pas", v20_load="thrashing").with_changes(**overrides)
+    result = run_scenario(config)
+    solo, both, late = analysis_windows(config)
+    report = ExperimentReport(
+        experiment="Figure 10",
+        title="absolute loads with the PAS scheduler: SLA held at every frequency",
+        chart=_absolute_chart(result, "V20/V70 absolute loads, PAS scheduler"),
+    )
+    v20_abs_a = result.phase_mean("V20.absolute_load", solo)
+    v20_abs_b = result.phase_mean("V20.absolute_load", both)
+    v20_abs_c = result.phase_mean("V20.absolute_load", late)
+    v70_abs_b = result.phase_mean("V70.absolute_load", both)
+    report.add_row("V20 absolute load (solo)", 20.0, round(v20_abs_a, 2))
+    report.add_row("V20 absolute load (both)", 20.0, round(v20_abs_b, 2))
+    report.add_row("V20 absolute load (solo, late)", 20.0, round(v20_abs_c, 2))
+    report.add_row("V70 absolute load (both)", 70.0, round(v70_abs_b, 2))
+    report.check(
+        "V20's absolute load is ~20% through all three phases",
+        all(_within(v, 20, 1.5) for v in (v20_abs_a, v20_abs_b, v20_abs_c)),
+    )
+    report.check("V70 receives its booked 70% when active", _within(v70_abs_b, 70, 2.5))
+    report.check(
+        "V20 never exceeds its booked absolute capacity (enables DVFS saving)",
+        result.series("V20.absolute_load").max() <= 23.0,
+    )
+    return result, report

@@ -1,0 +1,93 @@
+"""Ablation D: what the SLA violation feels like — response times (ours).
+
+The paper's introduction is about QoS, its evaluation about loads.  This
+experiment closes the loop: run the §5.3 profile with *exact* V20 load and
+latency tracking on, and report V20's client-visible response times and
+drop rates under each scheduler.
+
+Under credit + a DVFS governor, V20's 20 % absolute demand is served at
+~12 % while the host idles at 1600 MHz, so its bounded request queue sits
+full: every accepted request waits behind ~2 s of backlog served at an
+eighth of real time — multi-second responses and a steady drop rate, even
+though the VM never exceeded its booked load.  PAS serves the same demand
+at the compensated credit: millisecond-scale responses, no drops.
+"""
+
+from __future__ import annotations
+
+from .report import ExperimentReport
+from .scenario import ScenarioConfig, build_scenario, ScenarioResult
+
+
+def _run_with_latency(config: ScenarioConfig) -> tuple[ScenarioResult, object]:
+    host = build_scenario(config)
+    webapp = host.domain("V20").workload
+    host.run(until=config.duration)
+    return ScenarioResult(config=config, host=host), webapp
+
+
+def run_qos_ablation(**overrides) -> ExperimentReport:
+    """V20 response times under each scheduler (near-exact load, §5.3 profile).
+
+    V20 runs at 90 % of its booked capacity — the standard operating point
+    for latency measurement; at exactly 100 % any transient backlog
+    persists forever and hides the steady-state difference.
+    """
+    report = ExperimentReport(
+        experiment="Ablation D (QoS)",
+        title="client-visible response times behind the same 20% SLA (90% loaded)",
+    )
+    configs = {
+        "credit + stable": ScenarioConfig(
+            scheduler="credit", governor="stable", v20_load="near_exact"
+        ),
+        "credit + performance": ScenarioConfig(
+            scheduler="credit", governor="performance", v20_load="near_exact"
+        ),
+        "sedf + stable": ScenarioConfig(
+            scheduler="sedf", governor="stable", v20_load="near_exact"
+        ),
+        "pas": ScenarioConfig(scheduler="pas", v20_load="near_exact"),
+    }
+    stats: dict[str, tuple[float, float, float]] = {}
+    for label, config in configs.items():
+        _, webapp = _run_with_latency(config.with_changes(**overrides))
+        tracker = webapp.latency
+        p50 = tracker.percentile(50)
+        p99 = tracker.percentile(99)
+        drops = webapp.drop_fraction * 100.0
+        stats[label] = (p50, p99, drops)
+        report.add_row(
+            label,
+            "p50 / p99 response (s), drops %",
+            f"{p50:7.3f} / {p99:7.3f}, {drops:4.1f}%",
+        )
+    report.check(
+        "credit + DVFS governor pushes p50 response beyond 5 seconds",
+        stats["credit + stable"][0] > 5.0,
+    )
+    report.check(
+        "credit + DVFS governor drops a substantial share of V20's requests",
+        stats["credit + stable"][2] > 10.0,
+    )
+    report.check(
+        "PAS keeps p50 response at injection granularity (< 0.2s)",
+        stats["pas"][0] < 0.2,
+    )
+    report.check(
+        "PAS p99 stays within the ladder transient (< 3s, vs ~17s for credit+stable)",
+        stats["pas"][1] < 3.0,
+    )
+    report.check(
+        "PAS drops (almost) nothing",
+        stats["pas"][2] < 2.0,
+    )
+    report.check(
+        "PAS matches the performance governor's QoS (p50 within 0.5s)",
+        abs(stats["pas"][0] - stats["credit + performance"][0]) < 0.5,
+    )
+    report.check(
+        "SEDF also rescues QoS under non-thrashing load (the Fig. 6-7 result)",
+        stats["sedf + stable"][1] < 1.0,
+    )
+    return report

@@ -1,0 +1,69 @@
+"""Paper-vs-measured reporting.
+
+Every experiment runner returns an :class:`ExperimentReport`: named rows of
+``(metric, paper value, measured value)`` plus boolean shape checks.  The
+benchmarks print reports; integration tests assert ``report.all_passed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..telemetry import table_to_text
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape criterion with its outcome."""
+
+    description: str
+    passed: bool
+
+    def __str__(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.description}"
+
+
+@dataclass
+class ExperimentReport:
+    """Rows + checks + optional chart for one table/figure reproduction."""
+
+    experiment: str
+    title: str
+    rows: list[tuple[str, object, object]] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    chart: str = ""
+
+    def add_row(self, metric: str, paper: object, measured: object) -> None:
+        """Record one paper-vs-measured comparison row."""
+        self.rows.append((metric, paper, measured))
+
+    def check(self, description: str, passed: bool) -> None:
+        """Record one shape criterion."""
+        self.checks.append(Check(description, passed))
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every shape criterion held."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[Check]:
+        """The criteria that did not hold."""
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        """Human-readable report for benchmark output."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.rows:
+            parts.append(
+                table_to_text(["metric", "paper", "measured"], self.rows)
+            )
+        if self.chart:
+            parts.append(self.chart)
+        for check in self.checks:
+            parts.append(str(check))
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,38 @@
+"""DVFS governors (subsystem S3).
+
+All five stock Linux/Xen governors from §2.2 of the paper plus the authors'
+own stabilised ondemand variant from §5.4:
+
+* :class:`PerformanceGovernor` — pin the maximum frequency;
+* :class:`PowersaveGovernor` — pin the minimum frequency;
+* :class:`UserspaceGovernor` — frequency set explicitly by software (this is
+  what the in-hypervisor PAS scheduler drives);
+* :class:`OndemandGovernor` — the stock aggressive policy (Fig. 3);
+* :class:`ConservativeGovernor` — one-step-at-a-time thresholds;
+* :class:`StableGovernor` — the paper's governor: 1 s samples, mean of three
+  successive samples, hysteresis margin and a dwell time (Fig. 4).
+
+Governors plug into :class:`repro.cpu.CpuFreq` via
+:meth:`~repro.cpu.CpuFreq.set_governor`.
+"""
+
+from .base import Governor
+from .performance import PerformanceGovernor
+from .powersave import PowersaveGovernor
+from .userspace import UserspaceGovernor
+from .ondemand import OndemandGovernor
+from .conservative import ConservativeGovernor
+from .stable import StableGovernor
+from .registry import make_governor, GOVERNOR_NAMES
+
+__all__ = [
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+    "StableGovernor",
+    "make_governor",
+    "GOVERNOR_NAMES",
+]

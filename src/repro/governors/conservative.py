@@ -1,0 +1,42 @@
+"""The ``conservative`` governor: one P-state step per decision (§2.2)."""
+
+from __future__ import annotations
+
+from ..units import check_percent, check_positive
+from .base import Governor
+
+
+class ConservativeGovernor(Governor):
+    """Step the frequency up or down one level at a time.
+
+    Per the paper: "decreases or increases frequency by one level through a
+    range of values supported by the hardware, according to the CPU load."
+    """
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        *,
+        up_threshold: float = 80.0,
+        down_threshold: float = 20.0,
+        sampling_period: float = 0.1,
+    ) -> None:
+        super().__init__()
+        check_percent(up_threshold, "up_threshold", allow_zero=False)
+        check_percent(down_threshold, "down_threshold")
+        if down_threshold >= up_threshold:
+            raise ValueError(
+                f"down_threshold ({down_threshold}) must be below up_threshold ({up_threshold})"
+            )
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.sampling_period = check_positive(sampling_period, "sampling_period")
+
+    def decide(self, load_percent: float, now: float) -> int | None:
+        current = self.cpufreq.processor.frequency_mhz
+        if load_percent >= self.up_threshold:
+            return self.table.step_up(current).freq_mhz
+        if load_percent < self.down_threshold:
+            return self.table.step_down(current).freq_mhz
+        return None

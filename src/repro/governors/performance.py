@@ -1,0 +1,19 @@
+"""The ``performance`` governor: frequency pinned at the maximum."""
+
+from __future__ import annotations
+
+from .base import Governor
+
+
+class PerformanceGovernor(Governor):
+    """Always run at the highest P-state (§2.2)."""
+
+    name = "performance"
+    sampling_period = None
+
+    def initial_frequency(self) -> int | None:
+        return self.table.max_state.freq_mhz
+
+    def decide(self, load_percent: float, now: float) -> int | None:  # pragma: no cover
+        # Static policy: never sampled.  Kept total for interface symmetry.
+        return self.table.max_state.freq_mhz

@@ -1,0 +1,19 @@
+"""The ``powersave`` governor: frequency pinned at the minimum."""
+
+from __future__ import annotations
+
+from .base import Governor
+
+
+class PowersaveGovernor(Governor):
+    """Always run at the lowest P-state (§2.2)."""
+
+    name = "powersave"
+    sampling_period = None
+
+    def initial_frequency(self) -> int | None:
+        return self.table.min_state.freq_mhz
+
+    def decide(self, load_percent: float, now: float) -> int | None:  # pragma: no cover
+        # Static policy: never sampled.  Kept total for interface symmetry.
+        return self.table.min_state.freq_mhz

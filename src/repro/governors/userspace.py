@@ -1,0 +1,30 @@
+"""The ``userspace`` governor: software sets the frequency explicitly.
+
+This is the hook the paper's PAS scheduler uses — frequency decisions are
+made inside the VM scheduler (or a user-level manager) and pushed through
+:meth:`UserspaceGovernor.set_speed`, exactly like writing to
+``scaling_setspeed`` in sysfs.
+"""
+
+from __future__ import annotations
+
+from .base import Governor
+
+
+class UserspaceGovernor(Governor):
+    """Frequency controlled by explicit :meth:`set_speed` calls (§2.2).
+
+    Until the first call, the processor stays at the frequency it had when
+    this governor was installed (matching Linux semantics).
+    """
+
+    name = "userspace"
+    sampling_period = None
+
+    def set_speed(self, freq_mhz: int) -> bool:
+        """Apply *freq_mhz*; returns True when the P-state changed."""
+        return self.cpufreq.set_speed(freq_mhz)
+
+    def decide(self, load_percent: float, now: float) -> int | None:  # pragma: no cover
+        # Never sampled; decisions arrive via set_speed().
+        return None

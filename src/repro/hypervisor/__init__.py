@@ -1,0 +1,20 @@
+"""Hypervisor substrate (subsystem S4).
+
+The simulated equivalent of the Xen hypervisor the paper modifies:
+
+* :class:`~repro.hypervisor.vcpu.VCpu` — a virtual CPU with a demand queue
+  measured in absolute seconds;
+* :class:`~repro.hypervisor.domain.Domain` — a VM (or Dom0) with its SLA
+  credit, scheduler parameters and attached workload;
+* :class:`~repro.hypervisor.host.Host` — the machine: engine + processor +
+  cpufreq + one VM scheduler + domains, running a slice-based dispatch loop;
+* :class:`~repro.hypervisor.load_monitor.LoadMonitor` — per-domain and
+  host-wide load sampling with the paper's 3-sample averaging.
+"""
+
+from .vcpu import VCpu, VCpuState
+from .domain import Domain, DomainConfig
+from .host import Host
+from .load_monitor import LoadMonitor
+
+__all__ = ["VCpu", "VCpuState", "Domain", "DomainConfig", "Host", "LoadMonitor"]

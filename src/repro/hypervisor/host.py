@@ -1,0 +1,352 @@
+"""The simulated physical machine.
+
+A :class:`Host` wires together the engine, one processor, the cpufreq
+subsystem with its governor, one VM scheduler, the domains and telemetry —
+the same composition as a Xen box (§2).  It runs a slice-based dispatch loop:
+
+* the scheduler picks a vCPU; the host runs it for
+  ``min(policy slice, time to drain its demand)`` wall seconds;
+* wall time converts to work at the processor's current ``ratio * cf`` —
+  the paper's Eq. 1/2 is the substrate's definition of DVFS;
+* P-state changes, wake-time preemptions and scheduler ticks all end the
+  in-flight slice early (work accrual assumes constant capacity per slice);
+* accounting is lazy: counters are brought up to date at slice boundaries
+  and on :meth:`sync_accounting` (the load monitor forces this each sample).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cpu import CpuFreq, Processor, ProcessorSpec, catalog
+from ..errors import ConfigurationError, SchedulerError
+from ..governors import Governor, make_governor
+from ..sim import Engine, EventHandle, PeriodicTimer, RngStreams
+from ..telemetry import Recorder
+from .domain import DOM0_CLASS, Domain, DomainConfig, GUEST_CLASS
+from .load_monitor import LoadMonitor
+from .vcpu import VCpu
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schedulers.base import Scheduler
+
+
+class Host:
+    """A single-pCPU virtualized host.
+
+    Parameters
+    ----------
+    processor:
+        A :class:`ProcessorSpec` from :mod:`repro.cpu.catalog` (default: the
+        paper's Optiplex 755 testbed).
+    scheduler:
+        A :class:`~repro.schedulers.base.Scheduler` instance or a registry
+        name (``"credit"``, ``"sedf"``, ``"credit2"``, ``"pas"``).
+    governor:
+        A :class:`~repro.governors.base.Governor` instance or a registry name
+        (``"performance"``, ``"powersave"``, ``"userspace"``, ``"ondemand"``,
+        ``"conservative"``, ``"stable"``).
+    monitor_period:
+        Load-monitor sampling period in seconds (paper-scale: 1 s).
+    seed:
+        Root seed for every random stream in the run.
+    """
+
+    def __init__(
+        self,
+        *,
+        processor: ProcessorSpec = catalog.OPTIPLEX_755,
+        scheduler: "Scheduler | str" = "credit",
+        governor: Governor | str = "performance",
+        monitor_period: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.engine = Engine()
+        self.processor = Processor(processor)
+        self.cpufreq = CpuFreq(self.engine, self.processor)
+        self.recorder = Recorder()
+        self.rng = RngStreams(seed)
+
+        if isinstance(scheduler, str):
+            from ..schedulers.registry import make_scheduler
+
+            scheduler = make_scheduler(scheduler)
+        self.scheduler: "Scheduler" = scheduler
+        self.scheduler.attach(self)
+
+        if isinstance(governor, str):
+            governor = make_governor(governor)
+        self.governor: Governor = governor
+
+        self._domains: dict[str, Domain] = {}
+        self._monitor = LoadMonitor(self, self.recorder, period=monitor_period)
+
+        # Dispatch-loop state: exactly one of (_current, _idle_from) is set.
+        self._current: VCpu | None = None
+        self._slice_start = 0.0
+        self._slice_capacity = 1.0
+        self._slice_end_event: EventHandle | None = None
+        self._idle_from: float | None = 0.0
+        self._tick_timer: PeriodicTimer | None = None
+        self._started = False
+        self._preemptions = 0
+        #: Per-domain energy attribution (joules charged while dispatched).
+        self._domain_energy: dict[str, float] = {}
+        self._idle_energy = 0.0
+
+        self.cpufreq.add_observer(self._on_frequency_change)
+
+    # -------------------------------------------------------------- domains
+
+    @property
+    def domains(self) -> list[Domain]:
+        """All domains in creation order."""
+        return list(self._domains.values())
+
+    def domain(self, name: str) -> Domain:
+        """The domain called *name*."""
+        try:
+            return self._domains[name]
+        except KeyError:
+            known = ", ".join(self._domains) or "<none>"
+            raise ConfigurationError(f"no domain {name!r}; have: {known}") from None
+
+    def create_domain(
+        self,
+        name: str,
+        credit: float,
+        *,
+        weight: float | None = None,
+        cap: float | None = None,
+        dom0: bool = False,
+        sedf_period: float = 0.1,
+        sedf_extra: bool = False,
+    ) -> Domain:
+        """Create a domain with *credit* percent of max-frequency capacity.
+
+        The fix-credit defaults apply (weight = credit, cap = credit, null
+        credit uncapped); keyword arguments override them.  ``dom0=True``
+        puts the domain in the highest priority class (§5.3).
+        """
+        if name in self._domains:
+            raise ConfigurationError(f"duplicate domain name {name!r}")
+        if self._started:
+            raise ConfigurationError("cannot add domains after the host has started")
+        config = DomainConfig(
+            credit=credit,
+            weight=weight,
+            cap=cap,
+            priority_class=DOM0_CLASS if dom0 else GUEST_CLASS,
+            sedf_period=sedf_period,
+            sedf_extra=sedf_extra,
+        )
+        domain = Domain(name, config, self)
+        self._domains[name] = domain
+        self.scheduler.add_vcpu(domain.vcpu)
+        return domain
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Install the governor, start timers and attached workloads."""
+        if self._started:
+            raise ConfigurationError("host already started")
+        self._started = True
+        self.cpufreq.set_governor(self.governor)
+        if self.scheduler.tick_period is not None:
+            self._tick_timer = PeriodicTimer(
+                self.engine,
+                self.scheduler.tick_period,
+                self._on_scheduler_tick,
+                label=f"sched.{self.scheduler.name}",
+            )
+            self._tick_timer.start()
+        self._monitor.start()
+        for domain in self._domains.values():
+            if domain.workload is not None:
+                domain.workload.start()
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time *until* (auto-starts)."""
+        if not self._started:
+            self.start()
+        self.engine.run_until(until)
+        self.sync_accounting()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.engine.now
+
+    @property
+    def preemptions(self) -> int:
+        """Number of slices ended early by wake/DVFS/tick preemption."""
+        return self._preemptions
+
+    # -------------------------------------------------- dispatch-loop inputs
+
+    def on_vcpu_wake(self, vcpu: VCpu) -> None:
+        """A blocked vCPU acquired demand (called by its domain)."""
+        self.scheduler.wake(vcpu)
+        if self._current is None:
+            self._begin_dispatch()
+        elif self.scheduler.should_preempt(self._current, vcpu):
+            self._preemptions += 1
+            self._end_current_slice()
+            self._begin_dispatch()
+
+    def _on_scheduler_tick(self, now: float) -> None:
+        # Fold the in-flight slice into the books *before* the scheduler's
+        # bookkeeping: Xen debits the running vCPU at every tick, and a
+        # credit-accounting reset must see usage accrued in the period it
+        # closes, not have a whole slice charged into the fresh period.
+        self.sync_accounting()
+        if self.scheduler.tick(now):
+            if self._current is not None:
+                self._preemptions += 1
+                self._end_current_slice()
+            self._begin_dispatch()
+
+    def _on_frequency_change(self, freq_mhz: int) -> None:
+        # Work accrues at a constant capacity per slice; a P-state change
+        # invalidates that, so end the slice and re-dispatch at the new rate.
+        if self._current is not None:
+            self._preemptions += 1
+            self._end_current_slice()
+            self._begin_dispatch()
+
+    # ---------------------------------------------------- dispatch machinery
+
+    def _begin_dispatch(self) -> None:
+        if self._current is not None:
+            raise SchedulerError("dispatch while a vCPU is running")
+        now = self.engine.now
+        self._flush_idle(now)
+        vcpu = self.scheduler.pick_next(now)
+        if vcpu is None:
+            self._idle_from = now
+            return
+        slice_len = self.scheduler.slice_for(vcpu, now)
+        if slice_len <= 0:
+            raise SchedulerError(
+                f"scheduler {self.scheduler.name!r} returned a non-positive slice "
+                f"({slice_len}) for {vcpu.name!r}"
+            )
+        capacity = self.processor.capacity_fraction
+        run_for = min(slice_len, vcpu.pending_work / capacity)
+        vcpu.mark_running()
+        self._current = vcpu
+        self._slice_start = now
+        self._slice_capacity = capacity
+        self._idle_from = None
+        self._slice_end_event = self.engine.schedule(
+            run_for, self._on_slice_end, label=f"slice.{vcpu.name}"
+        )
+
+    def _on_slice_end(self) -> None:
+        self._end_current_slice()
+        self._begin_dispatch()
+
+    def _end_current_slice(self) -> None:
+        vcpu = self._current
+        if vcpu is None:
+            raise SchedulerError("ending a slice while idle")
+        now = self.engine.now
+        if self._slice_end_event is not None:
+            self._slice_end_event.cancel()
+            self._slice_end_event = None
+        self._current = None
+        elapsed = now - self._slice_start
+        if elapsed > 0:
+            work = elapsed * self._slice_capacity
+            vcpu.consume(work, elapsed)
+            energy = self.processor.account(elapsed, 1.0)
+            self._domain_energy[vcpu.name] = (
+                self._domain_energy.get(vcpu.name, 0.0) + energy
+            )
+            self.scheduler.charge(vcpu, elapsed, now)
+        if vcpu.has_work:
+            vcpu.mark_runnable()
+            self.scheduler.put_back(vcpu)
+        else:
+            vcpu.mark_blocked()
+            self.scheduler.sleep(vcpu)
+            vcpu.domain.notify_idle(now)
+
+    def _flush_idle(self, now: float) -> None:
+        if self._idle_from is not None:
+            gap = now - self._idle_from
+            if gap > 0:
+                self._idle_energy += self.processor.account(gap, 0.0)
+            self._idle_from = None
+
+    def kick(self) -> None:
+        """Re-evaluate scheduling if the processor is idle.
+
+        External policy changes (a user-level manager raising a cap, say) can
+        make a parked vCPU runnable while nothing else would trigger a
+        dispatch; this forces one.  A no-op while a slice is in flight — the
+        next tick rebalances.
+        """
+        if self._current is None and self._started:
+            self._begin_dispatch()
+
+    # ------------------------------------------------------------ accounting
+
+    def sync_accounting(self) -> None:
+        """Bring work/energy/charge counters up to the current instant.
+
+        Accounting is lazy (slice-boundary); samplers call this first so the
+        books reflect any in-flight slice or idle gap.  The in-flight slice
+        keeps running — only its consumed prefix is folded in.
+        """
+        now = self.engine.now
+        if self._current is not None:
+            elapsed = now - self._slice_start
+            if elapsed > 0:
+                work = elapsed * self._slice_capacity
+                self._current.consume(work, elapsed)
+                energy = self.processor.account(elapsed, 1.0)
+                self._domain_energy[self._current.name] = (
+                    self._domain_energy.get(self._current.name, 0.0) + energy
+                )
+                self.scheduler.charge(self._current, elapsed, now)
+                self._slice_start = now
+        elif self._idle_from is not None:
+            gap = now - self._idle_from
+            if gap > 0:
+                self._idle_energy += self.processor.account(gap, 0.0)
+            self._idle_from = now
+
+    # -------------------------------------------------- energy attribution
+
+    def domain_energy_joules(self, name: str) -> float:
+        """Energy charged to domain *name* while dispatched (charge-back).
+
+        Attribution is at-the-meter: each slice's package energy (at the
+        P-state and utilisation it ran under) goes to the domain that was
+        running.  Idle-time energy is the provider's overhead
+        (:attr:`idle_energy_joules`); the three always sum to the
+        processor's total.
+        """
+        self.domain(name)  # validate the name
+        return self._domain_energy.get(name, 0.0)
+
+    @property
+    def idle_energy_joules(self) -> float:
+        """Energy burnt while no vCPU was dispatched (provider overhead)."""
+        return self._idle_energy
+
+    # ------------------------------------------------------------ shorthand
+
+    @property
+    def absolute_load_scale(self) -> float:
+        """Current ``ratio * cf`` — multiply a nominal load to get absolute."""
+        return self.processor.ratio * self.processor.cf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = self._current.name if self._current else "idle"
+        return (
+            f"Host({self.processor.spec.name!r}, sched={self.scheduler.name}, "
+            f"gov={self.governor.name}, t={self.engine.now:.2f}, running={running})"
+        )

@@ -1,0 +1,32 @@
+"""VM schedulers (subsystem S5).
+
+The two Xen schedulers the paper evaluates, plus the beta Credit2 it
+mentions, behind one :class:`~repro.schedulers.base.Scheduler` interface:
+
+* :class:`CreditScheduler` — Xen's default: proportional weights, hard caps,
+  UNDER/OVER priorities, 30 ms accounting.  With ``cap = credit`` this is the
+  paper's *fix credit* scheduler; a null credit is uncapped (§3.1).
+* :class:`SedfScheduler` — Simple Earliest Deadline First with the (s, p, b)
+  triplet; ``b = True`` grants unused slices (the *variable credit* mode).
+* :class:`Credit2Scheduler` — the "updated version ... currently available in
+  a beta version" (§3.1); included as an extension baseline.
+
+The paper's PAS scheduler lives in :mod:`repro.core` — it extends
+:class:`CreditScheduler`.
+"""
+
+from .base import Scheduler, SchedulerStats
+from .credit import CreditScheduler
+from .sedf import SedfScheduler
+from .credit2 import Credit2Scheduler
+from .registry import make_scheduler, SCHEDULER_NAMES
+
+__all__ = [
+    "Scheduler",
+    "SchedulerStats",
+    "CreditScheduler",
+    "SedfScheduler",
+    "Credit2Scheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]

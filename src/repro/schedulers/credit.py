@@ -1,0 +1,248 @@
+"""The Xen Credit scheduler — the paper's *fix credit* baseline (§3.1).
+
+Mechanics modelled on Xen 4.1's csched:
+
+* every vCPU has a **weight** (share under contention) and a **cap** (hard
+  ceiling in percent of one pCPU; 0 means uncapped — the paper's null-credit
+  exception);
+* every 30 ms accounting period, credits are distributed to *active*
+  (runnable) vCPUs proportionally to weight; a vCPU with positive credits is
+  UNDER, otherwise OVER, and UNDER always runs before OVER;
+* cap enforcement *parks* a vCPU for the rest of the accounting period once
+  it has consumed ``cap% * period`` of CPU time; the host's slice length is
+  bounded by the remaining budget so the cap is never overshot;
+* Dom0 sits in a higher priority class and preempts guests on wake (§5.3:
+  "configured with the highest priority").
+
+With ``weight = cap = credit`` (the defaults from
+:class:`~repro.hypervisor.domain.DomainConfig`) this is exactly the paper's
+fix-credit scheduler: each VM gets at most its credit, always, regardless of
+the processor frequency — which is the flaw Figs. 3–5 demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import SchedulerError
+from ..units import check_positive
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hypervisor.domain import Domain
+    from ..hypervisor.vcpu import VCpu
+
+#: Remaining cap budget below which a vCPU is parked for the period.
+MIN_BUDGET = 1e-6
+
+
+@dataclass
+class _Account:
+    """Per-vCPU scheduler state."""
+
+    vcpu: "VCpu"
+    weight: float
+    cap: float  # nominal percent; 0 = uncapped
+    priority_class: int
+    credits: float = 0.0  # seconds of owed CPU time
+    usage_in_period: float = 0.0
+    parked: bool = False
+    queued: bool = False
+    initial_cap: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.initial_cap = self.cap
+
+    @property
+    def under(self) -> bool:
+        """Xen's UNDER priority: positive credit balance."""
+        return self.credits > 0.0
+
+    def cap_budget(self, period: float) -> float:
+        """Remaining CPU seconds allowed in the current accounting period."""
+        if self.cap <= 0.0:
+            return float("inf")
+        return self.cap / 100.0 * period - self.usage_in_period
+
+
+class CreditScheduler(Scheduler):
+    """Xen's default scheduler (weights + caps + UNDER/OVER priorities).
+
+    Parameters
+    ----------
+    quantum:
+        Maximum slice length (Xen: 30 ms).
+    tick_interval:
+        Scheduler tick (Xen: 10 ms); one accounting pass runs every
+        *ticks_per_accounting* ticks.
+    ticks_per_accounting:
+        Ticks per credit-accounting pass (Xen: 3 -> 30 ms).
+    credit_clamp_periods:
+        Upper bound on hoarded credits, in accounting periods.  Keeps long-
+        blocked vCPUs from starving everyone after wake (Xen clamps too).
+    """
+
+    name = "credit"
+
+    def __init__(
+        self,
+        *,
+        quantum: float = 0.03,
+        tick_interval: float = 0.01,
+        ticks_per_accounting: int = 3,
+        credit_clamp_periods: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.quantum = check_positive(quantum, "quantum")
+        self.tick_period = check_positive(tick_interval, "tick_interval")
+        if ticks_per_accounting < 1:
+            raise SchedulerError(f"ticks_per_accounting must be >= 1, got {ticks_per_accounting}")
+        self.ticks_per_accounting = ticks_per_accounting
+        self.accounting_period = tick_interval * ticks_per_accounting
+        self.credit_clamp = credit_clamp_periods * self.accounting_period
+        self._accounts: dict[str, _Account] = {}
+        self._queues: dict[int, list[_Account]] = {}
+        self._tick_count = 0
+
+    # ------------------------------------------------------------ membership
+
+    def add_vcpu(self, vcpu: "VCpu") -> None:
+        if vcpu.name in self._accounts:
+            raise SchedulerError(f"vCPU {vcpu.name!r} already admitted")
+        config = vcpu.domain.config
+        account = _Account(
+            vcpu=vcpu,
+            weight=config.effective_weight,
+            cap=config.effective_cap,
+            priority_class=config.priority_class,
+        )
+        self._accounts[vcpu.name] = account
+        self._queues.setdefault(account.priority_class, [])
+
+    def remove_vcpu(self, vcpu: "VCpu") -> None:
+        account = self._account_of(vcpu)
+        if account.queued:
+            self._queues[account.priority_class].remove(account)
+        del self._accounts[vcpu.name]
+
+    def _account_of(self, vcpu: "VCpu") -> _Account:
+        try:
+            return self._accounts[vcpu.name]
+        except KeyError:
+            raise SchedulerError(f"vCPU {vcpu.name!r} is not admitted") from None
+
+    # ---------------------------------------------------------- state change
+
+    def wake(self, vcpu: "VCpu") -> None:
+        account = self._account_of(vcpu)
+        if not account.queued:
+            self._queues[account.priority_class].append(account)
+            account.queued = True
+
+    def sleep(self, vcpu: "VCpu") -> None:
+        account = self._account_of(vcpu)
+        if account.queued:
+            self._queues[account.priority_class].remove(account)
+            account.queued = False
+
+    # --------------------------------------------------------------- policy
+
+    def pick_next(self, now: float) -> "VCpu | None":
+        self.stats.decisions += 1
+        for priority_class in sorted(self._queues):
+            queue = self._queues[priority_class]
+            # Drop entries whose vCPU blocked without a sleep() (defensive;
+            # the host always calls sleep, but stale entries must not run).
+            stale = [account for account in queue if not account.vcpu.runnable]
+            for account in stale:
+                queue.remove(account)
+                account.queued = False
+            eligible = [
+                account
+                for account in queue
+                if not account.parked and account.cap_budget(self.accounting_period) > MIN_BUDGET
+            ]
+            if not eligible:
+                continue
+            under = [account for account in eligible if account.under]
+            chosen = (under or eligible)[0]
+            queue.remove(chosen)
+            chosen.queued = False
+            return chosen.vcpu
+        self.stats.idle_picks += 1
+        return None
+
+    def slice_for(self, vcpu: "VCpu", now: float) -> float:
+        account = self._account_of(vcpu)
+        budget = account.cap_budget(self.accounting_period)
+        return min(self.quantum, budget)
+
+    def charge(self, vcpu: "VCpu", wall_dt: float, now: float) -> None:
+        account = self._account_of(vcpu)
+        account.credits -= wall_dt
+        account.usage_in_period += wall_dt
+        if account.cap_budget(self.accounting_period) <= MIN_BUDGET:
+            account.parked = True
+        self.stats.charge(vcpu.name, wall_dt)
+
+    def should_preempt(self, current: "VCpu", waking: "VCpu") -> bool:
+        current_account = self._account_of(current)
+        waking_account = self._account_of(waking)
+        if waking_account.parked:
+            return False
+        if waking_account.priority_class < current_account.priority_class:
+            return True  # Dom0 boost over guests.
+        # Xen's BOOST: a waking vCPU with credit left preempts an OVER one.
+        return (
+            waking_account.priority_class == current_account.priority_class
+            and waking_account.under
+            and not current_account.under
+        )
+
+    # ----------------------------------------------------------- accounting
+
+    def tick(self, now: float) -> bool:
+        self._tick_count += 1
+        if self._tick_count % self.ticks_per_accounting != 0:
+            return False
+        self._run_accounting()
+        return any(account.queued for account in self._accounts.values())
+
+    def _run_accounting(self) -> None:
+        active = [
+            account for account in self._accounts.values() if account.vcpu.runnable
+        ]
+        total_weight = sum(account.weight for account in active)
+        if total_weight > 0:
+            for account in active:
+                share = account.weight / total_weight
+                account.credits += share * self.accounting_period
+                if account.credits > self.credit_clamp:
+                    account.credits = self.credit_clamp
+        for account in self._accounts.values():
+            account.usage_in_period = 0.0
+            account.parked = False
+
+    # ----------------------------------------------------------- cap control
+
+    def set_cap(self, domain: "Domain", cap_percent: float) -> None:
+        """Change *domain*'s cap; unparks it if new budget opened up.
+
+        This is the knob PAS turns (Listing 1.2's ``setCredit``): credits in
+        the paper's vocabulary are enforced as caps here, because a cap is
+        what bounds consumption under fix-credit semantics.
+        """
+        if cap_percent < 0:
+            raise SchedulerError(f"cap must be >= 0, got {cap_percent}")
+        account = self._account_of(domain.vcpu)
+        account.cap = cap_percent
+        if account.parked and account.cap_budget(self.accounting_period) > MIN_BUDGET:
+            account.parked = False
+
+    def cap_of(self, domain: "Domain") -> float:
+        return self._account_of(domain.vcpu).cap
+
+    def credits_of(self, domain: "Domain") -> float:
+        """Current credit balance in seconds (tests/telemetry)."""
+        return self._account_of(domain.vcpu).credits

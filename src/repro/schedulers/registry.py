@@ -1,0 +1,35 @@
+"""Scheduler factory by name, for experiment configs and the public API."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import Scheduler
+from .credit import CreditScheduler
+from .credit2 import Credit2Scheduler
+from .sedf import SedfScheduler
+
+#: Names accepted by :func:`make_scheduler` (and ``Host(scheduler=...)``).
+SCHEDULER_NAMES: tuple[str, ...] = ("credit", "credit2", "pas", "sedf")
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its registry *name*.
+
+    Keyword arguments are forwarded to the scheduler constructor.  The PAS
+    scheduler is imported lazily: it lives in :mod:`repro.core` (it is the
+    paper's contribution, not a baseline) and extends the Credit scheduler,
+    so a module-level import here would be circular.
+    """
+    if name == "credit":
+        return CreditScheduler(**kwargs)
+    if name == "credit2":
+        return Credit2Scheduler(**kwargs)
+    if name == "sedf":
+        return SedfScheduler(**kwargs)
+    if name == "pas":
+        from ..core.pas import PasScheduler
+
+        return PasScheduler(**kwargs)
+    raise ConfigurationError(
+        f"unknown scheduler {name!r}; choose one of {', '.join(SCHEDULER_NAMES)}"
+    )

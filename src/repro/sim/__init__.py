@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel (subsystem S1).
+
+A small, deterministic event engine: a time-ordered heap of callbacks with
+FIFO tie-breaking, periodic timers built on top of it, and named seeded RNG
+streams so independent components draw independent but reproducible samples.
+
+The rest of the library never touches wall-clock time; everything is driven
+through :class:`~repro.sim.engine.Engine`.
+"""
+
+from .engine import Engine
+from .events import EventHandle
+from .timers import PeriodicTimer
+from .rng import RngStreams
+
+__all__ = ["Engine", "EventHandle", "PeriodicTimer", "RngStreams"]

@@ -1,0 +1,137 @@
+"""The discrete-event engine.
+
+The engine owns simulated time.  Components schedule callbacks at absolute or
+relative times; :meth:`Engine.run_until` pops them in ``(time, sequence)``
+order so that same-time events fire first-scheduled-first — this FIFO
+tie-break is what makes whole-system runs bit-reproducible.
+
+The engine deliberately has no notion of processes or coroutines: the
+hypervisor, governors and workloads are all callback-driven, which keeps the
+hot loop small (a single heap pop per event) and the control flow explicit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+from ..errors import SimulationError
+from .events import EventHandle
+
+
+class Engine:
+    """A deterministic discrete-event loop.
+
+    Example
+    -------
+    >>> engine = Engine()
+    >>> fired = []
+    >>> _ = engine.schedule(1.5, lambda: fired.append(engine.now))
+    >>> engine.run_until(2.0)
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._heap: list[EventHandle] = []
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule *callback* to fire *delay* seconds from now.
+
+        A zero delay is allowed and fires before the engine advances time,
+        after all events already queued for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {label or callback!r} {-delay:.9f}s in the past")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {label or callback!r} at t={time:.9f}, now is t={self._now:.9f}"
+            )
+        handle = EventHandle(time=time, sequence=self._sequence, callback=callback, label=label)
+        self._sequence += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # --------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            callback = event.callback
+            event._mark_fired()
+            self._events_fired += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run every event with due time <= *time*, then set now = *time*.
+
+        Events scheduled by fired callbacks are honoured if they fall inside
+        the window, so periodic timers chain naturally.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to t={time:.9f} from t={self._now:.9f}")
+        if self._running:
+            raise SimulationError("re-entrant run_until() — the engine is already running")
+        self._running = True
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > time:
+                    break
+                self.step()
+            self._now = max(self._now, time)
+        finally:
+            self._running = False
+
+    def run_until_idle(self, *, max_events: int | None = None) -> None:
+        """Run until no events remain (or *max_events* have fired)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"run_until_idle exceeded max_events={max_events}")
+
+    # ---------------------------------------------------------- introspection
+
+    def pending_events(self) -> Iterator[EventHandle]:
+        """Yield pending events in an unspecified order (debugging aid)."""
+        return (event for event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Engine(now={self._now:.6f}, pending={self.pending_count}, fired={self._events_fired})"

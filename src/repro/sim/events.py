@@ -1,0 +1,49 @@
+"""Scheduled-event bookkeeping for the simulation engine.
+
+An :class:`EventHandle` is what :meth:`Engine.schedule` returns.  Handles can
+be cancelled (O(1) — the heap entry is tombstoned and skipped on pop) and
+inspected for their due time, which the hypervisor uses to preempt pending
+end-of-slice events when a higher-priority vCPU wakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class EventHandle:
+    """A pending callback in the engine's event heap.
+
+    Ordering is ``(time, sequence)``: events at the same simulated time fire
+    in the order they were scheduled, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    #: Human-readable tag for debugging and engine introspection.
+    label: str = field(default="", compare=False)
+    _cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Tombstone this event; the engine will skip it when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is neither cancelled nor fired."""
+        return not self._cancelled and self.callback is not None
+
+    def _mark_fired(self) -> None:
+        self.callback = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.sequence}, {self.label!r}, {state})"

@@ -1,0 +1,47 @@
+"""Named, seeded random-number streams.
+
+Each component that needs randomness (request injectors, calibration noise)
+asks for a stream by name.  Streams are derived from a single root seed with
+a stable hash, so adding a new consumer never perturbs the draws seen by
+existing consumers — runs stay reproducible as the system grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStreams:
+    """A factory of independent :class:`random.Random` instances.
+
+    >>> streams = RngStreams(seed=42)
+    >>> a = streams.stream("injector.V20")
+    >>> b = streams.stream("injector.V70")
+    >>> a is streams.stream("injector.V20")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed this factory was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it deterministically."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode("utf-8")).digest()
+        derived_seed = int.from_bytes(digest[:8], "big")
+        stream = random.Random(derived_seed)
+        self._streams[name] = stream
+        return stream
+
+    def names(self) -> list[str]:
+        """Names of all streams created so far, in creation order."""
+        return list(self._streams)

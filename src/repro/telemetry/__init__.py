@@ -1,0 +1,26 @@
+"""Telemetry (subsystem S8): time series, probes, statistics and rendering.
+
+Everything an experiment reports flows through a :class:`Recorder`: the load
+monitor appends per-domain and host-wide samples, and analysis code reads
+them back as :class:`TimeSeries` with the smoothing the paper applies
+(footnote 5: every plotted load is the mean of three successive samples).
+ASCII charts make benchmark output self-contained in a terminal.
+"""
+
+from .series import TimeSeries
+from .recorder import Recorder
+from .stats import rolling_mean, phase_mean, summarize, Summary
+from .ascii_chart import render_chart
+from .export import series_to_csv, table_to_text
+
+__all__ = [
+    "TimeSeries",
+    "Recorder",
+    "rolling_mean",
+    "phase_mean",
+    "summarize",
+    "Summary",
+    "render_chart",
+    "series_to_csv",
+    "table_to_text",
+]

@@ -1,0 +1,82 @@
+"""ASCII rendering of time series, in the spirit of the paper's figures.
+
+Benchmarks print these charts so a terminal run of
+``pytest benchmarks/ --benchmark-only`` shows the reproduced figure next to
+the paper's expected plateaus without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from ..errors import TelemetryError
+from .series import TimeSeries
+
+
+def render_chart(
+    series_list: list[TimeSeries],
+    *,
+    width: int = 78,
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float | None = None,
+    title: str = "",
+    labels: list[str] | None = None,
+) -> str:
+    """Render one or more series as a fixed-size ASCII chart.
+
+    Each series gets a marker character (``*``, ``+``, ``o``, ``#``); series
+    are resampled onto *width* columns by last-value-before-column-time, the
+    same step semantics the figures have.
+    """
+    if not series_list:
+        raise TelemetryError("render_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise TelemetryError(f"chart too small: {width}x{height}")
+    markers = "*+o#@%&"
+    if labels is None:
+        labels = [series.name for series in series_list]
+    if len(labels) != len(series_list):
+        raise TelemetryError("one label per series required")
+
+    t_start = min(series.times[0] for series in series_list if len(series))
+    t_end = max(series.times[-1] for series in series_list if len(series))
+    if y_max is None:
+        y_max = max(series.max() for series in series_list)
+        y_max = max(y_max, y_min + 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    span_t = max(t_end - t_start, 1e-12)
+    span_y = max(y_max - y_min, 1e-12)
+    for index, series in enumerate(series_list):
+        marker = markers[index % len(markers)]
+        for column in range(width):
+            t = t_start + span_t * column / (width - 1)
+            try:
+                value = series.value_at(t)
+            except TelemetryError:
+                continue
+            fraction = (value - y_min) / span_y
+            fraction = min(max(fraction, 0.0), 1.0)
+            row = height - 1 - int(round(fraction * (height - 1)))
+            grid[row][column] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:8.1f} |"
+    bottom_label = f"{y_min:8.1f} |"
+    mid_pad = " " * 9 + "|"
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = mid_pad
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(" " * 10 + f"t={t_start:.0f}s" + " " * max(0, width - 20) + f"t={t_end:.0f}s")
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {label}" for index, label in enumerate(labels)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Plain-text exporters: CSV for series, aligned tables for reports."""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from ..errors import TelemetryError
+from .series import TimeSeries
+
+
+def series_to_csv(series_list: Sequence[TimeSeries]) -> str:
+    """Render series as CSV with one ``time`` column per series block.
+
+    Series may have different sampling grids, so each gets its own
+    ``(time, value)`` column pair rather than forcing a join.
+    """
+    if not series_list:
+        raise TelemetryError("series_to_csv needs at least one series")
+    buffer = io.StringIO()
+    header = []
+    for series in series_list:
+        header.extend([f"{series.name}.t", f"{series.name}.v"])
+    buffer.write(",".join(header) + "\n")
+    longest = max(len(series) for series in series_list)
+    columns = [(series.times, series.values) for series in series_list]
+    for row in range(longest):
+        cells: list[str] = []
+        for times, values in columns:
+            if row < len(times):
+                cells.extend([f"{times[row]:.6g}", f"{values[row]:.6g}"])
+            else:
+                cells.extend(["", ""])
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def table_to_text(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table (benchmark report output)."""
+    if not headers:
+        raise TelemetryError("table_to_text needs headers")
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise TelemetryError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,54 @@
+"""The recorder: a named bag of time series.
+
+One :class:`Recorder` per host run.  Probes (the load monitor, workloads,
+experiment code) record into named series lazily; analysis code retrieves
+them by exact name or prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import TelemetryError
+from .series import TimeSeries
+
+
+class Recorder:
+    """Creates and stores :class:`TimeSeries` by name."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TimeSeries] = {}
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append ``(time, value)`` to the series *name*, creating it lazily."""
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self._series[name] = series
+        series.append(time, value)
+
+    def series(self, name: str) -> TimeSeries:
+        """The series called *name*; raises if nothing was recorded."""
+        try:
+            return self._series[name]
+        except KeyError:
+            known = ", ".join(sorted(self._series)) or "<none>"
+            raise TelemetryError(f"no series {name!r}; recorded series: {known}") from None
+
+    def has(self, name: str) -> bool:
+        """True when at least one sample was recorded under *name*."""
+        return name in self._series
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Sorted names of recorded series, optionally filtered by prefix."""
+        return sorted(name for name in self._series if name.startswith(prefix))
+
+    def matching(self, prefix: str) -> Iterable[TimeSeries]:
+        """All series whose name starts with *prefix*."""
+        return (self._series[name] for name in self.names(prefix))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Recorder({len(self._series)} series)"

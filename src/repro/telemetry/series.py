@@ -1,0 +1,162 @@
+"""Append-only time series.
+
+A :class:`TimeSeries` is a list of ``(time, value)`` samples with the
+read-side operations the experiment harness needs: slicing by time window,
+resampling onto a regular grid, and basic reductions.  Appends must be
+monotone in time — probes sample forward-running clocks only.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from ..errors import TelemetryError
+
+
+class TimeSeries:
+    """Monotone-time ``(t, value)`` samples with window queries.
+
+    >>> series = TimeSeries("host.freq_mhz")
+    >>> series.append(0.0, 1600.0)
+    >>> series.append(1.0, 2667.0)
+    >>> series.mean()
+    2133.5
+    """
+
+    def __init__(self, name: str, samples: Iterable[tuple[float, float]] = ()) -> None:
+        self._name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+        for t, v in samples:
+            self.append(t, v)
+
+    # ------------------------------------------------------------- mutation
+
+    def append(self, time: float, value: float) -> None:
+        """Add a sample; *time* must not precede the last sample."""
+        if self._times and time < self._times[-1]:
+            raise TelemetryError(
+                f"series {self._name!r}: sample at t={time} precedes last t={self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def name(self) -> str:
+        """Series name, e.g. ``"V20.global_load"``."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> list[float]:
+        """Copy of the sample times."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        """Copy of the sample values."""
+        return list(self._values)
+
+    # -------------------------------------------------------------- queries
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= t < end`` as a new series."""
+        if end < start:
+            raise TelemetryError(f"window end {end} precedes start {start}")
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        piece = TimeSeries(self._name)
+        piece._times = self._times[lo:hi]
+        piece._values = self._values[lo:hi]
+        return piece
+
+    def value_at(self, time: float) -> float:
+        """Last-known value at *time* (step interpolation)."""
+        if not self._times:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        index = bisect.bisect_right(self._times, time) - 1
+        if index < 0:
+            raise TelemetryError(f"series {self._name!r} has no sample at or before t={time}")
+        return self._values[index]
+
+    def mean(self) -> float:
+        """Arithmetic mean of all values."""
+        if not self._values:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        return sum(self._values) / len(self._values)
+
+    def min(self) -> float:
+        """Minimum value."""
+        if not self._values:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        return min(self._values)
+
+    def max(self) -> float:
+        """Maximum value."""
+        if not self._values:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        return max(self._values)
+
+    def last(self) -> float:
+        """Most recent value."""
+        if not self._values:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        return self._values[-1]
+
+    def integrate(self, *, until: float | None = None) -> float:
+        """Step-function time integral: sum of ``value * dt`` per segment.
+
+        Each sample holds from its timestamp to the next sample's (or to
+        *until* for the last one; default: the last timestamp, i.e. the
+        final sample contributes nothing).  Used for time-weighted energy
+        and load totals.
+        """
+        if not self._times:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        end = self._times[-1] if until is None else until
+        if end < self._times[-1]:
+            return self.window(self._times[0], end).integrate(until=end)
+        total = 0.0
+        for index in range(len(self._times) - 1):
+            total += self._values[index] * (self._times[index + 1] - self._times[index])
+        total += self._values[-1] * (end - self._times[-1])
+        return total
+
+    def time_weighted_mean(self, *, until: float | None = None) -> float:
+        """Mean weighted by holding time (robust to uneven sampling)."""
+        if not self._times:
+            raise TelemetryError(f"series {self._name!r} is empty")
+        end = self._times[-1] if until is None else until
+        span = end - self._times[0]
+        if span <= 0.0:
+            return self._values[-1]
+        return self.integrate(until=until) / span
+
+    def changes(self) -> int:
+        """Number of times the value changed between consecutive samples.
+
+        The governor benchmarks use this on the frequency series to count
+        DVFS transitions visible at sampling resolution.
+        """
+        return sum(
+            1 for previous, current in zip(self._values, self._values[1:]) if current != previous
+        )
+
+    def map(self, fn) -> "TimeSeries":
+        """New series with ``fn(value)`` applied to every sample."""
+        out = TimeSeries(self._name)
+        out._times = list(self._times)
+        out._values = [fn(v) for v in self._values]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"[{self._times[0]:.1f}..{self._times[-1]:.1f}]" if self._times else "[]"
+        return f"TimeSeries({self._name!r}, n={len(self)}, t={span})"

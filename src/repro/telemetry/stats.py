@@ -1,0 +1,80 @@
+"""Statistics over time series.
+
+Includes the smoothing the paper applies to every plotted load (footnote 5:
+"each time we consider the Global load, it represents an average of three
+successive processor utilization") and the per-phase reductions the figure
+benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TelemetryError
+from .series import TimeSeries
+
+
+def rolling_mean(series: TimeSeries, window: int = 3) -> TimeSeries:
+    """Trailing mean over *window* samples — the paper's 3-sample averaging.
+
+    The first ``window - 1`` samples average whatever history exists, so the
+    output has the same length and timestamps as the input.
+    """
+    if window < 1:
+        raise TelemetryError(f"window must be >= 1, got {window}")
+    values = series.values
+    out = TimeSeries(f"{series.name}~mean{window}")
+    running: list[float] = []
+    for t, v in zip(series.times, values):
+        running.append(v)
+        if len(running) > window:
+            running.pop(0)
+        out.append(t, sum(running) / len(running))
+    return out
+
+
+def phase_mean(series: TimeSeries, start: float, end: float) -> float:
+    """Mean value over the time window ``[start, end)``.
+
+    The figure benchmarks carve each run into the paper's execution phases
+    (V20 solo, both active, ...) and compare phase means against the plateau
+    values read off the published plots.
+    """
+    piece = series.window(start, end)
+    if len(piece) == 0:
+        raise TelemetryError(
+            f"series {series.name!r} has no samples in [{start}, {end})"
+        )
+    return piece.mean()
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a series."""
+
+    name: str
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    last: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: n={self.count} mean={self.mean:.2f} "
+            f"min={self.minimum:.2f} max={self.maximum:.2f} last={self.last:.2f}"
+        )
+
+
+def summarize(series: TimeSeries) -> Summary:
+    """Build a :class:`Summary` of *series*."""
+    if len(series) == 0:
+        raise TelemetryError(f"series {series.name!r} is empty")
+    return Summary(
+        name=series.name,
+        count=len(series),
+        mean=series.mean(),
+        minimum=series.min(),
+        maximum=series.max(),
+        last=series.last(),
+    )

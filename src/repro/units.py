@@ -1,0 +1,75 @@
+"""Unit conventions and validation helpers.
+
+The whole library uses three scalar conventions:
+
+* **time** — simulated seconds, as ``float``;
+* **frequency** — MHz, as ``int`` (matching the paper's 1600..2667 tables);
+* **work** — *absolute seconds*: CPU-seconds of a processor running at its
+  maximum frequency.  A processor at P-state *i* delivers
+  ``ratio_i * cf_i`` absolute seconds per wall second (paper Eq. 1/2).
+
+Credits, caps and loads are percentages in ``[0, 100]`` unless a docstring
+says otherwise (a *fraction* is in ``[0, 1]``).
+
+These helpers centralise range checks so constructors across the library
+produce uniform, actionable error messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigurationError
+
+#: Tolerance used when comparing floating-point loads/credits across the
+#: library.  One part in 10^9 — far below any physically meaningful delta.
+EPSILON = 1e-9
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return *value* if it is finite and strictly positive, else raise."""
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return *value* if it is finite and >= 0, else raise."""
+    if not math.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return *value* if it is a fraction in [0, 1], else raise."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_percent(value: float, name: str, *, allow_zero: bool = True) -> float:
+    """Return *value* if it is a percentage in [0, 100], else raise.
+
+    ``allow_zero=False`` additionally rejects 0 (useful for credits where a
+    null credit has special "uncapped" semantics handled elsewhere).
+    """
+    if not math.isfinite(value) or not 0.0 <= value <= 100.0:
+        raise ConfigurationError(f"{name} must be within [0, 100], got {value!r}")
+    if not allow_zero and value == 0.0:
+        raise ConfigurationError(f"{name} must be non-zero")
+    return value
+
+
+def percent_to_fraction(value: float) -> float:
+    """Convert a percentage to a fraction."""
+    return value / 100.0
+
+
+def fraction_to_percent(value: float) -> float:
+    """Convert a fraction to a percentage."""
+    return value * 100.0
+
+
+def approx_equal(a: float, b: float, *, tolerance: float = EPSILON) -> bool:
+    """True when *a* and *b* differ by at most *tolerance* (absolute)."""
+    return abs(a - b) <= tolerance

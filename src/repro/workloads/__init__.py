@@ -1,0 +1,39 @@
+"""Workloads (subsystem S7): the paper's two applications and their drivers.
+
+* :class:`PiApp` — the fixed-work batch job used "when we aim at measuring
+  an execution time" (§5.1);
+* :class:`WebApp` — the Joomla-style service used "when we aim at measuring
+  a CPU load", driven by an httperf-like open-loop injector with the paper's
+  three-phase (inactive / active / inactive) profiles and the two active
+  intensities: *exact* load (100 % of the VM's capacity, no more) and
+  *thrashing* load (exceeding the VM's capacity) — §5.3;
+* :class:`ConstantLoad` — a duty-cycle source (Dom0 housekeeping, tests);
+* :class:`LoadProfile` — piecewise-constant request-rate schedules;
+* :class:`HttperfInjector` — the rate generator (deterministic fluid by
+  default, optional Poisson arrivals).
+"""
+
+from .base import Workload
+from .constant import ConstantLoad
+from .latency import LatencyTracker
+from .pi_app import PiApp
+from .profiles import LoadProfile, Phase
+from .injector import HttperfInjector
+from .trace import SyntheticTrace, TraceLoad, TracePoint
+from .web_app import WebApp, exact_rate, thrashing_rate
+
+__all__ = [
+    "Workload",
+    "ConstantLoad",
+    "LatencyTracker",
+    "PiApp",
+    "LoadProfile",
+    "Phase",
+    "HttperfInjector",
+    "SyntheticTrace",
+    "TraceLoad",
+    "TracePoint",
+    "WebApp",
+    "exact_rate",
+    "thrashing_rate",
+]

@@ -1,0 +1,52 @@
+"""Workload interface.
+
+A workload is attached to exactly one domain
+(:meth:`repro.hypervisor.Domain.attach_workload`) and pushes demand — in
+absolute seconds — onto its vCPU via :meth:`Domain.add_work`.  The host
+starts all attached workloads in :meth:`Host.start`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from ..errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hypervisor.domain import Domain
+    from ..sim import Engine
+
+
+class Workload(ABC):
+    """Base class for demand generators."""
+
+    def __init__(self) -> None:
+        self._domain: "Domain | None" = None
+
+    def bind(self, domain: "Domain") -> None:
+        """Called by :meth:`Domain.attach_workload`."""
+        if self._domain is not None:
+            raise WorkloadError(
+                f"workload already bound to {self._domain.name!r}; one domain per workload"
+            )
+        self._domain = domain
+
+    @property
+    def domain(self) -> "Domain":
+        """The owning domain (raises before binding)."""
+        if self._domain is None:
+            raise WorkloadError("workload is not bound to a domain")
+        return self._domain
+
+    @property
+    def engine(self) -> "Engine":
+        """The host's simulation engine."""
+        return self.domain.host.engine
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin generating demand (called by :meth:`Host.start`)."""
+
+    def stop(self) -> None:
+        """Stop generating demand.  Default: nothing to stop."""

@@ -1,0 +1,90 @@
+"""Piecewise-constant request-rate schedules.
+
+The paper's execution profile (§5.3) gives every VM three phases —
+inactive, active, inactive — where the active phase carries either an
+*exact* or a *thrashing* request rate.  A :class:`LoadProfile` is the
+general form: a sorted list of :class:`Phase` boundaries, each setting the
+request rate from its start time onward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import WorkloadError
+from ..units import check_non_negative
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """From time *start*, the injector sends *rate_rps* requests per second."""
+
+    start: float
+    rate_rps: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.start, "start")
+        check_non_negative(self.rate_rps, "rate_rps")
+
+
+class LoadProfile:
+    """A piecewise-constant rate schedule.
+
+    >>> profile = LoadProfile([Phase(0, 0), Phase(50, 40), Phase(750, 0)])
+    >>> profile.rate_at(100.0)
+    40.0
+    """
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise WorkloadError("a load profile needs at least one phase")
+        ordered = sorted(phases, key=lambda phase: phase.start)
+        starts = [phase.start for phase in ordered]
+        if len(set(starts)) != len(starts):
+            raise WorkloadError(f"duplicate phase starts: {starts}")
+        self._phases: tuple[Phase, ...] = tuple(ordered)
+
+    @property
+    def phases(self) -> tuple[Phase, ...]:
+        """Phases sorted by start time."""
+        return self._phases
+
+    def rate_at(self, time: float) -> float:
+        """Request rate in effect at *time* (0 before the first phase)."""
+        rate = 0.0
+        for phase in self._phases:
+            if time >= phase.start:
+                rate = phase.rate_rps
+            else:
+                break
+        return rate
+
+    @property
+    def end_of_activity(self) -> float:
+        """Start of the final zero-rate tail (inf if the profile never stops)."""
+        last = self._phases[-1]
+        if last.rate_rps == 0.0:
+            return last.start
+        return float("inf")
+
+    @classmethod
+    def three_phase(cls, active_start: float, active_end: float, rate_rps: float) -> "LoadProfile":
+        """The paper's inactive / active / inactive profile (§5.3)."""
+        if active_end <= active_start:
+            raise WorkloadError(
+                f"active_end ({active_end}) must follow active_start ({active_start})"
+            )
+        phases = [Phase(active_start, rate_rps), Phase(active_end, 0.0)]
+        if active_start > 0.0:
+            phases.insert(0, Phase(0.0, 0.0))
+        return cls(phases)
+
+    @classmethod
+    def constant(cls, rate_rps: float) -> "LoadProfile":
+        """A single always-on phase."""
+        return cls([Phase(0.0, rate_rps)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"t>={phase.start:g}: {phase.rate_rps:g}rps" for phase in self._phases)
+        return f"LoadProfile({parts})"

@@ -1,0 +1,176 @@
+"""Trace-driven demand: replay a (time, demand%) series as CPU load.
+
+The paper's motivation cites hosting-center servers running "below 30% of
+processor utilization" most of the time — the diurnal, bursty reality that
+makes DVFS worthwhile.  :class:`TraceLoad` replays any recorded utilisation
+trace against a domain, and :class:`SyntheticTrace` generates realistic
+diurnal traces (base load + day/night swing + seeded noise + bursts) when no
+production trace is available, per the substitution rule in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import WorkloadError
+from ..sim import PeriodicTimer
+from ..units import check_non_negative, check_positive
+from .base import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class TracePoint:
+    """Demand of *percent* (absolute, of max capacity) from time *start*."""
+
+    start: float
+    percent: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.start, "start")
+        check_non_negative(self.percent, "percent")
+
+
+class TraceLoad(Workload):
+    """Replays a piecewise-constant demand trace onto a domain.
+
+    Parameters
+    ----------
+    points:
+        The trace, as :class:`TracePoint` entries (sorted internally).
+    injection_period:
+        Granularity of demand injection.
+    repeat:
+        Loop the trace when simulated time passes its last point (the trace
+        duration is taken as the last point's start time; a zero-demand
+        tail point defines the period).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[TracePoint],
+        *,
+        injection_period: float = 0.05,
+        repeat: bool = False,
+    ) -> None:
+        super().__init__()
+        if not points:
+            raise WorkloadError("a trace needs at least one point")
+        ordered = sorted(points, key=lambda point: point.start)
+        starts = [point.start for point in ordered]
+        if len(set(starts)) != len(starts):
+            raise WorkloadError(f"duplicate trace point times: {starts}")
+        self._points: tuple[TracePoint, ...] = tuple(ordered)
+        self.injection_period = check_positive(injection_period, "injection_period")
+        self.repeat = repeat
+        self._timer: PeriodicTimer | None = None
+        self.injected_work = 0.0
+
+    @property
+    def points(self) -> tuple[TracePoint, ...]:
+        """The trace, sorted by time."""
+        return self._points
+
+    @property
+    def duration(self) -> float:
+        """Trace length (start of the final point)."""
+        return self._points[-1].start
+
+    def demand_at(self, time: float) -> float:
+        """Demand in percent at *time* (with wrap-around when repeating)."""
+        if self.repeat and self.duration > 0:
+            time = time % self.duration
+        demand = 0.0
+        for point in self._points:
+            if time >= point.start:
+                demand = point.percent
+            else:
+                break
+        return demand
+
+    def start(self) -> None:
+        self._timer = PeriodicTimer(
+            self.engine,
+            self.injection_period,
+            self._inject,
+            label=f"trace.{self.domain.name}",
+            fire_immediately=True,
+        )
+        self._timer.start()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _inject(self, now: float) -> None:
+        demand = self.demand_at(now)
+        if demand <= 0.0:
+            return
+        work = demand / 100.0 * self.injection_period
+        self.injected_work += work
+        self.domain.add_work(work)
+
+
+class SyntheticTrace:
+    """Generator of diurnal utilisation traces.
+
+    Produces a day-long (scaled) pattern: a base load, a sinusoidal
+    day/night swing, seeded Gaussian noise, plus optional short bursts —
+    the classic shape of the hosting-center traces the paper's motivation
+    describes.
+
+    Parameters
+    ----------
+    base_percent / swing_percent:
+        Mean demand and day/night amplitude (demand stays clamped >= 0).
+    noise_percent:
+        Standard deviation of the per-sample Gaussian noise.
+    burst_percent / bursts:
+        Height and count of evenly spread short bursts (0 = none).
+    day_length:
+        Simulated seconds per "day".
+    step:
+        Trace resolution in seconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_percent: float = 25.0,
+        swing_percent: float = 15.0,
+        noise_percent: float = 3.0,
+        burst_percent: float = 30.0,
+        bursts: int = 2,
+        day_length: float = 400.0,
+        step: float = 5.0,
+    ) -> None:
+        self.base_percent = check_non_negative(base_percent, "base_percent")
+        self.swing_percent = check_non_negative(swing_percent, "swing_percent")
+        self.noise_percent = check_non_negative(noise_percent, "noise_percent")
+        self.burst_percent = check_non_negative(burst_percent, "burst_percent")
+        if bursts < 0:
+            raise WorkloadError(f"bursts must be >= 0, got {bursts}")
+        self.bursts = bursts
+        self.day_length = check_positive(day_length, "day_length")
+        self.step = check_positive(step, "step")
+
+    def generate(self, rng) -> list[TracePoint]:
+        """Build one day of trace points using *rng* (a random.Random)."""
+        points: list[TracePoint] = []
+        steps = int(self.day_length / self.step)
+        burst_slots = set()
+        if self.bursts:
+            for index in range(self.bursts):
+                centre = int((index + 0.5) * steps / self.bursts)
+                burst_slots.update({centre - 1, centre, centre + 1})
+        for index in range(steps):
+            t = index * self.step
+            phase = 2.0 * math.pi * t / self.day_length
+            demand = self.base_percent - self.swing_percent * math.cos(phase)
+            demand += rng.gauss(0.0, self.noise_percent)
+            if index in burst_slots:
+                demand += self.burst_percent
+            points.append(TracePoint(start=t, percent=max(0.0, min(100.0, demand))))
+        points.append(TracePoint(start=self.day_length, percent=0.0))
+        return points

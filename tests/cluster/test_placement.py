@@ -1,0 +1,83 @@
+"""Unit tests for placement policies."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterVM,
+    consolidate_first_fit,
+    Machine,
+    MachineSpec,
+    PlacementError,
+    spread_round_robin,
+)
+
+
+def fleet(n, memory=16384):
+    return [Machine(f"m{i}", MachineSpec(memory_mb=memory)) for i in range(n)]
+
+
+def vms(n, memory=4096, credit=30.0):
+    return [
+        ClusterVM(f"vm{i}", credit=credit, memory_mb=memory, demand=lambda t: 10.0)
+        for i in range(n)
+    ]
+
+
+def test_consolidation_packs_minimum_machines():
+    machines = fleet(6)
+    used = consolidate_first_fit(machines, vms(8, memory=4096))  # 4 per 16GB host
+    assert used == 2
+    assert sum(1 for m in machines if m.powered_on) == 2
+
+
+def test_consolidation_powers_off_empty_machines():
+    machines = fleet(4)
+    consolidate_first_fit(machines, vms(2))
+    assert [m.powered_on for m in machines] == [True, False, False, False]
+
+
+def test_consolidation_memory_bound():
+    machines = fleet(2, memory=8192)
+    with pytest.raises(PlacementError):
+        consolidate_first_fit(machines, vms(5, memory=4096))  # needs 2.5 hosts
+
+
+def test_spread_uses_whole_fleet():
+    machines = fleet(4)
+    used = spread_round_robin(machines, vms(4))
+    assert used == 4
+    assert all(m.powered_on for m in machines)
+    assert [len(m.vms) for m in machines] == [1, 1, 1, 1]
+
+
+def test_spread_overflows_to_next_machine():
+    machines = fleet(2, memory=8192)
+    spread_round_robin(machines, vms(4, memory=4096))
+    assert [len(m.vms) for m in machines] == [2, 2]
+
+
+def test_spread_memory_infeasible_raises():
+    machines = fleet(1, memory=4096)
+    with pytest.raises(PlacementError):
+        spread_round_robin(machines, vms(2, memory=4096))
+
+
+def test_repacking_clears_previous_assignment():
+    machines = fleet(3)
+    population = vms(3)
+    consolidate_first_fit(machines, population)
+    consolidate_first_fit(machines, population[:1])
+    assert sum(len(m.vms) for m in machines) == 1
+
+
+def test_first_fit_decreasing_order():
+    machines = fleet(2, memory=10240)
+    big = ClusterVM("big", credit=10, memory_mb=8192, demand=lambda t: 1.0)
+    small = [
+        ClusterVM(f"s{i}", credit=10, memory_mb=2048, demand=lambda t: 1.0)
+        for i in range(5)
+    ]
+    # FFD places the 8GB VM first; the small ones fill the gaps.
+    used = consolidate_first_fit(machines, [*small, big])
+    assert used == 2
+    assert sum(len(m.vms) for m in machines) == 6

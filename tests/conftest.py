@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Host, catalog
+from repro.cpu.power import PowerModel
+from repro.cpu.processor import ProcessorSpec, make_states
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh event engine."""
+    return Engine()
+
+
+@pytest.fixture
+def two_state_spec() -> ProcessorSpec:
+    """A minimal two-frequency processor (1000 / 2000 MHz, cf = 1)."""
+    return ProcessorSpec(
+        name="two-state",
+        states=make_states([1000, 2000]),
+        power=PowerModel(idle_watts=10.0, busy_watts=30.0),
+    )
+
+
+@pytest.fixture
+def paper_spec() -> ProcessorSpec:
+    """The Optiplex 755 testbed processor."""
+    return catalog.OPTIPLEX_755
+
+
+def make_host(**kwargs) -> Host:
+    """A host with test-friendly defaults (credit scheduler, performance)."""
+    kwargs.setdefault("scheduler", "credit")
+    kwargs.setdefault("governor", "performance")
+    return Host(**kwargs)
+
+
+@pytest.fixture
+def host() -> Host:
+    """A default host on the paper's testbed processor."""
+    return make_host()

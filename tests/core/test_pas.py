@@ -1,0 +1,161 @@
+"""Unit tests for the PAS scheduler (the paper's contribution)."""
+
+import pytest
+
+from repro import Host, catalog
+from repro.core import PasScheduler
+from repro.errors import ConfigurationError
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def make_pas_host(**kwargs):
+    kwargs.setdefault("scheduler", PasScheduler())
+    kwargs.setdefault("governor", "userspace")
+    return Host(**kwargs)
+
+
+def test_requires_userspace_governor():
+    host = make_host(scheduler=PasScheduler(), governor="performance")
+    host.create_domain("vm", credit=20)
+    with pytest.raises(ConfigurationError):
+        host.run(until=1.0)
+
+
+def test_clocks_down_when_underloaded():
+    host = make_pas_host()
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=20.0)
+    assert host.processor.frequency_mhz == 1600
+
+
+def test_compensates_credit_at_low_frequency():
+    host = make_pas_host()
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=20.0)
+    # Eq. 4 at 1600/2667: cap = 20 / 0.6 = 33.3%.
+    assert host.scheduler.cap_of(vm) == pytest.approx(20.0 / (1600 / 2667), abs=0.1)
+
+
+def test_absolute_capacity_preserved():
+    host = make_pas_host()
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=40.0)
+    # Delivered absolute work over the run ~ 20% of elapsed time.
+    assert vm.work_done / 40.0 == pytest.approx(0.20, abs=0.012)
+
+
+def test_never_grants_more_than_booked_absolute_capacity():
+    # §3.2 design principle 3 - this is what enables frequency reduction.
+    host = make_pas_host()
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=40.0)
+    series = host.recorder.series("vm.absolute_load")
+    assert series.window(10, 40).max() <= 21.5
+
+
+def test_scales_up_under_combined_load():
+    host = make_pas_host()
+    a = host.create_domain("a", credit=45)
+    b = host.create_domain("b", credit=45)
+    a.attach_workload(ConstantLoad(100, injection_period=0.01))
+    b.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=40.0)
+    assert host.processor.frequency_mhz == 2667
+
+
+def test_caps_return_to_credits_at_max_frequency():
+    host = make_pas_host()
+    a = host.create_domain("a", credit=45)
+    b = host.create_domain("b", credit=45)
+    a.attach_workload(ConstantLoad(100, injection_period=0.01))
+    b.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=40.0)
+    assert host.scheduler.cap_of(a) == pytest.approx(45.0, abs=0.1)
+
+
+def test_idle_host_sits_at_lowest_frequency():
+    host = make_pas_host()
+    host.create_domain("vm", credit=20)
+    host.run(until=20.0)
+    assert host.processor.frequency_mhz == 1600
+
+
+def test_cf_aware_compensation_on_i7():
+    host = make_pas_host(processor=catalog.CORE_I7_3770)
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=40.0)
+    state = host.processor.state
+    expected_cap = 20.0 / (state.freq_mhz / 3400 * state.cf)
+    assert host.scheduler.cap_of(vm) == pytest.approx(expected_cap, rel=0.01)
+    assert vm.work_done / 40.0 == pytest.approx(0.20, abs=0.015)
+
+
+def test_cf_blind_variant_undercompensates():
+    host = Host(
+        processor=catalog.XEON_E5_2620,
+        scheduler=PasScheduler(use_cf=False),
+        governor="userspace",
+    )
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=40.0)
+    # Under-compensated: delivered < booked when cf < 1 at the chosen state.
+    if host.processor.cf < 0.999:
+        assert vm.work_done / 40.0 < 0.195
+
+
+def test_dom0_cap_rescaled_when_enabled():
+    host = make_pas_host()
+    dom0 = host.create_domain("Dom0", credit=10, dom0=True)
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=20.0)
+    assert host.scheduler.cap_of(dom0) == pytest.approx(10.0 / (1600 / 2667), abs=0.1)
+
+
+def test_dom0_rescaling_can_be_disabled():
+    host = Host(scheduler=PasScheduler(update_dom0=False), governor="userspace")
+    dom0 = host.create_domain("Dom0", credit=10, dom0=True)
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=20.0)
+    assert host.scheduler.cap_of(dom0) == 10.0
+
+
+def test_counters_track_updates():
+    host = make_pas_host()
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=20.0)
+    assert host.scheduler.frequency_updates >= 1
+    assert host.scheduler.cap_updates >= 1
+
+
+def test_averaged_absolute_load_reflects_demand():
+    host = make_pas_host()
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=20.0)
+    assert host.scheduler.averaged_absolute_load == pytest.approx(20.0, abs=1.5)
+
+
+def test_window_and_sample_period_configurable():
+    scheduler = PasScheduler(sample_period=0.5, window=5)
+    assert scheduler.sample_period == 0.5
+    assert scheduler.window == 5
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ConfigurationError):
+        PasScheduler(window=0)
+
+
+def test_registry_name():
+    assert PasScheduler().name == "pas"

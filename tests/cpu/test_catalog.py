@@ -1,0 +1,65 @@
+"""Unit tests for the processor catalog."""
+
+import pytest
+
+from repro import catalog
+
+
+def test_optiplex_frequencies_match_figures():
+    # The five ticks on the right-hand axes of Figs. 2-10.
+    assert catalog.OPTIPLEX_755.table().frequencies == (1600, 1867, 2133, 2400, 2667)
+
+
+def test_optiplex_cf_is_one_everywhere():
+    assert all(s.cf == 1.0 for s in catalog.OPTIPLEX_755.states)
+
+
+@pytest.mark.parametrize(
+    "name, cf_min",
+    [
+        ("Intel Xeon X3440", 0.94867),
+        ("Intel Xeon L5420", 0.99903),
+        ("Intel Xeon E5-2620", 0.80338),
+        ("AMD Opteron 6164 HE", 0.99508),
+        ("Intel Core i7-3770", 0.86206),
+    ],
+)
+def test_table1_cf_min_values(name, cf_min):
+    spec = catalog.TABLE1_PROCESSORS[name]
+    assert spec.table().min_state.cf == pytest.approx(cf_min)
+
+
+def test_cf_ramps_to_one_at_max():
+    for spec in catalog.TABLE1_PROCESSORS.values():
+        assert spec.table().max_state.cf == pytest.approx(1.0)
+
+
+def test_cf_monotone_in_frequency():
+    for spec in catalog.TABLE1_PROCESSORS.values():
+        cfs = [s.cf for s in spec.table()]
+        assert cfs == sorted(cfs)
+
+
+def test_two_frequency_machines():
+    # The paper: "many processors only have 2 available frequencies".
+    assert len(catalog.XEON_L5420.states) == 2
+    assert len(catalog.OPTERON_6164_HE.states) == 2
+
+
+def test_i7_spans_1600_to_3400():
+    table = catalog.CORE_I7_3770.table()
+    assert table.min_state.freq_mhz == 1600
+    assert table.max_state.freq_mhz == 3400
+
+
+def test_all_processors_registry():
+    assert catalog.OPTIPLEX_755.name in catalog.ALL_PROCESSORS
+    assert len(catalog.ALL_PROCESSORS) == 6
+
+
+def test_spec_with_cf_min_interpolates():
+    spec = catalog.spec_with_cf_min("custom", [1000, 1500, 2000], 0.8)
+    cfs = [s.cf for s in spec.table()]
+    assert cfs[0] == pytest.approx(0.8)
+    assert cfs[1] == pytest.approx(0.9)
+    assert cfs[2] == pytest.approx(1.0)

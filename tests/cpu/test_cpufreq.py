@@ -1,0 +1,116 @@
+"""Unit tests for the cpufreq subsystem."""
+
+import pytest
+
+from repro import CpuFreq, PerformanceGovernor, Processor, PowersaveGovernor
+from repro.errors import ConfigurationError, FrequencyError
+from repro.sim import Engine
+
+
+@pytest.fixture
+def cpufreq(two_state_spec):
+    engine = Engine()
+    processor = Processor(two_state_spec)
+    return engine, processor, CpuFreq(engine, processor)
+
+
+def test_set_speed_changes_pstate(cpufreq):
+    _, processor, subsystem = cpufreq
+    assert subsystem.set_speed(1000) is True
+    assert processor.frequency_mhz == 1000
+
+
+def test_set_speed_noop_returns_false(cpufreq):
+    _, _, subsystem = cpufreq
+    assert subsystem.set_speed(2000) is False
+
+
+def test_set_speed_unknown_freq_raises(cpufreq):
+    _, _, subsystem = cpufreq
+    with pytest.raises(FrequencyError):
+        subsystem.set_speed(1234)
+
+
+def test_requests_counted_including_noops(cpufreq):
+    _, _, subsystem = cpufreq
+    subsystem.set_speed(1000)
+    subsystem.set_speed(1000)
+    assert subsystem.requests == 2
+
+
+def test_observer_fires_on_change_only(cpufreq):
+    _, _, subsystem = cpufreq
+    seen = []
+    subsystem.add_observer(seen.append)
+    subsystem.set_speed(1000)
+    subsystem.set_speed(1000)
+    subsystem.set_speed(2000)
+    assert seen == [1000, 2000]
+
+
+def test_performance_governor_applies_max_on_install(cpufreq):
+    _, processor, subsystem = cpufreq
+    processor.set_frequency(1000)
+    subsystem.set_governor(PerformanceGovernor())
+    assert processor.frequency_mhz == 2000
+
+
+def test_powersave_governor_applies_min_on_install(cpufreq):
+    _, processor, subsystem = cpufreq
+    subsystem.set_governor(PowersaveGovernor())
+    assert processor.frequency_mhz == 1000
+
+
+def test_replacing_governor_stops_previous_timer(cpufreq):
+    engine, _, subsystem = cpufreq
+    from repro import OndemandGovernor
+
+    subsystem.set_governor(OndemandGovernor())
+    pending_before = engine.pending_count
+    subsystem.set_governor(PerformanceGovernor())
+    # The ondemand sampling timer must be cancelled; only static policy left.
+    assert engine.pending_count < pending_before + 1
+
+
+def test_measure_load_percent_uses_busy_delta(cpufreq):
+    engine, processor, subsystem = cpufreq
+    engine.run_until(1.0)
+    processor.account(0.6, 1.0)
+    processor.account(0.4, 0.0)
+    load = subsystem.measure_load_percent()
+    assert load == pytest.approx(60.0)
+
+
+def test_measure_load_zero_window_returns_last(cpufreq):
+    engine, processor, subsystem = cpufreq
+    engine.run_until(1.0)
+    processor.account(1.0, 1.0)
+    first = subsystem.measure_load_percent()
+    second = subsystem.measure_load_percent()  # zero-width window
+    assert second == first
+
+
+def test_policy_limits_clamp_requests(cpufreq):
+    _, processor, subsystem = cpufreq
+    subsystem.set_policy_limits(min_mhz=2000)
+    subsystem.set_speed(1000)
+    assert processor.frequency_mhz == 2000
+
+
+def test_policy_max_limit(cpufreq):
+    _, processor, subsystem = cpufreq
+    subsystem.set_policy_limits(max_mhz=1000)
+    subsystem.set_speed(2000)
+    assert processor.frequency_mhz == 1000
+
+
+def test_policy_limits_snap_to_table(cpufreq):
+    _, _, subsystem = cpufreq
+    subsystem.set_policy_limits(min_mhz=1500)  # snaps up to 2000
+    assert subsystem.policy_limits[0] == 2000
+
+
+def test_inverted_policy_limits_rejected(cpufreq):
+    _, _, subsystem = cpufreq
+    with pytest.raises(ConfigurationError):
+        subsystem.set_policy_limits(min_mhz=2000, max_mhz=1000)

@@ -1,0 +1,67 @@
+"""Unit tests for the power model."""
+
+import pytest
+
+from repro import FrequencyTable, PowerModel, PState
+
+
+@pytest.fixture
+def table() -> FrequencyTable:
+    return FrequencyTable([PState(1000, voltage=0.9), PState(2000, voltage=1.2)])
+
+
+@pytest.fixture
+def model() -> PowerModel:
+    return PowerModel(idle_watts=40.0, busy_watts=90.0)
+
+
+def test_idle_power_at_max_state(model, table):
+    assert model.power(table.max_state, table, 0.0) == pytest.approx(40.0)
+
+
+def test_busy_power_at_max_state(model, table):
+    assert model.power(table.max_state, table, 1.0) == pytest.approx(90.0)
+
+
+def test_power_monotone_in_utilization(model, table):
+    powers = [model.power(table.max_state, table, u) for u in (0.0, 0.25, 0.5, 1.0)]
+    assert powers == sorted(powers)
+
+
+def test_lower_state_uses_less_power(model, table):
+    high = model.power(table.max_state, table, 1.0)
+    low = model.power(table.min_state, table, 1.0)
+    assert low < high
+
+
+def test_voltage_squared_scales_idle(model, table):
+    low = model.power(table.min_state, table, 0.0)
+    expected = 40.0 * (0.9 / 1.2) ** 2
+    assert low == pytest.approx(expected)
+
+
+def test_energy_is_power_times_time(model, table):
+    power = model.power(table.max_state, table, 0.5)
+    assert model.energy(table.max_state, table, 0.5, 4.0) == pytest.approx(power * 4.0)
+
+
+def test_invalid_utilization_rejected(model, table):
+    with pytest.raises(Exception):
+        model.power(table.max_state, table, 1.5)
+    with pytest.raises(Exception):
+        model.power(table.max_state, table, -0.1)
+
+
+def test_busy_below_idle_rejected():
+    with pytest.raises(ValueError):
+        PowerModel(idle_watts=50.0, busy_watts=40.0)
+
+
+def test_nonpositive_watts_rejected():
+    with pytest.raises(Exception):
+        PowerModel(idle_watts=0.0, busy_watts=10.0)
+
+
+def test_default_model_sane():
+    model = PowerModel()
+    assert model.busy_watts > model.idle_watts > 0

@@ -1,0 +1,146 @@
+"""Unit tests for the runtime processor model."""
+
+import pytest
+
+from repro import Processor
+from repro.cpu.processor import make_states, ProcessorSpec
+from repro.errors import FrequencyError
+
+
+@pytest.fixture
+def processor(two_state_spec) -> Processor:
+    return Processor(two_state_spec)
+
+
+def test_starts_at_max_frequency(processor):
+    assert processor.frequency_mhz == 2000
+
+
+def test_capacity_at_max_is_one(processor):
+    assert processor.capacity_fraction == pytest.approx(1.0)
+
+
+def test_capacity_halves_at_half_frequency(processor):
+    processor.set_frequency(1000)
+    assert processor.capacity_fraction == pytest.approx(0.5)
+
+
+def test_capacity_includes_cf():
+    spec = ProcessorSpec(name="cf", states=make_states([1000, 2000], cf=[0.8, 1.0]))
+    processor = Processor(spec)
+    processor.set_frequency(1000)
+    assert processor.capacity_fraction == pytest.approx(0.4)
+
+
+def test_work_available_scales_with_capacity(processor):
+    assert processor.work_available(2.0) == pytest.approx(2.0)
+    processor.set_frequency(1000)
+    assert processor.work_available(2.0) == pytest.approx(1.0)
+
+
+def test_wall_time_for_inverts_work_available(processor):
+    processor.set_frequency(1000)
+    assert processor.wall_time_for(1.0) == pytest.approx(2.0)
+
+
+def test_set_frequency_returns_change_flag(processor):
+    assert processor.set_frequency(1000) is True
+    assert processor.set_frequency(1000) is False
+
+
+def test_set_unknown_frequency_raises(processor):
+    with pytest.raises(FrequencyError):
+        processor.set_frequency(1234)
+
+
+def test_transition_counter(processor):
+    processor.set_frequency(1000)
+    processor.set_frequency(2000)
+    processor.set_frequency(2000)  # no-op
+    assert processor.transitions == 2
+
+
+def test_transition_overhead_accumulates(two_state_spec):
+    processor = Processor(two_state_spec)
+    processor.set_frequency(1000)
+    processor.set_frequency(2000)
+    assert processor.transition_overhead_seconds == pytest.approx(
+        2 * two_state_spec.transition_latency
+    )
+
+
+def test_account_tracks_busy_and_elapsed(processor):
+    processor.account(1.0, 1.0)
+    processor.account(1.0, 0.0)
+    assert processor.busy_seconds == pytest.approx(1.0)
+    assert processor.elapsed_seconds == pytest.approx(2.0)
+
+
+def test_account_zero_dt_is_noop(processor):
+    processor.account(0.0, 1.0)
+    assert processor.elapsed_seconds == 0.0
+    assert processor.energy_joules == 0.0
+
+
+def test_energy_busy_exceeds_idle(two_state_spec):
+    busy = Processor(two_state_spec)
+    idle = Processor(two_state_spec)
+    busy.account(10.0, 1.0)
+    idle.account(10.0, 0.0)
+    assert busy.energy_joules > idle.energy_joules > 0.0
+
+
+def test_energy_lower_at_lower_frequency(two_state_spec):
+    fast = Processor(two_state_spec)
+    slow = Processor(two_state_spec)
+    slow.set_frequency(1000)
+    fast.account(10.0, 1.0)
+    slow.account(10.0, 1.0)
+    assert slow.energy_joules < fast.energy_joules
+
+
+def test_time_in_state(processor):
+    processor.account(2.0, 1.0)
+    processor.set_frequency(1000)
+    processor.account(3.0, 0.5)
+    assert processor.time_in_state(2000) == pytest.approx(2.0)
+    assert processor.time_in_state(1000) == pytest.approx(3.0)
+
+
+def test_time_in_state_unknown_freq_raises(processor):
+    with pytest.raises(FrequencyError):
+        processor.time_in_state(1234)
+
+
+def test_residency_copy(processor):
+    processor.account(1.0, 1.0)
+    residency = processor.residency()
+    residency[2000] = 999.0
+    assert processor.time_in_state(2000) == pytest.approx(1.0)
+
+
+def test_ratio_and_cf_properties():
+    spec = ProcessorSpec(name="x", states=make_states([1000, 2000], cf=[0.9, 1.0]))
+    processor = Processor(spec)
+    processor.set_frequency(1000)
+    assert processor.ratio == pytest.approx(0.5)
+    assert processor.cf == pytest.approx(0.9)
+
+
+def test_make_states_voltage_ramp():
+    states = make_states([1000, 1500, 2000])
+    volts = [s.voltage for s in states]
+    assert volts[0] == pytest.approx(0.85)
+    assert volts[-1] == pytest.approx(1.20)
+    assert volts == sorted(volts)
+
+
+def test_make_states_cf_list_length_mismatch():
+    with pytest.raises(ValueError):
+        make_states([1000, 2000], cf=[0.9])
+
+
+def test_make_states_single_frequency():
+    states = make_states([1500])
+    assert len(states) == 1
+    assert states[0].voltage == pytest.approx(1.2)

@@ -1,0 +1,71 @@
+"""Unit tests for P-states."""
+
+import pytest
+
+from repro import PState
+from repro.errors import ConfigurationError
+
+
+def test_basic_construction():
+    state = PState(freq_mhz=1600, voltage=0.9, cf=0.95)
+    assert state.freq_mhz == 1600
+    assert state.voltage == 0.9
+    assert state.cf == 0.95
+
+
+def test_defaults():
+    state = PState(freq_mhz=2000)
+    assert state.voltage == 1.0
+    assert state.cf == 1.0
+
+
+def test_ratio_to():
+    assert PState(1600).ratio_to(3200) == 0.5
+
+
+def test_capacity_fraction_combines_ratio_and_cf():
+    state = PState(1600, cf=0.8)
+    assert state.capacity_fraction(3200) == pytest.approx(0.4)
+
+
+def test_capacity_fraction_at_max_is_cf():
+    state = PState(2667, cf=0.9)
+    assert state.capacity_fraction(2667) == pytest.approx(0.9)
+
+
+def test_non_integer_frequency_rejected():
+    with pytest.raises(ConfigurationError):
+        PState(freq_mhz=1600.5)
+
+
+def test_non_positive_frequency_rejected():
+    with pytest.raises(ConfigurationError):
+        PState(freq_mhz=0)
+
+
+def test_bad_cf_rejected():
+    with pytest.raises(ConfigurationError):
+        PState(1600, cf=0.0)
+    with pytest.raises(ConfigurationError):
+        PState(1600, cf=2.0)
+
+
+def test_bad_voltage_rejected():
+    with pytest.raises(ConfigurationError):
+        PState(1600, voltage=0.0)
+
+
+def test_frozen():
+    state = PState(1600)
+    with pytest.raises(Exception):
+        state.freq_mhz = 2000
+
+
+def test_str_shows_freq_and_cf():
+    text = str(PState(1600, cf=0.95))
+    assert "1600" in text and "0.95" in text
+
+
+def test_equality_by_value():
+    assert PState(1600, cf=0.9) == PState(1600, cf=0.9)
+    assert PState(1600) != PState(1867)

@@ -1,0 +1,44 @@
+"""Fast smoke tests for the ablation runners on compressed timelines.
+
+The paper-scale versions run in the benchmark suite; these verify the
+runners work end-to-end (and their checks hold) on the 4x compressed
+timeline, so regressions surface in the unit suite too.
+"""
+
+from repro.experiments import (
+    run_cf_ablation,
+    run_design_comparison,
+    run_energy_ablation,
+    run_qos_ablation,
+)
+
+FAST = dict(
+    v20_active=(20.0, 180.0),
+    v70_active=(60.0, 140.0),
+    duration=200.0,
+)
+
+
+def test_energy_ablation_compressed():
+    report = run_energy_ablation(**FAST)
+    assert report.all_passed, [str(c) for c in report.failures]
+
+
+def test_cf_ablation_compressed():
+    report = run_cf_ablation(**FAST)
+    assert report.all_passed, [str(c) for c in report.failures]
+
+
+def test_design_comparison_compressed():
+    report = run_design_comparison(**FAST)
+    assert report.all_passed, [str(c) for c in report.failures]
+
+
+def test_qos_ablation_compressed():
+    report = run_qos_ablation(**FAST)
+    # Compressed phases shrink the starved window, so only structural
+    # expectations are asserted here; the full-timeline criteria run in
+    # benchmarks/bench_ablation_qos.py.
+    assert len(report.rows) == 4
+    labels = [row[0] for row in report.rows]
+    assert "pas" in labels

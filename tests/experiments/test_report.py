@@ -1,0 +1,37 @@
+"""Unit tests for experiment reports."""
+
+from repro.experiments import Check, ExperimentReport
+
+
+def test_rows_and_checks_render():
+    report = ExperimentReport(experiment="Fig X", title="demo")
+    report.add_row("metric", 20.0, 19.5)
+    report.check("within tolerance", True)
+    text = report.render()
+    assert "Fig X" in text
+    assert "metric" in text
+    assert "[PASS] within tolerance" in text
+
+
+def test_all_passed_and_failures():
+    report = ExperimentReport(experiment="e", title="t")
+    report.check("good", True)
+    assert report.all_passed
+    report.check("bad", False)
+    assert not report.all_passed
+    assert [c.description for c in report.failures] == ["bad"]
+
+
+def test_check_str_markers():
+    assert str(Check("x", True)).startswith("[PASS]")
+    assert str(Check("x", False)).startswith("[FAIL]")
+
+
+def test_chart_included_in_render():
+    report = ExperimentReport(experiment="e", title="t", chart="CHART-BODY")
+    assert "CHART-BODY" in report.render()
+
+
+def test_str_equals_render():
+    report = ExperimentReport(experiment="e", title="t")
+    assert str(report) == report.render()

@@ -1,0 +1,69 @@
+"""Unit tests for the experiment runners on compressed timelines.
+
+The benchmarks run the paper-scale versions; these exercise the same code
+paths fast enough for the unit suite, and pin the runner *interfaces*
+(override forwarding, report structure) rather than the plateaus the
+integration tests already assert.
+"""
+
+import pytest
+
+from repro import catalog
+from repro.experiments import (
+    run_compensation,
+    run_fig4,
+    run_fig9,
+    run_table2,
+    validate_credit_time,
+)
+
+FAST = dict(
+    v20_active=(20.0, 180.0),
+    v70_active=(60.0, 140.0),
+    duration=200.0,
+)
+
+
+def test_fig4_report_structure():
+    result, report = run_fig4(**FAST)
+    assert report.experiment == "Figure 4"
+    assert len(report.rows) >= 4
+    assert report.chart  # the ASCII figure is part of the report
+    metrics = [row[0] for row in report.rows]
+    assert any("V20" in metric for metric in metrics)
+
+
+def test_fig9_overrides_forwarded():
+    result, _ = run_fig9(**FAST, seed=9)
+    assert result.config.seed == 9
+    assert result.config.duration == 200.0
+    assert result.host.scheduler.name == "pas"
+
+
+def test_fig9_on_other_processor():
+    result, _ = run_fig9(**FAST, processor=catalog.CORE_I7_3770)
+    assert result.host.processor.spec.name == "Intel Core i7-3770"
+    # The compensation plateau moves with the frequency table: at the i7's
+    # chosen state the cap is credit / (ratio * cf).
+    state = result.host.processor.state
+    assert result.host.scheduler.cap_of(result.host.domain("V20")) == pytest.approx(
+        20.0 / state.capacity_fraction(3400), rel=0.01
+    )
+
+
+def test_compensation_runner_small_ladder():
+    points, report = run_compensation(credits=(20.0, 40.0), work=5.0)
+    assert [round(p.compensated_credit) for p in points] == [25, 50]
+    assert report.all_passed
+
+
+def test_validate_credit_time_custom_credits():
+    report = validate_credit_time(credits=(20.0, 40.0), work=5.0)
+    assert report.all_passed
+    assert len(report.rows) == 2
+
+
+def test_table2_quick_mode():
+    rows, report = run_table2(quick=True)
+    assert {row.platform for row in rows} == {"Hyper-V", "Xen/PAS", "Xen/SEDF"}
+    assert report.all_passed

@@ -1,0 +1,69 @@
+"""Unit tests for the §5.3 scenario builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments.scenario import build_scenario
+
+
+def small(**changes):
+    config = ScenarioConfig(
+        v20_active=(5.0, 55.0),
+        v70_active=(20.0, 40.0),
+        duration=60.0,
+    )
+    return config.with_changes(**changes)
+
+
+def test_builds_three_domains_with_paper_credits():
+    host = build_scenario(small())
+    names = [d.name for d in host.domains]
+    assert names == ["Dom0", "V20", "V70"]
+    assert host.domain("V20").credit == 20
+    assert host.domain("V70").credit == 70
+    assert host.domain("Dom0").is_dom0
+
+
+def test_pas_forces_userspace_governor():
+    host = build_scenario(small(scheduler="pas", governor="stable"))
+    assert host.governor.name == "userspace"
+
+
+def test_idle_load_leaves_no_workload():
+    host = build_scenario(small(v70_load="idle"))
+    assert host.domain("V70").workload is None
+    assert host.domain("V20").workload is not None
+
+
+def test_unknown_load_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        build_scenario(small(v20_load="bursty"))
+
+
+def test_run_scenario_produces_series_and_phase_means():
+    result = run_scenario(small())
+    load = result.phase_mean("V20.global_load", (30.0, 50.0))
+    assert load == pytest.approx(20.0, abs=2.0)
+    assert result.frequency_transitions >= 0
+    assert result.energy_joules > 0
+
+
+def test_series_smoothing_applies_three_sample_mean():
+    result = run_scenario(small())
+    raw = result.series("V20.global_load", smooth=False)
+    smooth = result.series("V20.global_load")
+    assert len(raw) == len(smooth)
+    assert raw.name != smooth.name
+
+
+def test_with_changes_replaces_fields():
+    config = small()
+    changed = config.with_changes(scheduler="sedf")
+    assert changed.scheduler == "sedf"
+    assert config.scheduler == "credit"
+
+
+def test_scheduler_kwargs_forwarded():
+    host = build_scenario(small(scheduler="pas", scheduler_kwargs={"use_cf": False}))
+    assert host.scheduler.use_cf is False

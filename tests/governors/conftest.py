@@ -1,0 +1,42 @@
+"""Governor test harness: a cpufreq stack without a full host."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CpuFreq, Processor
+from repro.cpu import catalog
+from repro.sim import Engine
+
+
+class GovernorHarness:
+    """Drives a governor with synthetic load samples."""
+
+    def __init__(self, spec=catalog.OPTIPLEX_755):
+        self.engine = Engine()
+        self.processor = Processor(spec)
+        self.cpufreq = CpuFreq(self.engine, self.processor)
+
+    def install(self, governor):
+        # Attach without set_governor: that would start the real sampling
+        # timer, whose measured (zero) loads would interleave with the
+        # synthetic samples feed() delivers.
+        governor.attach(self.cpufreq)
+        initial = governor.initial_frequency()
+        if initial is not None:
+            self.cpufreq.set_speed(initial)
+        return governor
+
+    def feed(self, governor, load_percent, *, advance=None):
+        """Advance time one sampling period and deliver one sample."""
+        period = governor.sampling_period or 1.0
+        self.engine.run_until(self.engine.now + (advance or period))
+        target = governor.decide(load_percent, self.engine.now)
+        if target is not None:
+            self.cpufreq.set_speed(target)
+        return self.processor.frequency_mhz
+
+
+@pytest.fixture
+def harness() -> GovernorHarness:
+    return GovernorHarness()

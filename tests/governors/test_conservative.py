@@ -1,0 +1,49 @@
+"""Unit tests for the conservative governor."""
+
+import pytest
+
+from repro import ConservativeGovernor
+
+
+def test_steps_up_one_level(harness):
+    governor = harness.install(ConservativeGovernor())
+    harness.processor.set_frequency(1600)
+    assert harness.feed(governor, 90.0) == 1867
+
+
+def test_steps_down_one_level(harness):
+    governor = harness.install(ConservativeGovernor())
+    assert harness.feed(governor, 5.0) == 2400
+
+
+def test_holds_in_midband(harness):
+    governor = harness.install(ConservativeGovernor())
+    harness.processor.set_frequency(2133)
+    assert harness.feed(governor, 50.0) == 2133
+
+
+def test_saturates_at_top(harness):
+    governor = harness.install(ConservativeGovernor())
+    assert harness.feed(governor, 95.0) == 2667
+
+
+def test_saturates_at_bottom(harness):
+    governor = harness.install(ConservativeGovernor())
+    harness.processor.set_frequency(1600)
+    assert harness.feed(governor, 1.0) == 1600
+
+
+def test_climbs_full_range_one_step_per_sample(harness):
+    governor = harness.install(ConservativeGovernor())
+    harness.processor.set_frequency(1600)
+    freqs = [harness.feed(governor, 95.0) for _ in range(5)]
+    assert freqs == [1867, 2133, 2400, 2667, 2667]
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        ConservativeGovernor(up_threshold=10.0, down_threshold=10.0)
+
+
+def test_name():
+    assert ConservativeGovernor().name == "conservative"

@@ -1,0 +1,60 @@
+"""Unit tests for the stock ondemand governor."""
+
+import pytest
+
+from repro import OndemandGovernor
+
+
+def test_high_load_jumps_to_max(harness):
+    governor = harness.install(OndemandGovernor())
+    harness.processor.set_frequency(1600)
+    assert harness.feed(governor, 85.0) == 2667
+
+
+def test_low_load_drops_to_min(harness):
+    governor = harness.install(OndemandGovernor())
+    assert harness.feed(governor, 10.0) == 1600
+
+
+def test_threshold_boundary_jumps_at_up_threshold(harness):
+    governor = harness.install(OndemandGovernor(up_threshold=80.0))
+    harness.processor.set_frequency(1600)
+    assert harness.feed(governor, 80.0) == 2667
+
+
+def test_below_down_threshold_hits_min(harness):
+    governor = harness.install(OndemandGovernor(down_threshold=20.0))
+    assert harness.feed(governor, 19.9) == 1600
+
+
+def test_midband_fits_cheapest_sufficient_frequency(harness):
+    governor = harness.install(OndemandGovernor())
+    # At 2667 with nominal 50%: absolute = 50, required = 62.5 -> 1867
+    # (capacity 70) is the lowest absorbing state.
+    assert harness.feed(governor, 50.0) == 1867
+
+
+def test_midband_accounts_for_current_frequency(harness):
+    governor = harness.install(OndemandGovernor())
+    harness.processor.set_frequency(1600)
+    # At 1600 nominal 50% -> absolute 30 -> required 37.5 -> 1600 has 60.
+    assert harness.feed(governor, 50.0) == 1600
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        OndemandGovernor(up_threshold=20.0, down_threshold=30.0)
+
+
+def test_default_sampling_is_10ms():
+    assert OndemandGovernor().sampling_period == pytest.approx(0.01)
+
+
+def test_oscillates_between_extremes_on_alternating_load(harness):
+    governor = harness.install(OndemandGovernor())
+    freqs = [harness.feed(governor, load) for load in (90, 5, 90, 5, 90, 5)]
+    assert freqs == [2667, 1600, 2667, 1600, 2667, 1600]
+
+
+def test_name():
+    assert OndemandGovernor().name == "ondemand"

@@ -1,0 +1,54 @@
+"""Unit tests for ondemand's sampling_down_factor anti-flap tunable."""
+
+import pytest
+
+from repro import OndemandGovernor
+
+
+def test_default_factor_allows_immediate_drop(harness):
+    governor = harness.install(OndemandGovernor())
+    harness.feed(governor, 90.0)
+    assert harness.feed(governor, 5.0) == 1600
+
+
+def test_down_factor_holds_max_after_jump(harness):
+    governor = harness.install(OndemandGovernor(sampling_down_factor=3))
+    harness.feed(governor, 90.0)
+    assert harness.processor.frequency_mhz == 2667
+    # Two idle samples are swallowed by the hold window...
+    assert harness.feed(governor, 5.0) == 2667
+    assert harness.feed(governor, 5.0) == 2667
+    # ...the third takes effect.
+    assert harness.feed(governor, 5.0) == 1600
+
+
+def test_new_jump_rearms_hold(harness):
+    governor = harness.install(OndemandGovernor(sampling_down_factor=2))
+    harness.feed(governor, 90.0)
+    harness.feed(governor, 90.0)  # re-jump re-arms the hold
+    assert harness.feed(governor, 5.0) == 2667
+    assert harness.feed(governor, 5.0) == 1600
+
+
+def test_down_factor_reduces_transitions_under_flapping_load(harness):
+    plain = OndemandGovernor()
+    damped = OndemandGovernor(sampling_down_factor=5)
+    pattern = [90.0, 5.0, 90.0, 5.0, 90.0, 5.0, 90.0, 5.0]
+
+    harness.install(plain)
+    for load in pattern:
+        harness.feed(plain, load)
+    plain_transitions = harness.processor.transitions
+
+    from .conftest import GovernorHarness
+
+    fresh = GovernorHarness()
+    fresh.install(damped)
+    for load in pattern:
+        fresh.feed(damped, load)
+    assert fresh.processor.transitions < plain_transitions
+
+
+def test_invalid_factor_rejected():
+    with pytest.raises(ValueError):
+        OndemandGovernor(sampling_down_factor=0)

@@ -1,0 +1,37 @@
+"""Unit tests for the governor registry."""
+
+import pytest
+
+from repro import GOVERNOR_NAMES, make_governor
+from repro.errors import ConfigurationError
+
+
+def test_all_names_instantiate():
+    for name in GOVERNOR_NAMES:
+        assert make_governor(name).name == name
+
+
+def test_names_cover_the_paper_set():
+    # §2.2 + the authors' own governor.
+    assert set(GOVERNOR_NAMES) == {
+        "performance",
+        "powersave",
+        "userspace",
+        "ondemand",
+        "conservative",
+        "stable",
+    }
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        make_governor("turbo")
+
+
+def test_kwargs_forwarded():
+    governor = make_governor("ondemand", up_threshold=70.0)
+    assert governor.up_threshold == 70.0
+
+
+def test_each_call_returns_fresh_instance():
+    assert make_governor("stable") is not make_governor("stable")

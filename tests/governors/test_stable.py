@@ -1,0 +1,96 @@
+"""Unit tests for the paper's stable governor."""
+
+import pytest
+
+from repro import StableGovernor
+
+
+def make(harness, **kwargs):
+    kwargs.setdefault("dwell", 0.0)
+    return harness.install(StableGovernor(**kwargs))
+
+
+def test_no_decision_before_window_filled(harness):
+    governor = make(harness, window=3)
+    harness.processor.set_frequency(2667)
+    assert harness.feed(governor, 10.0) == 2667
+    assert harness.feed(governor, 10.0) == 2667
+    # Third sample completes the window; now it may act.
+    assert harness.feed(governor, 10.0) == 1600
+
+
+def test_averages_three_samples(harness):
+    governor = make(harness, window=3, margin_percent=0.0)
+    # Mean nominal of (10, 10, 100) = 40 < 80; mean absolute = 40 -> 1600
+    # has capacity 60 > 40.
+    harness.feed(governor, 10.0)
+    harness.feed(governor, 10.0)
+    assert harness.feed(governor, 100.0) == 1600
+
+
+def test_high_average_jumps_to_max(harness):
+    governor = make(harness, window=3)
+    harness.processor.set_frequency(1600)
+    for _ in range(3):
+        harness.feed(governor, 95.0)
+    assert harness.processor.frequency_mhz == 2667
+
+
+def test_up_threshold_uses_nominal_not_absolute(harness):
+    governor = make(harness, window=1, up_threshold=80.0)
+    harness.processor.set_frequency(1600)
+    # Nominal 90 at 1600 -> absolute only 54, but nominal saturation means
+    # demand is being clipped: jump to max.
+    assert harness.feed(governor, 90.0) == 2667
+
+
+def test_fit_band_respects_margin(harness):
+    governor = make(harness, window=1, margin_percent=5.0)
+    # Absolute 58 + margin 5 = 63 > capacity(1600) = 60 -> 1867.
+    assert harness.feed(governor, 58.0) == 1867
+
+
+def test_dwell_blocks_rapid_changes(harness):
+    governor = harness.install(StableGovernor(window=1, dwell=10.0, sampling_period=1.0))
+    assert harness.feed(governor, 5.0) == 1600  # first change allowed
+    assert harness.feed(governor, 95.0) == 1600  # blocked by dwell
+    for _ in range(9):
+        harness.feed(governor, 95.0)
+    assert harness.processor.frequency_mhz == 2667  # dwell expired
+
+
+def test_no_change_does_not_reset_dwell(harness):
+    governor = harness.install(StableGovernor(window=1, dwell=5.0, sampling_period=1.0))
+    harness.feed(governor, 5.0)  # change to 1600 at t=1
+    for _ in range(4):
+        harness.feed(governor, 5.0)  # no-ops
+    # t=6 now; last change at t=1; dwell satisfied.
+    assert harness.feed(governor, 95.0) == 2667
+
+
+def test_averaged_absolute_load_property(harness):
+    governor = make(harness, window=2)
+    harness.feed(governor, 10.0)
+    harness.feed(governor, 30.0)
+    assert governor.averaged_absolute_load == pytest.approx(20.0)
+
+
+def test_averaged_properties_empty():
+    governor = StableGovernor()
+    assert governor.averaged_absolute_load == 0.0
+    assert governor.averaged_nominal_load == 0.0
+
+
+def test_default_parameters_match_paper():
+    governor = StableGovernor()
+    assert governor.window == 3
+    assert governor.sampling_period == pytest.approx(1.0)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        StableGovernor(window=0)
+
+
+def test_name():
+    assert StableGovernor().name == "stable"

@@ -1,0 +1,68 @@
+"""Unit tests for performance / powersave / userspace governors."""
+
+import pytest
+
+from repro import (
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.errors import ConfigurationError, FrequencyError
+
+
+def test_performance_pins_max(harness):
+    harness.processor.set_frequency(1600)
+    harness.install(PerformanceGovernor())
+    assert harness.processor.frequency_mhz == 2667
+
+
+def test_performance_has_no_sampling_timer(harness):
+    harness.install(PerformanceGovernor())
+    assert harness.engine.pending_count == 0
+
+
+def test_powersave_pins_min(harness):
+    harness.install(PowersaveGovernor())
+    assert harness.processor.frequency_mhz == 1600
+
+
+def test_powersave_has_no_sampling_timer(harness):
+    harness.install(PowersaveGovernor())
+    assert harness.engine.pending_count == 0
+
+
+def test_userspace_keeps_current_frequency_on_install(harness):
+    harness.processor.set_frequency(2133)
+    harness.install(UserspaceGovernor())
+    assert harness.processor.frequency_mhz == 2133
+
+
+def test_userspace_set_speed(harness):
+    governor = harness.install(UserspaceGovernor())
+    assert governor.set_speed(1867) is True
+    assert harness.processor.frequency_mhz == 1867
+
+
+def test_userspace_set_speed_rejects_unknown(harness):
+    governor = harness.install(UserspaceGovernor())
+    with pytest.raises(FrequencyError):
+        governor.set_speed(1700)
+
+
+def test_governor_unattached_raises():
+    governor = UserspaceGovernor()
+    with pytest.raises(ConfigurationError):
+        governor.set_speed(1600)
+
+
+def test_absolute_load_helper(harness):
+    governor = harness.install(UserspaceGovernor())
+    governor.set_speed(1600)
+    # Absolute load = nominal * ratio * cf; Optiplex cf = 1.
+    assert governor.absolute_load_percent(50.0) == pytest.approx(50.0 * 1600 / 2667)
+
+
+def test_names():
+    assert PerformanceGovernor().name == "performance"
+    assert PowersaveGovernor().name == "powersave"
+    assert UserspaceGovernor().name == "userspace"

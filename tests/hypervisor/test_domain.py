@@ -1,0 +1,126 @@
+"""Unit tests for domains."""
+
+import pytest
+
+from repro import DomainConfig
+from repro.errors import ConfigurationError
+from repro.hypervisor.domain import DOM0_CLASS, GUEST_CLASS
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def test_create_domain_defaults():
+    host = make_host()
+    domain = host.create_domain("vm", credit=30)
+    assert domain.credit == 30
+    assert domain.config.effective_weight == 30
+    assert domain.config.effective_cap == 30
+    assert not domain.is_dom0
+
+
+def test_dom0_flag_sets_priority_class():
+    host = make_host()
+    dom0 = host.create_domain("Dom0", credit=10, dom0=True)
+    assert dom0.is_dom0
+    assert dom0.config.priority_class == DOM0_CLASS
+
+
+def test_null_credit_is_uncapped():
+    # The paper's exception: a null credit VM has no credit limit (§3.1).
+    config = DomainConfig(credit=0)
+    assert config.effective_cap == 0  # Xen convention: cap 0 = no cap
+    assert config.effective_weight == 1.0  # scavenger: leftovers only
+
+
+def test_explicit_weight_and_cap_override():
+    config = DomainConfig(credit=20, weight=512, cap=45)
+    assert config.effective_weight == 512
+    assert config.effective_cap == 45
+
+
+def test_credit_above_100_rejected():
+    with pytest.raises(ConfigurationError):
+        DomainConfig(credit=120)
+
+
+def test_unknown_priority_class_rejected():
+    with pytest.raises(ConfigurationError):
+        DomainConfig(credit=10, priority_class=7)
+
+
+def test_duplicate_domain_name_rejected():
+    host = make_host()
+    host.create_domain("vm", credit=10)
+    with pytest.raises(ConfigurationError):
+        host.create_domain("vm", credit=20)
+
+
+def test_empty_domain_name_rejected():
+    host = make_host()
+    with pytest.raises(ConfigurationError):
+        host.create_domain("", credit=10)
+
+
+def test_cannot_add_domain_after_start():
+    host = make_host()
+    host.create_domain("vm", credit=10)
+    host.start()
+    with pytest.raises(ConfigurationError):
+        host.create_domain("late", credit=10)
+
+
+def test_add_work_wakes_blocked_vcpu():
+    host = make_host()
+    domain = host.create_domain("vm", credit=50)
+    host.start()
+    domain.add_work(0.1)
+    assert domain.vcpu.runnable
+
+
+def test_attach_workload_once():
+    host = make_host()
+    domain = host.create_domain("vm", credit=50)
+    domain.attach_workload(ConstantLoad(10))
+    with pytest.raises(ConfigurationError):
+        domain.attach_workload(ConstantLoad(10))
+
+
+def test_workload_bound_to_single_domain():
+    host = make_host()
+    a = host.create_domain("a", credit=10)
+    b = host.create_domain("b", credit=10)
+    workload = ConstantLoad(10)
+    a.attach_workload(workload)
+    with pytest.raises(Exception):
+        b.attach_workload(workload)
+
+
+def test_on_idle_callback_fires_when_drained():
+    host = make_host()
+    domain = host.create_domain("vm", credit=100)
+    drained = []
+    domain.on_idle(drained.append)
+    host.start()
+    domain.add_work(0.05)
+    host.run(until=1.0)
+    assert len(drained) == 1
+    assert drained[0] == pytest.approx(0.05, abs=0.02)
+
+
+def test_domain_lookup():
+    host = make_host()
+    host.create_domain("vm", credit=10)
+    assert host.domain("vm").name == "vm"
+    with pytest.raises(ConfigurationError):
+        host.domain("ghost")
+
+
+def test_cpu_seconds_and_work_done_track_vcpu():
+    host = make_host()
+    domain = host.create_domain("vm", credit=100)
+    host.start()
+    domain.add_work(0.2)
+    host.run(until=1.0)
+    assert domain.work_done == pytest.approx(0.2)
+    assert domain.cpu_seconds == pytest.approx(0.2)

@@ -1,0 +1,76 @@
+"""Unit tests for per-domain energy attribution (charge-back)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import ConstantLoad, PiApp
+
+from ..conftest import make_host
+
+
+def test_energy_conserved_across_domains_and_idle():
+    host = make_host()
+    a = host.create_domain("a", credit=30)
+    b = host.create_domain("b", credit=20)
+    a.attach_workload(ConstantLoad(30, injection_period=0.02))
+    b.attach_workload(ConstantLoad(20, injection_period=0.02))
+    host.run(until=20.0)
+    attributed = (
+        host.domain_energy_joules("a")
+        + host.domain_energy_joules("b")
+        + host.idle_energy_joules
+    )
+    assert attributed == pytest.approx(host.processor.energy_joules, rel=1e-9)
+
+
+def test_busier_domain_pays_more():
+    host = make_host()
+    heavy = host.create_domain("heavy", credit=60)
+    light = host.create_domain("light", credit=10)
+    heavy.attach_workload(ConstantLoad(60, injection_period=0.02))
+    light.attach_workload(ConstantLoad(10, injection_period=0.02))
+    host.run(until=20.0)
+    assert host.domain_energy_joules("heavy") > 4 * host.domain_energy_joules("light")
+
+
+def test_idle_host_charges_only_idle_energy():
+    host = make_host()
+    host.create_domain("vm", credit=50)
+    host.run(until=10.0)
+    assert host.domain_energy_joules("vm") == 0.0
+    assert host.idle_energy_joules == pytest.approx(host.processor.energy_joules)
+
+
+def test_energy_attribution_scales_with_frequency():
+    # The same work costs fewer joules at a lower P-state: the customer's
+    # bill under PAS reflects the frequency the provider chose.
+    expensive = make_host(governor="performance")
+    cheap = make_host(governor="powersave")
+    for host in (expensive, cheap):
+        vm = host.create_domain("vm", credit=100)
+        vm.attach_workload(PiApp(2.0))
+        host.run(until=10.0)
+    assert cheap.domain_energy_joules("vm") < expensive.domain_energy_joules("vm")
+
+
+def test_unknown_domain_rejected():
+    host = make_host()
+    host.create_domain("vm", credit=50)
+    with pytest.raises(ConfigurationError):
+        host.domain_energy_joules("ghost")
+
+
+def test_attribution_survives_preemption_and_dvfs():
+    host = make_host(scheduler="pas", governor="userspace")
+    dom0 = host.create_domain("Dom0", credit=10, dom0=True)
+    dom0.attach_workload(ConstantLoad(8, injection_period=0.05))
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=30.0)
+    total = (
+        host.domain_energy_joules("Dom0")
+        + host.domain_energy_joules("vm")
+        + host.idle_energy_joules
+    )
+    assert total == pytest.approx(host.processor.energy_joules, rel=1e-9)
+    assert host.domain_energy_joules("vm") > host.domain_energy_joules("Dom0")

@@ -1,0 +1,97 @@
+"""Unit tests for the load monitor."""
+
+import pytest
+
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def run_with_load(percent, *, governor="performance", duration=20.0, **host_kwargs):
+    host = make_host(governor=governor, **host_kwargs)
+    vm = host.create_domain("vm", credit=0)  # uncapped
+    vm.attach_workload(ConstantLoad(percent, injection_period=0.02))
+    host.run(until=duration)
+    return host
+
+
+def test_global_load_tracks_demand():
+    host = run_with_load(40.0)
+    load = host.recorder.series("vm.global_load").window(5, 20).mean()
+    assert load == pytest.approx(40.0, abs=1.0)
+
+
+def test_host_global_load_sums_domains():
+    host = make_host()
+    a = host.create_domain("a", credit=0, weight=10)
+    b = host.create_domain("b", credit=0, weight=10)
+    a.attach_workload(ConstantLoad(20, injection_period=0.02))
+    b.attach_workload(ConstantLoad(30, injection_period=0.02))
+    host.run(until=20.0)
+    total = host.recorder.series("host.global_load").window(5, 20).mean()
+    assert total == pytest.approx(50.0, abs=1.5)
+
+
+def test_absolute_load_scales_with_frequency():
+    host = make_host(governor="userspace")
+    vm = host.create_domain("vm", credit=0)
+    vm.attach_workload(ConstantLoad(20, injection_period=0.02))
+    host.start()
+    host.cpufreq.set_speed(1600)
+    host.run(until=20.0)
+    nominal = host.recorder.series("vm.global_load").window(5, 20).mean()
+    absolute = host.recorder.series("vm.absolute_load").window(5, 20).mean()
+    # Demand 20% absolute at ratio 0.6 -> nominal 33.3, absolute back to 20.
+    assert nominal == pytest.approx(33.3, abs=1.5)
+    assert absolute == pytest.approx(20.0, abs=1.0)
+
+
+def test_vm_load_relative_to_credit():
+    host = make_host()
+    vm = host.create_domain("vm", credit=40)
+    vm.attach_workload(ConstantLoad(20, injection_period=0.02))
+    host.run(until=20.0)
+    vm_load = host.recorder.series("vm.vm_load").window(5, 20).mean()
+    # Using 20% of the host = 50% of its 40% credit.
+    assert vm_load == pytest.approx(50.0, abs=2.5)
+
+
+def test_frequency_series_recorded():
+    host = run_with_load(10.0)
+    series = host.recorder.series("host.freq_mhz")
+    assert series.min() == 2667.0  # performance governor
+
+
+def test_power_and_energy_series():
+    host = run_with_load(50.0)
+    power = host.recorder.series("host.power_w")
+    energy = host.recorder.series("host.energy_j")
+    assert power.min() > 0.0
+    values = energy.values
+    assert values == sorted(values)  # energy is cumulative
+
+
+def test_idle_host_records_zero_load():
+    host = make_host()
+    host.create_domain("vm", credit=50)
+    host.run(until=5.0)
+    assert host.recorder.series("host.global_load").max() == 0.0
+
+
+def test_sample_count_matches_period():
+    host = run_with_load(10.0, duration=10.0)
+    assert len(host.recorder.series("host.global_load")) == 10
+
+
+def test_custom_monitor_period():
+    host = make_host(monitor_period=0.5)
+    vm = host.create_domain("vm", credit=0)
+    vm.attach_workload(ConstantLoad(30, injection_period=0.02))
+    host.run(until=10.0)
+    assert len(host.recorder.series("host.global_load")) == 20
+
+
+def test_loads_clamped_to_valid_range():
+    host = run_with_load(100.0)
+    series = host.recorder.series("host.global_load")
+    assert 0.0 <= series.min() and series.max() <= 100.0

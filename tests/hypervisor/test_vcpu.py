@@ -1,0 +1,94 @@
+"""Unit tests for vCPUs."""
+
+import pytest
+
+from repro import VCpuState
+from repro.errors import SchedulerError
+
+from ..conftest import make_host
+
+
+@pytest.fixture
+def vcpu():
+    host = make_host()
+    domain = host.create_domain("vm", credit=50)
+    return domain.vcpu
+
+
+def test_starts_blocked_without_work(vcpu):
+    assert vcpu.state is VCpuState.BLOCKED
+    assert not vcpu.has_work
+    assert vcpu.pending_work == 0.0
+
+
+def test_add_work_queues_demand(vcpu):
+    vcpu.add_work(1.5)
+    assert vcpu.pending_work == pytest.approx(1.5)
+    assert vcpu.has_work
+
+
+def test_add_work_accumulates(vcpu):
+    vcpu.add_work(1.0)
+    vcpu.add_work(0.5)
+    assert vcpu.pending_work == pytest.approx(1.5)
+
+
+def test_negative_work_rejected(vcpu):
+    with pytest.raises(Exception):
+        vcpu.add_work(-1.0)
+
+
+def test_consume_reduces_pending(vcpu):
+    vcpu.add_work(1.0)
+    vcpu.consume(0.4, wall_dt=0.8)
+    assert vcpu.pending_work == pytest.approx(0.6)
+    assert vcpu.work_done == pytest.approx(0.4)
+    assert vcpu.cpu_seconds == pytest.approx(0.8)
+
+
+def test_consume_clamps_float_fuzz(vcpu):
+    vcpu.add_work(1.0)
+    vcpu.consume(1.0 - 1e-12, wall_dt=1.0)
+    assert vcpu.pending_work == 0.0
+    assert not vcpu.has_work
+
+
+def test_tiny_residual_counts_as_drained(vcpu):
+    vcpu.add_work(1e-12)
+    assert not vcpu.has_work
+
+
+def test_state_transitions(vcpu):
+    vcpu.add_work(1.0)  # domain.add_work would do this; direct queue here
+    vcpu.mark_runnable()
+    assert vcpu.state is VCpuState.RUNNABLE
+    vcpu.mark_running()
+    assert vcpu.state is VCpuState.RUNNING
+    vcpu.mark_blocked()
+    assert vcpu.state is VCpuState.BLOCKED
+
+
+def test_cannot_dispatch_blocked(vcpu):
+    with pytest.raises(SchedulerError):
+        vcpu.mark_running()
+
+
+def test_runnable_covers_runnable_and_running(vcpu):
+    assert not vcpu.runnable
+    vcpu.mark_runnable()
+    assert vcpu.runnable
+    vcpu.mark_running()
+    assert vcpu.runnable
+
+
+def test_dispatch_count(vcpu):
+    vcpu.mark_runnable()
+    vcpu.mark_running()
+    vcpu.mark_runnable()
+    vcpu.mark_running()
+    assert vcpu.dispatch_count == 2
+
+
+def test_name_follows_domain(vcpu):
+    assert vcpu.name == "vm"
+    assert vcpu.domain.name == "vm"

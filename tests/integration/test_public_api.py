@@ -1,0 +1,58 @@
+"""Integration tests for the public API surface."""
+
+import pytest
+
+import repro
+from repro import Host, catalog
+from repro.workloads import exact_rate, LoadProfile, WebApp
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_flow():
+    host = Host(processor=catalog.OPTIPLEX_755, scheduler="pas", governor="userspace")
+    host.create_domain("Dom0", credit=10, dom0=True)
+    v20 = host.create_domain("V20", credit=20)
+    rate = exact_rate(20, request_cost=0.005)
+    v20.attach_workload(WebApp(LoadProfile.three_phase(5, 60, rate)))
+    host.run(until=90)
+    mean = host.recorder.series("V20.absolute_load").window(30, 60).mean()
+    assert mean >= 18.0
+
+
+def test_module_docstring_doctest():
+    import doctest
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+
+
+def test_scheduler_and_governor_name_lists_exported():
+    assert "pas" in repro.SCHEDULER_NAMES
+    assert "stable" in repro.GOVERNOR_NAMES
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.SchedulerError, repro.ReproError)
+    assert issubclass(repro.AdmissionError, repro.SchedulerError)
+    assert issubclass(repro.FrequencyError, repro.ConfigurationError)
+
+
+def test_experiments_package_importable():
+    import repro.experiments as ex
+
+    for name in ex.__all__:
+        assert hasattr(ex, name), name
+
+
+def test_platforms_package_importable():
+    import repro.platforms as platforms
+
+    assert len(platforms.PLATFORMS) == 7

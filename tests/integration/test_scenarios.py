@@ -1,0 +1,100 @@
+"""Integration tests: the paper's §5 scenarios on a compressed timeline.
+
+Same structure as the figure benchmarks but with 4x shorter phases so the
+whole file runs in seconds.  The shape criteria are identical; only the
+analysis windows move.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioConfig, run_scenario
+
+#: Compressed timeline: V20 active [20, 180), V70 active [60, 140).
+FAST = dict(
+    v20_active=(20.0, 180.0),
+    v70_active=(60.0, 140.0),
+    duration=200.0,
+)
+SOLO = (35.0, 58.0)
+BOTH = (80.0, 138.0)
+LATE = (155.0, 178.0)
+
+
+def fast_config(**changes):
+    return ScenarioConfig(**FAST).with_changes(**changes)
+
+
+def test_credit_scheduler_sla_violation_shape():
+    # Figs. 4-5: capped at 20 nominal, absolute collapses when solo.
+    result = run_scenario(fast_config(scheduler="credit", governor="stable"))
+    assert result.phase_mean("V20.global_load", SOLO) == pytest.approx(20.0, abs=1.5)
+    assert result.phase_mean("V20.absolute_load", SOLO) < 15.0
+    assert result.phase_mean("V20.absolute_load", BOTH) == pytest.approx(20.0, abs=1.5)
+    assert result.phase_mean("host.freq_mhz", SOLO, smooth=False) == 1600.0
+    assert result.phase_mean("host.freq_mhz", BOTH, smooth=False) == 2667.0
+
+
+def test_sedf_exact_load_shape():
+    # Figs. 6-7: extra slices keep V20's absolute at ~20 while solo.
+    result = run_scenario(fast_config(scheduler="sedf", governor="stable"))
+    solo_global = result.phase_mean("V20.global_load", SOLO)
+    assert 30.0 <= solo_global <= 40.0
+    assert result.phase_mean("V20.absolute_load", SOLO) == pytest.approx(20.0, abs=2.0)
+    assert result.phase_mean("V20.absolute_load", LATE) == pytest.approx(20.0, abs=2.0)
+
+
+def test_sedf_thrashing_shape():
+    # Fig. 8: V20 eats the machine, frequency pinned at max.
+    result = run_scenario(
+        fast_config(scheduler="sedf", governor="stable", v20_load="thrashing")
+    )
+    assert result.phase_mean("V20.global_load", SOLO) >= 80.0
+    assert result.phase_mean("host.freq_mhz", SOLO, smooth=False) == 2667.0
+
+
+def test_pas_thrashing_shape():
+    # Figs. 9-10: compensated credit at 1600, absolute pinned at 20.
+    result = run_scenario(fast_config(scheduler="pas", v20_load="thrashing"))
+    assert result.phase_mean("V20.global_load", SOLO) == pytest.approx(33.3, abs=1.5)
+    assert result.phase_mean("V20.absolute_load", SOLO) == pytest.approx(20.0, abs=1.5)
+    assert result.phase_mean("V20.absolute_load", BOTH) == pytest.approx(20.0, abs=1.5)
+    assert result.phase_mean("host.freq_mhz", SOLO, smooth=False) == 1600.0
+    assert result.phase_mean("host.freq_mhz", BOTH, smooth=False) == 2667.0
+    assert result.series("V20.absolute_load").max() <= 23.0
+
+
+def test_pas_saves_energy_vs_sedf_under_thrashing():
+    pas = run_scenario(fast_config(scheduler="pas", v20_load="thrashing"))
+    sedf = run_scenario(
+        fast_config(scheduler="sedf", governor="stable", v20_load="thrashing")
+    )
+    assert pas.energy_joules < sedf.energy_joules * 0.9
+
+
+def test_ondemand_unstable_vs_stable():
+    ondemand = run_scenario(fast_config(scheduler="credit", governor="ondemand"))
+    stable = run_scenario(fast_config(scheduler="credit", governor="stable"))
+    assert ondemand.frequency_transitions >= 50 * max(stable.frequency_transitions, 1)
+
+
+def test_performance_governor_baseline():
+    # Fig. 2: both VMs get exactly their credits at constant max frequency.
+    result = run_scenario(fast_config(scheduler="credit", governor="performance"))
+    assert result.phase_mean("V20.global_load", BOTH) == pytest.approx(20.0, abs=1.5)
+    assert result.phase_mean("V70.global_load", BOTH) == pytest.approx(70.0, abs=2.0)
+    assert result.series("host.freq_mhz", smooth=False).min() == 2667.0
+
+
+def test_credit2_behaves_as_variable_credit():
+    # The "beta" scheduler inherits the Fig. 6-8 family behaviour.
+    result = run_scenario(fast_config(scheduler="credit2", governor="stable"))
+    assert result.phase_mean("V20.absolute_load", SOLO) == pytest.approx(20.0, abs=2.0)
+
+
+def test_deterministic_reruns_are_identical():
+    a = run_scenario(fast_config(scheduler="pas", v20_load="thrashing"))
+    b = run_scenario(fast_config(scheduler="pas", v20_load="thrashing"))
+    assert a.series("V20.global_load", smooth=False).values == b.series(
+        "V20.global_load", smooth=False
+    ).values
+    assert a.energy_joules == b.energy_joules

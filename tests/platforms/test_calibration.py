@@ -1,0 +1,41 @@
+"""Unit tests for the §5.2 calibration procedure."""
+
+import pytest
+
+from repro import catalog
+from repro.platforms import calibrate_cf_min, calibrate_cf_table
+
+
+def test_recovers_cf_min_on_e5_2620():
+    result = calibrate_cf_min(catalog.XEON_E5_2620)
+    assert result.cf_measured == pytest.approx(0.80338, rel=0.01)
+    assert result.error < 0.01
+
+
+def test_recovers_cf_min_on_two_frequency_machine():
+    result = calibrate_cf_min(catalog.OPTERON_6164_HE)
+    assert result.cf_measured == pytest.approx(0.99508, rel=0.01)
+
+
+def test_cf_table_covers_all_non_max_states():
+    results = calibrate_cf_table(catalog.OPTIPLEX_755)
+    assert [r.freq_mhz for r in results] == [1600, 1867, 2133, 2400]
+
+
+def test_cf_table_matches_spec_everywhere():
+    for result in calibrate_cf_table(catalog.XEON_X3440):
+        assert result.cf_measured == pytest.approx(result.cf_spec, rel=0.01)
+
+
+def test_measurement_independent_of_demand_level():
+    low = calibrate_cf_min(catalog.CORE_I7_3770, demand_percent=8.0)
+    high = calibrate_cf_min(catalog.CORE_I7_3770, demand_percent=20.0)
+    assert low.cf_measured == pytest.approx(high.cf_measured, rel=0.01)
+
+
+def test_result_carries_measurement_context():
+    result = calibrate_cf_min(catalog.XEON_L5420)
+    assert result.processor == catalog.XEON_L5420.name
+    assert result.freq_mhz == 2000
+    assert 0 < result.ratio < 1
+    assert result.load_at_freq > result.load_at_max

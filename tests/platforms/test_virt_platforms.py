@@ -1,0 +1,57 @@
+"""Unit tests for the Table 2 platform models."""
+
+import pytest
+
+from repro.platforms import PLATFORMS
+from repro.platforms.virt_platforms import run_platform
+
+
+def platform(name):
+    return next(p for p in PLATFORMS if p.name == name)
+
+
+def test_seven_platforms_in_paper_order():
+    assert [p.name for p in PLATFORMS] == [
+        "Hyper-V",
+        "VMware",
+        "Xen/credit",
+        "Xen/PAS",
+        "Xen/SEDF",
+        "KVM",
+        "Vbox",
+    ]
+
+
+def test_disciplines_match_table2_layout():
+    fix = [p.name for p in PLATFORMS if p.discipline == "fix"]
+    variable = [p.name for p in PLATFORMS if p.discipline == "variable"]
+    assert fix == ["Hyper-V", "VMware", "Xen/credit", "Xen/PAS"]
+    assert variable == ["Xen/SEDF", "KVM", "Vbox"]
+
+
+def test_paper_degradation_computed_from_times():
+    hyperv = platform("Hyper-V")
+    assert hyperv.paper_degradation == pytest.approx(50.0, abs=0.5)
+    assert platform("Xen/PAS").paper_degradation == pytest.approx(0.0, abs=0.5)
+
+
+def test_vendor_floor_ordering():
+    # Hyper-V clocks the deepest, ESXi is most conservative.
+    assert platform("Hyper-V").ondemand_floor_mhz < platform("Xen/credit").ondemand_floor_mhz
+    assert platform("Xen/credit").ondemand_floor_mhz < platform("VMware").ondemand_floor_mhz
+
+
+def test_run_platform_pas_cancels_degradation():
+    row = run_platform(platform("Xen/PAS"))
+    assert abs(row.degradation) < 2.0
+
+
+def test_run_platform_hyperv_degrades_most():
+    hyperv = run_platform(platform("Hyper-V"))
+    assert hyperv.degradation > 35.0
+
+
+def test_run_platform_sedf_fast_and_flat():
+    row = run_platform(platform("Xen/SEDF"))
+    assert abs(row.degradation) < 2.0
+    assert row.time_performance < 800.0

@@ -1,0 +1,104 @@
+"""Property-based tests for cluster placement and fleet accounting."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterSim,
+    ClusterVM,
+    consolidate_first_fit,
+    Machine,
+    MachineSpec,
+    PlacementError,
+    spread_round_robin,
+)
+
+
+@st.composite
+def populations(draw):
+    count = draw(st.integers(min_value=1, max_value=10))
+    vms = []
+    for index in range(count):
+        memory = draw(st.sampled_from([1024, 2048, 4096, 8192]))
+        demand = draw(st.floats(min_value=0.0, max_value=30.0))
+        vms.append(
+            ClusterVM(
+                f"vm{index}",
+                credit=30.0,
+                memory_mb=memory,
+                demand=lambda t, d=demand: d,
+            )
+        )
+    return vms
+
+
+def fleet(n=6, memory=16384):
+    return [Machine(f"m{i}", MachineSpec(memory_mb=memory)) for i in range(n)]
+
+
+@given(vms=populations())
+@settings(max_examples=40, deadline=None)
+def test_consolidation_never_violates_memory(vms):
+    machines = fleet()
+    try:
+        consolidate_first_fit(machines, vms)
+    except PlacementError:
+        return
+    for machine in machines:
+        assert machine.memory_used_mb <= machine.spec.memory_mb
+
+
+@given(vms=populations())
+@settings(max_examples=40, deadline=None)
+def test_every_vm_placed_exactly_once(vms):
+    machines = fleet()
+    try:
+        consolidate_first_fit(machines, vms)
+    except PlacementError:
+        return
+    placed = [vm.name for machine in machines for vm in machine.vms]
+    assert sorted(placed) == sorted(vm.name for vm in vms)
+
+
+@given(vms=populations())
+@settings(max_examples=40, deadline=None)
+def test_consolidation_uses_no_more_machines_than_spread(vms):
+    packed, spread = fleet(), fleet()
+    try:
+        used_packed = consolidate_first_fit(packed, vms)
+        spread_round_robin(spread, vms)
+    except PlacementError:
+        return
+    used_spread = sum(1 for machine in spread if machine.powered_on)
+    assert used_packed <= used_spread
+
+
+@given(vms=populations())
+@settings(max_examples=25, deadline=None)
+def test_fleet_energy_with_dvfs_never_exceeds_without(vms):
+    try:
+        with_dvfs = ClusterSim(
+            n_machines=6, vms=vms, policy=consolidate_first_fit, dvfs=True
+        )
+        without = ClusterSim(
+            n_machines=6, vms=vms, policy=consolidate_first_fit, dvfs=False
+        )
+        with_dvfs.run(50.0)
+        without.run(50.0)
+    except PlacementError:
+        return
+    assert with_dvfs.fleet_energy_joules <= without.fleet_energy_joules + 1e-6
+
+
+@given(vms=populations())
+@settings(max_examples=25, deadline=None)
+def test_served_never_exceeds_demand(vms):
+    try:
+        sim = ClusterSim(n_machines=6, vms=vms, policy=consolidate_first_fit, dvfs=True)
+        sim.run(50.0)
+    except PlacementError:
+        return
+    for stat in sim.stats:
+        assert stat.served_percent <= stat.demand_percent + 1e-9
+        assert 0.0 <= stat.sla_fraction <= 1.0 + 1e-9

@@ -1,0 +1,68 @@
+"""Property-based tests for the Credit scheduler's core invariants.
+
+These drive whole (small) host simulations from hypothesis-generated domain
+configurations, asserting the two contractual properties of fix-credit
+scheduling: caps are never exceeded, and under full contention every
+credited domain receives at least its credit.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Host
+from repro.workloads import ConstantLoad
+
+
+@st.composite
+def credit_partitions(draw):
+    """2-4 credits summing to at most 100, each at least 5%."""
+    count = draw(st.integers(min_value=2, max_value=4))
+    credits = [draw(st.integers(min_value=5, max_value=40)) for _ in range(count)]
+    total = sum(credits)
+    if total > 100:
+        credits = [c * 100 // total for c in credits]
+        credits = [max(c, 1) for c in credits]
+    return credits
+
+
+@given(credits=credit_partitions())
+@settings(max_examples=15, deadline=None)
+def test_caps_never_exceeded(credits):
+    host = Host(scheduler="credit", governor="performance")
+    for index, credit in enumerate(credits):
+        domain = host.create_domain(f"vm{index}", credit=credit)
+        domain.attach_workload(ConstantLoad(100, injection_period=0.01))
+    duration = 5.0
+    host.run(until=duration)
+    for index, credit in enumerate(credits):
+        used = host.domain(f"vm{index}").cpu_seconds / duration
+        assert used <= credit / 100.0 + 0.01
+
+
+@given(credits=credit_partitions())
+@settings(max_examples=15, deadline=None)
+def test_credit_guaranteed_under_contention(credits):
+    host = Host(scheduler="credit", governor="performance")
+    for index, credit in enumerate(credits):
+        domain = host.create_domain(f"vm{index}", credit=credit)
+        domain.attach_workload(ConstantLoad(100, injection_period=0.01))
+    duration = 5.0
+    host.run(until=duration)
+    for index, credit in enumerate(credits):
+        used = host.domain(f"vm{index}").cpu_seconds / duration
+        assert used >= credit / 100.0 - 0.02
+
+
+@given(
+    credits=credit_partitions(),
+    demand=st.integers(min_value=10, max_value=100),
+)
+@settings(max_examples=10, deadline=None)
+def test_total_usage_never_exceeds_capacity(credits, demand):
+    host = Host(scheduler="credit", governor="performance")
+    for index, credit in enumerate(credits):
+        domain = host.create_domain(f"vm{index}", credit=credit)
+        domain.attach_workload(ConstantLoad(demand, injection_period=0.01))
+    duration = 5.0
+    host.run(until=duration)
+    total = sum(host.domain(f"vm{index}").cpu_seconds for index in range(len(credits)))
+    assert total <= duration + 1e-6

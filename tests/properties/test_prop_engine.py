@@ -1,0 +1,83 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import Engine
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@given(delays=delays)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda: fired.append(engine.now))
+    engine.run_until(200.0)
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=delays)
+def test_same_delay_events_fifo(delays):
+    engine = Engine()
+    order = []
+    for index, delay in enumerate(delays):
+        engine.schedule(delay, lambda index=index: order.append(index))
+    engine.run_until(200.0)
+    # For equal-time events, indices must be ascending.
+    by_time = {}
+    for index in order:
+        by_time.setdefault(delays[index], []).append(index)
+    for indices in by_time.values():
+        assert indices == sorted(indices)
+
+
+@given(delays=delays, cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40))
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    engine = Engine()
+    fired = []
+    handles = []
+    for index, delay in enumerate(delays):
+        handles.append(engine.schedule(delay, lambda index=index: fired.append(index)))
+    cancelled = set()
+    for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(index)
+    engine.run_until(200.0)
+    assert not (set(fired) & cancelled)
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@given(delays=delays)
+def test_clock_never_runs_backwards(delays):
+    engine = Engine()
+    observed = []
+    for delay in delays:
+        engine.schedule(delay, lambda: observed.append(engine.now))
+    last = [0.0]
+
+    engine.run_until(200.0)
+    for t in observed:
+        assert t >= last[0]
+        last[0] = t
+
+
+@given(
+    delays=delays,
+    split=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+)
+def test_split_run_equals_single_run(delays, split):
+    def run(boundaries):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda: fired.append(round(engine.now, 9)))
+        for boundary in boundaries:
+            engine.run_until(boundary)
+        return fired
+
+    assert run([200.0]) == run(sorted([split, 200.0]))

@@ -1,0 +1,57 @@
+"""Property-based tests for frequency tables."""
+
+from hypothesis import given, strategies as st
+
+from repro import FrequencyTable
+from repro.cpu.processor import make_states
+
+
+@st.composite
+def tables(draw):
+    freqs = draw(
+        st.lists(st.integers(min_value=100, max_value=6000), min_size=1, max_size=10, unique=True)
+    )
+    return FrequencyTable(make_states(sorted(freqs)))
+
+
+@given(table=tables())
+def test_states_strictly_ascending(table):
+    freqs = list(table.frequencies)
+    assert freqs == sorted(freqs)
+    assert len(set(freqs)) == len(freqs)
+
+
+@given(table=tables(), freq=st.integers(min_value=0, max_value=7000))
+def test_clamp_is_lowest_at_or_above(table, freq):
+    state = table.clamp(freq)
+    if freq <= table.max_state.freq_mhz:
+        assert state.freq_mhz >= freq
+        below = [f for f in table.frequencies if f >= freq]
+        assert state.freq_mhz == min(below)
+    else:
+        assert state is table.max_state
+
+
+@given(table=tables(), freq=st.integers(min_value=0, max_value=7000))
+def test_clamp_down_is_highest_at_or_below(table, freq):
+    state = table.clamp_down(freq)
+    if freq >= table.min_state.freq_mhz:
+        assert state.freq_mhz <= freq
+    else:
+        assert state is table.min_state
+
+
+@given(table=tables())
+def test_step_up_down_are_adjacent(table):
+    for index, state in enumerate(table):
+        up = table.step_up(state.freq_mhz)
+        down = table.step_down(state.freq_mhz)
+        assert up.freq_mhz == table.frequencies[min(index + 1, len(table) - 1)]
+        assert down.freq_mhz == table.frequencies[max(index - 1, 0)]
+
+
+@given(table=tables())
+def test_capacity_fraction_monotone(table):
+    capacities = [table.capacity_fraction(f) for f in table.frequencies]
+    assert capacities == sorted(capacities)
+    assert capacities[-1] == 1.0

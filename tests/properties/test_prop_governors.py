@@ -1,0 +1,115 @@
+"""Property-based tests for governor safety invariants.
+
+Whatever load sequence a governor sees, it must only ever request legal
+P-states, and its decisions must respect its own contract (thresholds,
+one-step-at-a-time, dwell).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ConservativeGovernor,
+    CpuFreq,
+    OndemandGovernor,
+    Processor,
+    StableGovernor,
+)
+from repro.cpu.processor import make_states, ProcessorSpec
+from repro.sim import Engine
+
+loads = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=50
+)
+
+
+@st.composite
+def specs(draw):
+    freqs = draw(
+        st.lists(st.integers(min_value=400, max_value=4000), min_size=2, max_size=6, unique=True)
+    )
+    cf_min = draw(st.floats(min_value=0.6, max_value=1.0))
+    ordered = sorted(freqs)
+    low, high = ordered[0], ordered[-1]
+    cfs = [1.0 - (1.0 - cf_min) * (high - f) / (high - low) for f in ordered]
+    return ProcessorSpec(name="prop", states=make_states(ordered, cf=cfs))
+
+
+def drive(governor, spec, load_sequence):
+    engine = Engine()
+    processor = Processor(spec)
+    cpufreq = CpuFreq(engine, processor)
+    governor.attach(cpufreq)
+    chosen = []
+    for index, load in enumerate(load_sequence):
+        engine.run_until(float(index + 1))
+        target = governor.decide(load, engine.now)
+        if target is not None:
+            cpufreq.set_speed(target)
+        chosen.append(processor.frequency_mhz)
+    return processor, chosen
+
+
+@given(spec=specs(), load_sequence=loads)
+@settings(max_examples=40, deadline=None)
+def test_ondemand_always_requests_table_entries(spec, load_sequence):
+    processor, chosen = drive(OndemandGovernor(), spec, load_sequence)
+    table = spec.table()
+    assert all(freq in table.frequencies for freq in chosen)
+
+
+@given(spec=specs(), load_sequence=loads)
+@settings(max_examples=40, deadline=None)
+def test_ondemand_threshold_contract(spec, load_sequence):
+    governor = OndemandGovernor()
+    table = spec.table()
+    engine = Engine()
+    processor = Processor(spec)
+    cpufreq = CpuFreq(engine, processor)
+    governor.attach(cpufreq)
+    for index, load in enumerate(load_sequence):
+        engine.run_until(float(index + 1))
+        target = governor.decide(load, engine.now)
+        if load >= governor.up_threshold:
+            assert target == table.max_state.freq_mhz
+        elif load < governor.down_threshold:
+            assert target == table.min_state.freq_mhz
+        if target is not None:
+            cpufreq.set_speed(target)
+
+
+@given(spec=specs(), load_sequence=loads)
+@settings(max_examples=40, deadline=None)
+def test_conservative_moves_at_most_one_step(spec, load_sequence):
+    table = spec.table()
+    processor, chosen = drive(ConservativeGovernor(), spec, load_sequence)
+    previous = table.max_state.freq_mhz  # processors boot at max
+    for freq in chosen:
+        index_prev = table.index_of(previous)
+        index_now = table.index_of(freq)
+        assert abs(index_now - index_prev) <= 1
+        previous = freq
+
+
+@given(spec=specs(), load_sequence=loads, dwell=st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=30, deadline=None)
+def test_stable_respects_dwell(spec, load_sequence, dwell):
+    governor = StableGovernor(window=1, dwell=dwell, sampling_period=1.0)
+    engine = Engine()
+    processor = Processor(spec)
+    cpufreq = CpuFreq(engine, processor)
+    governor.attach(cpufreq)
+    last_change_time = None
+    for index, load in enumerate(load_sequence):
+        engine.run_until(float(index + 1))
+        target = governor.decide(load, engine.now)
+        if target is not None and cpufreq.set_speed(target):
+            if last_change_time is not None:
+                assert engine.now - last_change_time >= dwell - 1e-9
+            last_change_time = engine.now
+
+
+@given(spec=specs(), load_sequence=loads)
+@settings(max_examples=30, deadline=None)
+def test_stable_only_requests_table_entries(spec, load_sequence):
+    processor, chosen = drive(StableGovernor(window=2, dwell=0.0), spec, load_sequence)
+    assert all(freq in spec.table().frequencies for freq in chosen)

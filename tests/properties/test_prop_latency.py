@@ -1,0 +1,79 @@
+"""Property-based tests for the latency tracker."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import LatencyTracker
+
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # inter-arrival gap
+        st.floats(min_value=0.001, max_value=5.0, allow_nan=False),  # work
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),  # requests
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(batches=events, drain_steps=st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_conservation_of_requests(batches, drain_steps):
+    tracker = LatencyTracker()
+    now = 0.0
+    total_requests = 0.0
+    total_work = 0.0
+    for gap, work, requests in batches:
+        now += gap
+        tracker.on_arrival(now, work, requests)
+        total_requests += requests
+        total_work += work
+    # Drain in uneven slices; completed + queued must always equal sent.
+    for step in range(drain_steps):
+        now += 1.0
+        tracker.on_progress(now, total_work / drain_steps)
+        assert tracker.completed_requests + tracker.queued_requests == (
+            pytest.approx(total_requests, rel=1e-6)
+        )
+    tracker.on_progress(now + 1.0, total_work)  # over-drain is safe
+    assert tracker.completed_requests == pytest.approx(total_requests, rel=1e-6)
+    assert tracker.queued_requests == pytest.approx(0.0, abs=1e-6)
+
+
+@given(batches=events)
+@settings(max_examples=50, deadline=None)
+def test_latencies_nonnegative_and_ordered_percentiles(batches):
+    tracker = LatencyTracker()
+    now = 0.0
+    total_work = 0.0
+    for gap, work, requests in batches:
+        now += gap
+        tracker.on_arrival(now, work, requests)
+        total_work += work
+    tracker.on_progress(now + 5.0, total_work)
+    p50 = tracker.percentile(50)
+    p90 = tracker.percentile(90)
+    p100 = tracker.percentile(100)
+    assert 0.0 <= p50 <= p90 <= p100
+    assert p100 == tracker.max_response_time
+    # 1e-9 slack: the weighted running sum accumulates float rounding.
+    assert 0.0 <= tracker.mean_response_time <= p100 + 1e-9
+
+
+@given(batches=events)
+@settings(max_examples=30, deadline=None)
+def test_fifo_completion_latencies_reflect_arrival_order(batches):
+    tracker = LatencyTracker()
+    now = 0.0
+    arrivals = []
+    for gap, work, requests in batches:
+        now += gap
+        tracker.on_arrival(now, work, requests)
+        arrivals.append((now, work))
+    completion = now + 100.0
+    tracker.on_progress(completion, sum(work for _, work in arrivals))
+    # All drained at one instant: the earliest arrival has the largest
+    # latency, so max latency == completion - first arrival.
+    expected_max = completion - arrivals[0][0]
+    assert tracker.max_response_time == pytest.approx(expected_max)

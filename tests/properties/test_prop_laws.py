@@ -1,0 +1,92 @@
+"""Property-based tests for the paper's laws (Eqs. 1-4, Listing 1.1)."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro import FrequencyTable
+from repro.core import laws
+from repro.cpu.processor import make_states
+
+ratios = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+cfs = st.floats(min_value=0.5, max_value=1.0, allow_nan=False)
+credits = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+loads = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def freq_tables(draw):
+    freqs = draw(
+        st.lists(st.integers(min_value=200, max_value=5000), min_size=1, max_size=8, unique=True)
+    )
+    cf_min = draw(cfs)
+    ordered = sorted(freqs)
+    if len(ordered) == 1:
+        cf_values = [1.0]
+    else:
+        low, high = ordered[0], ordered[-1]
+        cf_values = [1.0 - (1.0 - cf_min) * (high - f) / (high - low) for f in ordered]
+    return FrequencyTable(make_states(ordered, cf=cf_values))
+
+
+@given(credit=credits, ratio=ratios, cf=cfs)
+def test_eq4_compensation_preserves_absolute_capacity(credit, ratio, cf):
+    # Eq. 4's whole point: compensated credit x effective speed == original.
+    compensated = laws.compensated_credit(credit, ratio, cf)
+    assert math.isclose(compensated * ratio * cf, credit, rel_tol=1e-9)
+
+
+@given(credit=credits, ratio=ratios, cf=cfs)
+def test_eq4_never_reduces_credit(credit, ratio, cf):
+    assert laws.compensated_credit(credit, ratio, cf) >= credit - 1e-12
+
+
+@given(load=loads, ratio=ratios, cf=cfs)
+def test_eq1_round_trip(load, ratio, cf):
+    nominal = laws.load_at_frequency(load, ratio, cf)
+    assert math.isclose(laws.absolute_load(nominal, ratio, cf), load, abs_tol=1e-9)
+
+
+@given(time=st.floats(min_value=0.1, max_value=1e6), ratio=ratios, cf=cfs)
+def test_eq2_slower_frequency_never_speeds_up(time, ratio, cf):
+    assert laws.execution_time_at_frequency(time, ratio, cf) >= time - 1e-9
+
+
+@given(
+    time=st.floats(min_value=0.1, max_value=1e6),
+    c_init=credits,
+    c_new=credits,
+)
+def test_eq3_monotone_in_credit(time, c_init, c_new):
+    result = laws.execution_time_at_credit(time, c_init, c_new)
+    if c_new >= c_init:
+        assert result <= time + 1e-9
+    else:
+        assert result >= time - 1e-9
+
+
+@given(table=freq_tables(), load=loads)
+def test_listing11_always_returns_table_frequency(table, load):
+    assert laws.compute_new_frequency(table, load) in table.frequencies
+
+
+@given(table=freq_tables(), load=loads)
+def test_listing11_choice_absorbs_load_or_is_max(table, load):
+    freq = laws.compute_new_frequency(table, load)
+    state = table.state_for(freq)
+    capacity = state.capacity_fraction(table.max_state.freq_mhz) * 100.0
+    if freq != table.max_state.freq_mhz:
+        assert capacity > load
+
+
+@given(table=freq_tables(), load_a=loads, load_b=loads)
+def test_listing11_monotone_in_load(table, load_a, load_b):
+    lo, hi = sorted((load_a, load_b))
+    assert laws.compute_new_frequency(table, lo) <= laws.compute_new_frequency(table, hi)
+
+
+@given(table=freq_tables(), load=loads, margin=st.floats(min_value=0.0, max_value=50.0))
+def test_listing11_margin_never_lowers_choice(table, load, margin):
+    plain = laws.compute_new_frequency(table, load)
+    padded = laws.compute_new_frequency(table, load, margin_percent=margin)
+    assert padded >= plain

@@ -1,0 +1,65 @@
+"""Property-based tests for the PAS scheduler's SLA invariant.
+
+Whatever the booked credit and demand level, PAS must deliver (a) no more
+than the booked absolute capacity, and (b) all of it when the VM is hungry
+— at whatever frequency PAS chose.  This is the paper's contribution stated
+as a property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import catalog, Host
+from repro.workloads import ConstantLoad
+
+
+@given(
+    credit=st.integers(min_value=5, max_value=60),
+    demand_factor=st.floats(min_value=1.5, max_value=6.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_pas_delivers_exactly_booked_capacity_to_hungry_vm(credit, demand_factor):
+    host = Host(scheduler="pas", governor="userspace")
+    vm = host.create_domain("vm", credit=credit)
+    demand = min(100.0, credit * demand_factor)
+    vm.attach_workload(ConstantLoad(demand, injection_period=0.01))
+    host.run(until=30.0)
+    # Skip the first 10s (sampling warm-up), measure the steady window.
+    start = vm.work_done
+    host.run(until=60.0)
+    delivered = (vm.work_done - start) / 30.0 * 100.0
+    booked = min(credit, demand)
+    assert delivered <= booked + 1.5
+    assert delivered >= booked - 1.5
+
+
+@given(credit=st.integers(min_value=5, max_value=40))
+@settings(max_examples=8, deadline=None)
+def test_pas_frequency_matches_listing11_for_the_load(credit):
+    host = Host(scheduler="pas", governor="userspace")
+    vm = host.create_domain("vm", credit=credit)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=30.0)
+    from repro.core import laws
+
+    expected = laws.compute_new_frequency(host.processor.table, float(credit))
+    # Allow one step of slack for measurement quantisation near boundaries.
+    table = host.processor.table
+    allowed = {expected, table.step_up(expected).freq_mhz}
+    assert host.processor.frequency_mhz in allowed
+
+
+@given(
+    credit=st.integers(min_value=5, max_value=60),
+    processor=st.sampled_from(
+        [catalog.OPTIPLEX_755, catalog.CORE_I7_3770, catalog.XEON_E5_2620]
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_pas_caps_equal_eq4_for_current_state(credit, processor):
+    host = Host(processor=processor, scheduler="pas", governor="userspace")
+    vm = host.create_domain("vm", credit=credit)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=30.0)
+    state = host.processor.state
+    expected_cap = credit / (state.ratio_to(host.processor.max_frequency_mhz) * state.cf)
+    assert abs(host.scheduler.cap_of(vm) - expected_cap) < 0.01

@@ -1,0 +1,65 @@
+"""Property-based tests for SEDF's guarantee and work-conservation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Host
+from repro.workloads import ConstantLoad
+
+
+@st.composite
+def sedf_sets(draw):
+    """2-4 (credit, extra) pairs with total utilization <= 100."""
+    count = draw(st.integers(min_value=2, max_value=4))
+    credits = [draw(st.integers(min_value=5, max_value=40)) for _ in range(count)]
+    total = sum(credits)
+    if total > 100:
+        credits = [max(1, c * 100 // total) for c in credits]
+    extras = [draw(st.booleans()) for _ in range(count)]
+    return list(zip(credits, extras))
+
+
+@given(config=sedf_sets())
+@settings(max_examples=12, deadline=None)
+def test_guaranteed_slices_under_contention(config):
+    host = Host(scheduler="sedf", governor="performance")
+    for index, (credit, extra) in enumerate(config):
+        domain = host.create_domain(f"vm{index}", credit=credit, sedf_extra=extra)
+        domain.attach_workload(ConstantLoad(100, injection_period=0.01))
+    duration = 5.0
+    host.run(until=duration)
+    for index, (credit, _) in enumerate(config):
+        used = host.domain(f"vm{index}").cpu_seconds / duration
+        assert used >= credit / 100.0 - 0.025
+
+
+@given(config=sedf_sets())
+@settings(max_examples=12, deadline=None)
+def test_work_conserving_iff_any_extra_flag(config):
+    host = Host(scheduler="sedf", governor="performance")
+    for index, (credit, extra) in enumerate(config):
+        domain = host.create_domain(f"vm{index}", credit=credit, sedf_extra=extra)
+        domain.attach_workload(ConstantLoad(100, injection_period=0.01))
+    duration = 5.0
+    host.run(until=duration)
+    total_used = sum(host.domain(f"vm{index}").cpu_seconds for index in range(len(config)))
+    total_credit = sum(credit for credit, _ in config) / 100.0
+    if any(extra for _, extra in config):
+        # All unused capacity flows to extra-eligible VMs.
+        assert total_used / duration >= 0.97
+    else:
+        assert total_used / duration <= total_credit + 0.02
+
+
+@given(config=sedf_sets())
+@settings(max_examples=8, deadline=None)
+def test_non_extra_vms_capped_at_slice(config):
+    host = Host(scheduler="sedf", governor="performance")
+    for index, (credit, extra) in enumerate(config):
+        domain = host.create_domain(f"vm{index}", credit=credit, sedf_extra=extra)
+        domain.attach_workload(ConstantLoad(100, injection_period=0.01))
+    duration = 5.0
+    host.run(until=duration)
+    for index, (credit, extra) in enumerate(config):
+        if not extra:
+            used = host.domain(f"vm{index}").cpu_seconds / duration
+            assert used <= credit / 100.0 + 0.02

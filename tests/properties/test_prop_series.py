@@ -1,0 +1,63 @@
+"""Property-based tests for time series and smoothing."""
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro import rolling_mean, TimeSeries
+
+samples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+).map(lambda items: sorted(items, key=lambda pair: pair[0]))
+
+
+@given(data=samples)
+def test_mean_bounded_by_min_max(data):
+    series = TimeSeries("s", data)
+    assert series.min() - 1e-9 <= series.mean() <= series.max() + 1e-9
+
+
+@given(data=samples, window=st.integers(min_value=1, max_value=10))
+def test_rolling_mean_stays_within_range(data, window):
+    series = TimeSeries("s", data)
+    smoothed = rolling_mean(series, window)
+    assert len(smoothed) == len(series)
+    for value in smoothed.values:
+        assert series.min() - 1e-9 <= value <= series.max() + 1e-9
+
+
+@given(data=samples)
+def test_rolling_mean_window1_identity(data):
+    series = TimeSeries("s", data)
+    assert rolling_mean(series, 1).values == pytest.approx(series.values)
+
+
+@given(
+    data=samples,
+    start=st.floats(min_value=0.0, max_value=1000.0),
+    width=st.floats(min_value=0.0, max_value=1000.0),
+)
+def test_window_subset_property(data, start, width):
+    series = TimeSeries("s", data)
+    piece = series.window(start, start + width)
+    assert len(piece) <= len(series)
+    for t in piece.times:
+        assert start <= t < start + width
+
+
+@given(data=samples)
+def test_changes_bounded_by_length(data):
+    series = TimeSeries("s", data)
+    assert 0 <= series.changes() <= max(0, len(series) - 1)
+
+
+@given(data=samples, scale=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False))
+def test_map_linearity_of_mean(data, scale):
+    series = TimeSeries("s", data)
+    scaled = series.map(lambda v: v * scale)
+    assert scaled.mean() == pytest.approx(series.mean() * scale, abs=1e-6)

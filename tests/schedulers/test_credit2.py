@@ -1,0 +1,83 @@
+"""Unit tests for the simplified Credit2 scheduler."""
+
+import pytest
+
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def shares(host, duration, *names):
+    host.run(until=duration)
+    return {name: host.domain(name).cpu_seconds / duration for name in names}
+
+
+def test_weighted_fair_sharing():
+    host = make_host(scheduler="credit2")
+    a = host.create_domain("a", credit=20)
+    b = host.create_domain("b", credit=60)
+    a.attach_workload(ConstantLoad(100, injection_period=0.01))
+    b.attach_workload(ConstantLoad(100, injection_period=0.01))
+    result = shares(host, 10.0, "a", "b")
+    assert result["b"] / result["a"] == pytest.approx(3.0, rel=0.15)
+
+
+def test_work_conserving_no_caps():
+    # Credit2 (4.1-era beta) cannot enforce a fixed credit at all.
+    host = make_host(scheduler="credit2")
+    vm = host.create_domain("vm", credit=20)
+    host.create_domain("idle", credit=70)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    result = shares(host, 10.0, "vm")
+    assert result["vm"] >= 0.95
+
+
+def test_set_cap_ignored():
+    host = make_host(scheduler="credit2")
+    vm = host.create_domain("vm", credit=20)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.scheduler.set_cap(vm, 10.0)
+    result = shares(host, 5.0, "vm")
+    assert result["vm"] >= 0.95  # cap had no effect
+
+
+def test_single_vcpu_gets_everything():
+    host = make_host(scheduler="credit2")
+    vm = host.create_domain("vm", credit=50)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    result = shares(host, 5.0, "vm")
+    assert result["vm"] >= 0.97
+
+
+def test_credit_resets_occur():
+    host = make_host(scheduler="credit2")
+    vm = host.create_domain("vm", credit=50)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.run(until=5.0)
+    assert host.scheduler.resets > 0
+
+
+def test_blocked_vcpu_not_picked():
+    host = make_host(scheduler="credit2")
+    worker = host.create_domain("worker", credit=50)
+    host.create_domain("sleeper", credit=50)
+    worker.attach_workload(ConstantLoad(100, injection_period=0.01))
+    result = shares(host, 5.0, "worker", "sleeper")
+    assert result["worker"] >= 0.95
+    assert result["sleeper"] == 0.0
+
+
+def test_equal_weights_split_evenly():
+    host = make_host(scheduler="credit2")
+    a = host.create_domain("a", credit=50)
+    b = host.create_domain("b", credit=50)
+    a.attach_workload(ConstantLoad(100, injection_period=0.01))
+    b.attach_workload(ConstantLoad(100, injection_period=0.01))
+    result = shares(host, 10.0, "a", "b")
+    assert result["a"] == pytest.approx(0.5, abs=0.05)
+
+
+def test_credits_query():
+    host = make_host(scheduler="credit2")
+    vm = host.create_domain("vm", credit=50)
+    assert host.scheduler.credits_of(vm.vcpu) > 0.0

@@ -1,0 +1,30 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro import make_scheduler, SCHEDULER_NAMES
+from repro.core import PasScheduler
+from repro.errors import ConfigurationError
+
+
+def test_all_names_instantiate():
+    for name in SCHEDULER_NAMES:
+        assert make_scheduler(name).name == name
+
+
+def test_names_cover_paper_schedulers():
+    assert set(SCHEDULER_NAMES) == {"credit", "credit2", "sedf", "pas"}
+
+
+def test_pas_resolves_lazily_to_core_class():
+    assert isinstance(make_scheduler("pas"), PasScheduler)
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        make_scheduler("cfs")
+
+
+def test_kwargs_forwarded():
+    scheduler = make_scheduler("credit", quantum=0.05)
+    assert scheduler.quantum == 0.05

@@ -1,0 +1,48 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim import RngStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RngStreams(seed=42)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(seed=42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_same_seed_reproduces_draws():
+    first = [RngStreams(seed=7).stream("x").random() for _ in range(3)]
+    second = [RngStreams(seed=7).stream("x").random() for _ in range(3)]
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("x").random()
+    b = RngStreams(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_new_consumer_does_not_perturb_existing_stream():
+    plain = RngStreams(seed=3)
+    first = [plain.stream("keep").random() for _ in range(3)]
+
+    mixed = RngStreams(seed=3)
+    mixed.stream("other").random()  # extra consumer created first
+    second = [mixed.stream("keep").random() for _ in range(3)]
+    assert first == second
+
+
+def test_names_lists_created_streams():
+    streams = RngStreams()
+    streams.stream("one")
+    streams.stream("two")
+    assert streams.names() == ["one", "two"]
+
+
+def test_seed_property():
+    assert RngStreams(seed=99).seed == 99

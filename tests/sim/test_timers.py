@@ -1,0 +1,107 @@
+"""Unit tests for periodic timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PeriodicTimer
+
+
+def test_fires_every_period(engine):
+    times = []
+    timer = PeriodicTimer(engine, 1.0, times.append)
+    timer.start()
+    engine.run_until(3.5)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_fire_immediately_includes_start_time(engine):
+    times = []
+    timer = PeriodicTimer(engine, 1.0, times.append, fire_immediately=True)
+    timer.start()
+    engine.run_until(2.5)
+    assert times == [0.0, 1.0, 2.0]
+
+
+def test_stop_prevents_future_firings(engine):
+    times = []
+    timer = PeriodicTimer(engine, 1.0, times.append)
+    timer.start()
+    engine.run_until(2.0)
+    timer.stop()
+    engine.run_until(5.0)
+    assert times == [1.0, 2.0]
+
+
+def test_stop_from_inside_callback(engine):
+    times = []
+    timer = PeriodicTimer(engine, 1.0, lambda now: (times.append(now), timer.stop()))
+    timer.start()
+    engine.run_until(5.0)
+    assert times == [1.0]
+
+
+def test_double_start_raises(engine):
+    timer = PeriodicTimer(engine, 1.0, lambda now: None)
+    timer.start()
+    with pytest.raises(SimulationError):
+        timer.start()
+
+
+def test_stop_when_not_started_is_safe(engine):
+    timer = PeriodicTimer(engine, 1.0, lambda now: None)
+    timer.stop()
+    assert not timer.running
+
+
+def test_restart_after_stop(engine):
+    times = []
+    timer = PeriodicTimer(engine, 1.0, times.append)
+    timer.start()
+    engine.run_until(1.0)
+    timer.stop()
+    timer.start()
+    engine.run_until(3.0)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_fire_count(engine):
+    timer = PeriodicTimer(engine, 0.5, lambda now: None)
+    timer.start()
+    engine.run_until(2.0)
+    assert timer.fire_count == 4
+
+
+def test_reschedule_changes_period_from_next_firing(engine):
+    times = []
+    timer = PeriodicTimer(engine, 1.0, times.append)
+    timer.start()
+    engine.run_until(1.0)
+    timer.reschedule(2.0)
+    engine.run_until(6.0)
+    assert times == [1.0, 2.0, 4.0, 6.0]
+
+
+def test_invalid_period_rejected(engine):
+    with pytest.raises(Exception):
+        PeriodicTimer(engine, 0.0, lambda now: None)
+    with pytest.raises(Exception):
+        PeriodicTimer(engine, -1.0, lambda now: None)
+
+
+def test_running_property(engine):
+    timer = PeriodicTimer(engine, 1.0, lambda now: None)
+    assert not timer.running
+    timer.start()
+    assert timer.running
+    timer.stop()
+    assert not timer.running
+
+
+def test_two_timers_interleave_deterministically(engine):
+    order = []
+    a = PeriodicTimer(engine, 1.0, lambda now: order.append(("a", now)))
+    b = PeriodicTimer(engine, 1.0, lambda now: order.append(("b", now)))
+    a.start()
+    b.start()
+    engine.run_until(2.0)
+    assert order == [("a", 1.0), ("b", 1.0), ("a", 2.0), ("b", 2.0)]

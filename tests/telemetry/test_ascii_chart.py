@@ -1,0 +1,55 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro import render_chart, TimeSeries
+from repro.errors import TelemetryError
+
+
+@pytest.fixture
+def series():
+    return TimeSeries("load", [(float(t), float(t * 10 % 100)) for t in range(20)])
+
+
+def test_render_contains_title_and_legend(series):
+    chart = render_chart([series], title="my chart")
+    assert "my chart" in chart
+    assert "load" in chart
+
+
+def test_render_has_requested_dimensions(series):
+    chart = render_chart([series], width=40, height=8)
+    grid_lines = [line for line in chart.splitlines() if "|" in line]
+    assert len(grid_lines) == 8
+
+
+def test_multiple_series_use_distinct_markers(series):
+    other = TimeSeries("freq", [(float(t), 50.0) for t in range(20)])
+    chart = render_chart([series, other])
+    assert "*" in chart and "+" in chart
+
+
+def test_custom_labels(series):
+    chart = render_chart([series], labels=["custom label"])
+    assert "custom label" in chart
+
+
+def test_label_count_mismatch_raises(series):
+    with pytest.raises(TelemetryError):
+        render_chart([series], labels=["a", "b"])
+
+
+def test_empty_input_raises():
+    with pytest.raises(TelemetryError):
+        render_chart([])
+
+
+def test_too_small_chart_raises(series):
+    with pytest.raises(TelemetryError):
+        render_chart([series], width=5, height=2)
+
+
+def test_y_axis_labels_present(series):
+    chart = render_chart([series], y_min=0.0, y_max=100.0)
+    assert "100.0" in chart
+    assert "0.0" in chart

@@ -1,0 +1,58 @@
+"""Unit tests for CSV/table exporters."""
+
+import pytest
+
+from repro import TimeSeries
+from repro.errors import TelemetryError
+from repro.telemetry import series_to_csv, table_to_text
+
+
+def test_csv_header_and_rows():
+    series = TimeSeries("a", [(0.0, 1.0), (1.0, 2.0)])
+    csv = series_to_csv([series])
+    lines = csv.strip().splitlines()
+    assert lines[0] == "a.t,a.v"
+    assert lines[1] == "0,1"
+    assert lines[2] == "1,2"
+
+
+def test_csv_multiple_series_with_different_lengths():
+    a = TimeSeries("a", [(0.0, 1.0), (1.0, 2.0)])
+    b = TimeSeries("b", [(0.0, 9.0)])
+    lines = series_to_csv([a, b]).strip().splitlines()
+    assert lines[0] == "a.t,a.v,b.t,b.v"
+    assert lines[2] == "1,2,,"
+
+
+def test_csv_empty_input_raises():
+    with pytest.raises(TelemetryError):
+        series_to_csv([])
+
+
+def test_table_alignment():
+    text = table_to_text(["name", "value"], [["x", 1.5], ["longer", 22.25]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.50" in text
+    assert "22.25" in text
+
+
+def test_table_title():
+    text = table_to_text(["a"], [["x"]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_table_row_width_mismatch_raises():
+    with pytest.raises(TelemetryError):
+        table_to_text(["a", "b"], [["only one"]])
+
+
+def test_table_empty_headers_raise():
+    with pytest.raises(TelemetryError):
+        table_to_text([], [])
+
+
+def test_table_formats_floats_two_decimals():
+    text = table_to_text(["v"], [[3.14159]])
+    assert "3.14" in text
+    assert "3.14159" not in text

@@ -1,0 +1,51 @@
+"""Unit tests for time-weighted series operations."""
+
+import pytest
+
+from repro import TimeSeries
+from repro.errors import TelemetryError
+
+
+def test_integrate_step_function():
+    series = TimeSeries("s", [(0.0, 10.0), (2.0, 20.0), (3.0, 0.0)])
+    # 10*2 + 20*1, final sample holds zero width.
+    assert series.integrate() == pytest.approx(40.0)
+
+
+def test_integrate_until_extends_last_segment():
+    series = TimeSeries("s", [(0.0, 10.0), (2.0, 20.0)])
+    assert series.integrate(until=5.0) == pytest.approx(10 * 2 + 20 * 3)
+
+
+def test_integrate_until_before_last_sample_truncates():
+    series = TimeSeries("s", [(0.0, 10.0), (2.0, 20.0), (4.0, 30.0)])
+    assert series.integrate(until=3.0) == pytest.approx(10 * 2 + 20 * 1)
+
+
+def test_integrate_single_sample_zero_width():
+    series = TimeSeries("s", [(1.0, 42.0)])
+    assert series.integrate() == 0.0
+    assert series.integrate(until=3.0) == pytest.approx(84.0)
+
+
+def test_integrate_empty_raises():
+    with pytest.raises(TelemetryError):
+        TimeSeries("e").integrate()
+
+
+def test_time_weighted_mean_uneven_sampling():
+    # Plain mean would be 15; time-weighted favours the long 10-segment.
+    series = TimeSeries("s", [(0.0, 10.0), (9.0, 20.0), (10.0, 20.0)])
+    assert series.time_weighted_mean() == pytest.approx((10 * 9 + 20 * 1) / 10)
+    assert series.mean() == pytest.approx(50 / 3)
+
+
+def test_time_weighted_mean_zero_span_returns_last():
+    series = TimeSeries("s", [(5.0, 7.0)])
+    assert series.time_weighted_mean() == 7.0
+
+
+def test_energy_series_consistency():
+    # power integrated over time should track the energy counter shape.
+    power = TimeSeries("p", [(0.0, 100.0), (10.0, 50.0), (20.0, 50.0)])
+    assert power.integrate() == pytest.approx(100 * 10 + 50 * 10)

@@ -1,0 +1,50 @@
+"""Unit tests for the recorder."""
+
+import pytest
+
+from repro import Recorder
+from repro.errors import TelemetryError
+
+
+def test_record_creates_series_lazily():
+    recorder = Recorder()
+    recorder.record("a.load", 0.0, 1.0)
+    recorder.record("a.load", 1.0, 2.0)
+    assert recorder.series("a.load").values == [1.0, 2.0]
+
+
+def test_unknown_series_raises_with_known_names():
+    recorder = Recorder()
+    recorder.record("known", 0.0, 1.0)
+    with pytest.raises(TelemetryError, match="known"):
+        recorder.series("unknown")
+
+
+def test_has():
+    recorder = Recorder()
+    recorder.record("x", 0.0, 1.0)
+    assert recorder.has("x")
+    assert not recorder.has("y")
+
+
+def test_names_sorted_with_prefix_filter():
+    recorder = Recorder()
+    for name in ("b.load", "a.load", "a.freq"):
+        recorder.record(name, 0.0, 1.0)
+    assert recorder.names() == ["a.freq", "a.load", "b.load"]
+    assert recorder.names("a.") == ["a.freq", "a.load"]
+
+
+def test_matching_yields_series():
+    recorder = Recorder()
+    recorder.record("vm.load", 0.0, 1.0)
+    recorder.record("vm.freq", 0.0, 2.0)
+    assert {s.name for s in recorder.matching("vm.")} == {"vm.load", "vm.freq"}
+
+
+def test_len_counts_series():
+    recorder = Recorder()
+    recorder.record("a", 0.0, 1.0)
+    recorder.record("a", 1.0, 1.0)
+    recorder.record("b", 0.0, 1.0)
+    assert len(recorder) == 2

@@ -1,0 +1,94 @@
+"""Unit tests for time series."""
+
+import pytest
+
+from repro import TimeSeries
+from repro.errors import TelemetryError
+
+
+@pytest.fixture
+def series() -> TimeSeries:
+    return TimeSeries("s", [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0), (3.0, 20.0)])
+
+
+def test_construction_from_samples(series):
+    assert len(series) == 4
+    assert series.name == "s"
+
+
+def test_append_monotone_time(series):
+    series.append(3.5, 5.0)
+    assert series.last() == 5.0
+
+
+def test_append_same_time_allowed(series):
+    series.append(3.0, 99.0)
+    assert series.last() == 99.0
+
+
+def test_append_backwards_raises(series):
+    with pytest.raises(TelemetryError):
+        series.append(2.5, 1.0)
+
+
+def test_iteration_yields_pairs(series):
+    assert list(series)[0] == (0.0, 10.0)
+
+
+def test_mean_min_max_last(series):
+    assert series.mean() == pytest.approx(20.0)
+    assert series.min() == 10.0
+    assert series.max() == 30.0
+    assert series.last() == 20.0
+
+
+def test_empty_series_stats_raise():
+    empty = TimeSeries("e")
+    for fn in (empty.mean, empty.min, empty.max, empty.last):
+        with pytest.raises(TelemetryError):
+            fn()
+
+
+def test_window_half_open(series):
+    piece = series.window(1.0, 3.0)
+    assert piece.values == [20.0, 30.0]
+
+
+def test_window_empty(series):
+    assert len(series.window(10.0, 20.0)) == 0
+
+
+def test_window_inverted_raises(series):
+    with pytest.raises(TelemetryError):
+        series.window(3.0, 1.0)
+
+
+def test_value_at_step_interpolation(series):
+    assert series.value_at(0.5) == 10.0
+    assert series.value_at(1.0) == 20.0
+    assert series.value_at(99.0) == 20.0
+
+
+def test_value_at_before_first_sample_raises(series):
+    series2 = TimeSeries("x", [(5.0, 1.0)])
+    with pytest.raises(TelemetryError):
+        series2.value_at(4.0)
+
+
+def test_changes_counts_transitions():
+    flat = TimeSeries("f", [(0, 1), (1, 1), (2, 1)])
+    assert flat.changes() == 0
+    wavy = TimeSeries("w", [(0, 1), (1, 2), (2, 2), (3, 1)])
+    assert wavy.changes() == 2
+
+
+def test_map_transforms_values(series):
+    doubled = series.map(lambda v: v * 2)
+    assert doubled.values == [20.0, 40.0, 60.0, 40.0]
+    assert doubled.times == series.times
+
+
+def test_times_values_are_copies(series):
+    series.times.append(99.0)
+    series.values.append(99.0)
+    assert len(series) == 4

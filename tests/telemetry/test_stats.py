@@ -1,0 +1,62 @@
+"""Unit tests for series statistics."""
+
+import pytest
+
+from repro import rolling_mean, TimeSeries
+from repro.errors import TelemetryError
+from repro.telemetry import phase_mean, summarize
+
+
+def test_rolling_mean_window3():
+    series = TimeSeries("s", [(0, 3.0), (1, 6.0), (2, 9.0), (3, 12.0)])
+    smoothed = rolling_mean(series, 3)
+    assert smoothed.values == pytest.approx([3.0, 4.5, 6.0, 9.0])
+
+
+def test_rolling_mean_preserves_length_and_times():
+    series = TimeSeries("s", [(0, 1.0), (5, 2.0), (9, 3.0)])
+    smoothed = rolling_mean(series, 3)
+    assert smoothed.times == series.times
+    assert len(smoothed) == len(series)
+
+
+def test_rolling_mean_window1_is_identity():
+    series = TimeSeries("s", [(0, 1.0), (1, 5.0)])
+    assert rolling_mean(series, 1).values == series.values
+
+
+def test_rolling_mean_invalid_window():
+    with pytest.raises(TelemetryError):
+        rolling_mean(TimeSeries("s"), 0)
+
+
+def test_rolling_mean_renames():
+    series = TimeSeries("s", [(0, 1.0)])
+    assert rolling_mean(series, 3).name == "s~mean3"
+
+
+def test_phase_mean():
+    series = TimeSeries("s", [(0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0)])
+    assert phase_mean(series, 1.0, 3.0) == pytest.approx(25.0)
+
+
+def test_phase_mean_empty_window_raises():
+    series = TimeSeries("s", [(0, 10.0)])
+    with pytest.raises(TelemetryError):
+        phase_mean(series, 5.0, 6.0)
+
+
+def test_summarize():
+    series = TimeSeries("s", [(0, 1.0), (1, 3.0), (2, 2.0)])
+    summary = summarize(series)
+    assert summary.count == 3
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+    assert summary.last == 2.0
+    assert "s" in str(summary)
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(TelemetryError):
+        summarize(TimeSeries("empty"))

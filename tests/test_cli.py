@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figures" in out and "tables" in out and "ablations" in out
+
+
+def test_figure_command_passes(capsys):
+    assert main(["figure", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "[PASS]" in out
+    assert "[FAIL]" not in out
+
+
+def test_table_command_passes(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "0.80338" in out  # the E5-2620 outlier
+
+
+def test_validate_command(capsys):
+    assert main(["validate", "eq3"]) == 0
+    assert "Eq. 3" in capsys.readouterr().out
+
+
+def test_calibrate_command(capsys):
+    assert main(["calibrate", "Intel Xeon E5-2620"]) == 0
+    out = capsys.readouterr().out
+    assert "0.80338" in out
+
+
+def test_calibrate_unknown_processor(capsys):
+    assert main(["calibrate", "Pentium III"]) == 2
+    assert "unknown processor" in capsys.readouterr().err
+
+
+def test_scenario_command(capsys):
+    assert (
+        main(
+            [
+                "scenario",
+                "--scheduler",
+                "pas",
+                "--v20-load",
+                "thrashing",
+                "--duration",
+                "800",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "V20.absolute_load" in out
+    assert "energy" in out
+
+
+def test_invalid_figure_number_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "11"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["figure", "9"])
+    assert args.number == 9

@@ -1,0 +1,61 @@
+"""Unit tests for the constant duty-cycle load."""
+
+import pytest
+
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def test_generates_requested_duty_cycle():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    vm.attach_workload(ConstantLoad(30, injection_period=0.02))
+    host.run(until=10.0)
+    assert vm.work_done / 10.0 == pytest.approx(0.30, abs=0.01)
+
+
+def test_start_at_window():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    vm.attach_workload(ConstantLoad(50, start_at=5.0))
+    host.run(until=4.9)
+    assert vm.work_done == 0.0
+    host.run(until=10.0)
+    assert vm.work_done / 5.0 == pytest.approx(0.50, abs=0.03)
+
+
+def test_stop_at_ends_injection():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    vm.attach_workload(ConstantLoad(50, stop_at=5.0))
+    host.run(until=10.0)
+    assert vm.work_done == pytest.approx(0.5 * 5.0, abs=0.1)
+
+
+def test_injected_work_counter():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    load = ConstantLoad(40, injection_period=0.02)
+    vm.attach_workload(load)
+    host.run(until=5.0)
+    assert load.injected_work == pytest.approx(2.0, abs=0.05)
+
+
+def test_stop_method():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    load = ConstantLoad(40)
+    vm.attach_workload(load)
+    host.run(until=2.0)
+    load.stop()
+    done = vm.work_done
+    host.run(until=5.0)
+    assert vm.work_done == pytest.approx(done, abs=0.05)
+
+
+def test_invalid_percent_rejected():
+    with pytest.raises(Exception):
+        ConstantLoad(150.0)
+    with pytest.raises(Exception):
+        ConstantLoad(-5.0)

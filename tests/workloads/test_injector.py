@@ -1,0 +1,87 @@
+"""Unit tests for the httperf-style injector."""
+
+import pytest
+
+from repro.sim import Engine, RngStreams
+from repro.workloads import HttperfInjector, LoadProfile
+
+
+def collect(profile, *, duration=10.0, period=0.05, poisson=False, seed=0):
+    engine = Engine()
+    batches = []
+    rng = RngStreams(seed).stream("injector") if poisson else None
+    injector = HttperfInjector(
+        engine,
+        profile,
+        lambda n, now: batches.append((now, n)),
+        injection_period=period,
+        poisson=poisson,
+        rng=rng,
+    )
+    injector.start()
+    engine.run_until(duration)
+    return injector, batches
+
+
+def test_fluid_rate_is_exact():
+    injector, batches = collect(LoadProfile.constant(40.0))
+    total = sum(n for _, n in batches)
+    assert total == pytest.approx(40.0 * 10.0, rel=0.01)
+
+
+def test_fractional_rates_carry_over():
+    injector, batches = collect(LoadProfile.constant(0.3), period=1.0)
+    total = sum(n for _, n in batches)
+    assert total == pytest.approx(3.0, abs=0.4)
+
+
+def test_zero_rate_produces_no_batches():
+    injector, batches = collect(LoadProfile.constant(0.0))
+    assert batches == []
+    assert injector.requests_sent == 0
+
+
+def test_profile_phases_respected():
+    profile = LoadProfile.three_phase(3.0, 7.0, 10.0)
+    injector, batches = collect(profile)
+    before = [n for t, n in batches if t < 3.0]
+    during = sum(n for t, n in batches if 3.0 <= t < 7.0)
+    after = [n for t, n in batches if t >= 7.05]
+    assert not before
+    assert during == pytest.approx(40.0, rel=0.05)
+    assert not after
+
+
+def test_poisson_mode_total_approximates_rate():
+    injector, batches = collect(LoadProfile.constant(40.0), poisson=True, duration=50.0)
+    total = sum(n for _, n in batches)
+    assert total == pytest.approx(2000.0, rel=0.1)
+
+
+def test_poisson_batches_are_integers():
+    injector, batches = collect(LoadProfile.constant(40.0), poisson=True)
+    assert all(float(n).is_integer() for _, n in batches)
+
+
+def test_poisson_reproducible_with_seed():
+    _, first = collect(LoadProfile.constant(10.0), poisson=True, seed=5)
+    _, second = collect(LoadProfile.constant(10.0), poisson=True, seed=5)
+    assert first == second
+
+
+def test_poisson_requires_rng():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        HttperfInjector(engine, LoadProfile.constant(1.0), lambda n, t: None, poisson=True)
+
+
+def test_stop_halts_injection():
+    engine = Engine()
+    batches = []
+    injector = HttperfInjector(engine, LoadProfile.constant(10.0), lambda n, t: batches.append(n))
+    injector.start()
+    engine.run_until(1.0)
+    injector.stop()
+    count = len(batches)
+    engine.run_until(5.0)
+    assert len(batches) == count

@@ -1,0 +1,70 @@
+"""Unit tests for load profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import LoadProfile, Phase
+
+
+def test_three_phase_profile():
+    profile = LoadProfile.three_phase(50.0, 750.0, 40.0)
+    assert profile.rate_at(0.0) == 0.0
+    assert profile.rate_at(49.9) == 0.0
+    assert profile.rate_at(50.0) == 40.0
+    assert profile.rate_at(400.0) == 40.0
+    assert profile.rate_at(750.0) == 0.0
+    assert profile.rate_at(10000.0) == 0.0
+
+
+def test_constant_profile():
+    profile = LoadProfile.constant(25.0)
+    assert profile.rate_at(0.0) == 25.0
+    assert profile.rate_at(1e6) == 25.0
+
+
+def test_phases_sorted_regardless_of_input_order():
+    profile = LoadProfile([Phase(100, 5), Phase(0, 0), Phase(50, 10)])
+    assert [p.start for p in profile.phases] == [0, 50, 100]
+
+
+def test_multi_step_profile():
+    profile = LoadProfile([Phase(0, 10), Phase(10, 20), Phase(20, 5)])
+    assert profile.rate_at(5) == 10
+    assert profile.rate_at(15) == 20
+    assert profile.rate_at(25) == 5
+
+
+def test_rate_before_first_phase_is_zero():
+    profile = LoadProfile([Phase(10, 40)])
+    assert profile.rate_at(5.0) == 0.0
+
+
+def test_end_of_activity():
+    profile = LoadProfile.three_phase(50, 750, 40)
+    assert profile.end_of_activity == 750.0
+
+
+def test_end_of_activity_never_stops():
+    assert LoadProfile.constant(10.0).end_of_activity == float("inf")
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(WorkloadError):
+        LoadProfile([])
+
+
+def test_duplicate_starts_rejected():
+    with pytest.raises(WorkloadError):
+        LoadProfile([Phase(0, 1), Phase(0, 2)])
+
+
+def test_inverted_three_phase_rejected():
+    with pytest.raises(WorkloadError):
+        LoadProfile.three_phase(100, 50, 10)
+
+
+def test_negative_phase_values_rejected():
+    with pytest.raises(Exception):
+        Phase(-1.0, 10.0)
+    with pytest.raises(Exception):
+        Phase(0.0, -10.0)

@@ -1,0 +1,108 @@
+"""Unit tests for trace-driven workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import SyntheticTrace, TraceLoad, TracePoint
+
+from ..conftest import make_host
+
+
+def test_replays_piecewise_demand():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    trace = TraceLoad(
+        [TracePoint(0.0, 40.0), TracePoint(5.0, 10.0), TracePoint(10.0, 0.0)],
+        injection_period=0.02,
+    )
+    vm.attach_workload(trace)
+    host.run(until=15.0)
+    # 5s at 40% + 5s at 10% = 2.5 abs-seconds.
+    assert vm.work_done == pytest.approx(2.5, abs=0.05)
+
+
+def test_demand_at_lookup():
+    trace = TraceLoad([TracePoint(0.0, 40.0), TracePoint(5.0, 10.0)])
+    assert trace.demand_at(0.0) == 40.0
+    assert trace.demand_at(4.9) == 40.0
+    assert trace.demand_at(5.0) == 10.0
+
+
+def test_repeat_wraps_around():
+    trace = TraceLoad(
+        [TracePoint(0.0, 40.0), TracePoint(5.0, 10.0), TracePoint(10.0, 0.0)],
+        repeat=True,
+    )
+    assert trace.demand_at(12.0) == 40.0  # 12 % 10 = 2 -> first segment
+    assert trace.demand_at(16.0) == 10.0
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(WorkloadError):
+        TraceLoad([])
+
+
+def test_duplicate_times_rejected():
+    with pytest.raises(WorkloadError):
+        TraceLoad([TracePoint(0.0, 1.0), TracePoint(0.0, 2.0)])
+
+
+def test_stop_halts_injection():
+    host = make_host()
+    vm = host.create_domain("vm", credit=0)
+    trace = TraceLoad([TracePoint(0.0, 50.0)])
+    vm.attach_workload(trace)
+    host.run(until=2.0)
+    trace.stop()
+    done = vm.work_done
+    host.run(until=5.0)
+    assert vm.work_done == pytest.approx(done, abs=0.05)
+
+
+def test_synthetic_trace_shape():
+    generator = SyntheticTrace(
+        base_percent=25.0, swing_percent=15.0, noise_percent=0.0, bursts=0
+    )
+    points = generator.generate(random.Random(1))
+    demands = [p.percent for p in points[:-1]]
+    # Trough at t=0 (cos phase), peak mid-day.
+    assert demands[0] == pytest.approx(10.0, abs=0.5)
+    assert max(demands) == pytest.approx(40.0, abs=0.5)
+    assert points[-1].percent == 0.0
+
+
+def test_synthetic_trace_bursts_visible():
+    quiet = SyntheticTrace(noise_percent=0.0, bursts=0).generate(random.Random(1))
+    bursty = SyntheticTrace(noise_percent=0.0, bursts=2, burst_percent=30.0).generate(
+        random.Random(1)
+    )
+    # Bursts land mid-half-day (on the diurnal shoulder, demand ~25%), so
+    # the bursty peak is shoulder + burst = ~55 vs the quiet peak of ~40.
+    assert max(p.percent for p in bursty) > max(p.percent for p in quiet) + 10.0
+
+
+def test_synthetic_trace_reproducible():
+    a = SyntheticTrace().generate(random.Random(7))
+    b = SyntheticTrace().generate(random.Random(7))
+    assert a == b
+
+
+def test_synthetic_trace_clamped_to_valid_range():
+    points = SyntheticTrace(
+        base_percent=95.0, swing_percent=20.0, noise_percent=10.0, bursts=3
+    ).generate(random.Random(3))
+    assert all(0.0 <= p.percent <= 100.0 for p in points)
+
+
+def test_synthetic_drives_trace_load_end_to_end():
+    host = make_host(seed=11)
+    vm = host.create_domain("vm", credit=0)
+    points = SyntheticTrace(day_length=50.0, step=1.0).generate(
+        host.rng.stream("trace")
+    )
+    vm.attach_workload(TraceLoad(points))
+    host.run(until=50.0)
+    mean_load = host.recorder.series("vm.global_load").window(5, 50).mean()
+    assert 10.0 <= mean_load <= 50.0
