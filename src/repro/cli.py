@@ -9,6 +9,7 @@ Examples::
     python -m repro ablation energy
     python -m repro calibrate "Intel Xeon E5-2620"
     python -m repro scenario --scheduler pas --v20-load thrashing
+    python -m repro sweep --workers 4 --out results.json
 
 Every command prints the same paper-vs-measured report the benchmarks
 assert on, and exits non-zero when a shape criterion fails — so the CLI
@@ -18,6 +19,7 @@ doubles as a reproduction smoke-check in CI.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -183,6 +185,70 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default sweep grid: the full scheduler x governor x load evaluation
+#: plane of §5 (4 x 3 x 2 = 24 cells).
+_SWEEP_DEFAULTS = {
+    "schedulers": "credit,credit2,sedf,pas",
+    "governors": "performance,ondemand,stable",
+    "v20_loads": "exact,thrashing",
+}
+
+#: Compact per-cell columns for the terminal summary.
+_SWEEP_SUMMARY_METRICS = (
+    "v20_absolute_solo_early",
+    "v20_global_both",
+    "freq_mhz_solo_early",
+    "dvfs_transitions",
+    "energy_joules",
+)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import run_sweep, SweepGrid
+
+    if args.grid:
+        try:
+            axes = json.loads(args.grid)
+        except json.JSONDecodeError as error:
+            print(f"--grid is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(axes, dict):
+            print(f"--grid must be a JSON object of axes, got: {args.grid!r}", file=sys.stderr)
+            return 2
+    else:
+        axes = {
+            "scheduler": args.schedulers.split(","),
+            "governor": args.governors.split(","),
+            "v20_load": args.v20_loads.split(","),
+        }
+    from .errors import ConfigurationError
+
+    base = ScenarioConfig(duration=args.duration, seed=args.seed)
+    try:
+        grid = SweepGrid(axes, base=base, vary_seed=not args.fixed_seed)
+        results = run_sweep(grid, workers=args.workers)
+    except ConfigurationError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    print(
+        results.summary_table(
+            [m for m in _SWEEP_SUMMARY_METRICS if m in results.cells[0].metrics],
+            title=f"sweep: {len(results)} cells, axes {', '.join(grid.axes)}",
+        )
+    )
+    for axis in grid.axes:
+        if len(grid.axes[axis]) < 2 or "energy_joules" not in results.cells[0].metrics:
+            continue
+        print()
+        print(f"mean energy by {axis}:")
+        for value, summary in results.aggregate("energy_joules", by=axis).items():
+            print(f"  {str(value):<14} {summary['mean']:10.0f} J over {summary['count']} cells")
+    if args.out:
+        path = results.save(args.out)
+        print(f"\nwrote {len(results)} cells to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -229,6 +295,47 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--duration", type=float, default=800.0)
     scenario.add_argument("--seed", type=int, default=1)
     scenario.set_defaults(fn=_cmd_scenario)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a scenario grid (scheduler x governor x load by default)",
+        description=(
+            "Expand a parameter grid over the §5.3 scenario and run every cell, "
+            "optionally across a process pool.  Axes come from the three list "
+            "flags, or from --grid as a JSON object mapping ScenarioConfig "
+            "fields to value lists (see the repro.sweep module docs)."
+        ),
+    )
+    sweep.add_argument(
+        "--schedulers",
+        default=_SWEEP_DEFAULTS["schedulers"],
+        help="comma-separated scheduler axis (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--governors",
+        default=_SWEEP_DEFAULTS["governors"],
+        help="comma-separated governor axis (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--v20-loads",
+        default=_SWEEP_DEFAULTS["v20_loads"],
+        help="comma-separated V20 load axis (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--grid",
+        default=None,
+        help="JSON object of axes overriding the three list flags",
+    )
+    sweep.add_argument("--duration", type=float, default=800.0)
+    sweep.add_argument("--seed", type=int, default=1, help="root seed for per-cell seeds")
+    sweep.add_argument(
+        "--fixed-seed",
+        action="store_true",
+        help="give every cell the root seed instead of derived per-cell seeds",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
+    sweep.add_argument("--out", default=None, help="write results to PATH (.json or .csv)")
+    sweep.set_defaults(fn=_cmd_sweep)
 
     return parser
 

@@ -29,6 +29,12 @@ from .machine import Machine, MachineSpec
 from .vm import ClusterVM
 from .placement import consolidate_first_fit, PlacementError, spread_round_robin
 from .simulator import ClusterSim, EpochStats
+from .scenario import (
+    build_cluster,
+    ClusterScenarioConfig,
+    make_population,
+    run_cluster_scenario,
+)
 
 __all__ = [
     "Machine",
@@ -39,4 +45,8 @@ __all__ = [
     "PlacementError",
     "ClusterSim",
     "EpochStats",
+    "ClusterScenarioConfig",
+    "build_cluster",
+    "make_population",
+    "run_cluster_scenario",
 ]

@@ -1,0 +1,118 @@
+"""Declarative configuration for fleet-scale cluster runs.
+
+The §2.3 consolidation ablation originally hand-built its fleet inline.
+This module turns that setup into a frozen, picklable config —
+:class:`ClusterScenarioConfig` — so cluster runs can be enumerated by the
+sweep subsystem (:mod:`repro.sweep`) exactly like single-host
+:class:`~repro.experiments.scenario.ScenarioConfig` runs: every field is an
+axis a grid can vary, and :func:`run_cluster_scenario` is the one-shot
+executor a worker process can call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..cpu import catalog
+from ..cpu.processor import ProcessorSpec
+from ..errors import ConfigurationError
+from ..sim import RngStreams
+from ..workloads import SyntheticTrace, TraceLoad
+from .machine import MachineSpec
+from .placement import consolidate_first_fit, spread_round_robin
+from .simulator import ClusterSim
+from .vm import ClusterVM
+
+#: Placement policies addressable by name from a config/grid.
+POLICIES = {
+    "spread": spread_round_robin,
+    "consolidate": consolidate_first_fit,
+}
+
+
+@dataclass(frozen=True)
+class ClusterScenarioConfig:
+    """Parameters of a fleet run (homogeneous machines, synthetic traces).
+
+    ``policy`` is a name from :data:`POLICIES` (``"spread"`` or
+    ``"consolidate"``) so configs stay picklable and JSON-describable.
+    The trace fields parameterize the per-VM
+    :class:`~repro.workloads.trace.SyntheticTrace` demand.
+    """
+
+    n_machines: int = 8
+    n_vms: int = 12
+    policy: str = "consolidate"
+    dvfs: bool = True
+    duration: float = 600.0
+    seed: int = 7
+    processor: ProcessorSpec = field(default=catalog.CORE_I7_3770)
+    machine_memory_mb: int = 16384
+    vm_credit: float = 30.0
+    vm_memory_mb: int = 5120
+    epoch: float = 10.0
+    base_percent: float = 14.0
+    swing_percent: float = 8.0
+    noise_percent: float = 2.0
+    burst_percent: float = 10.0
+    bursts: int = 1
+    day_length: float = 600.0
+    trace_step: float = 10.0
+
+    def with_changes(self, **changes) -> "ClusterScenarioConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def make_population(config: ClusterScenarioConfig) -> list[ClusterVM]:
+    """The VM population: diurnal CPU traces, memory-bound footprints."""
+    streams = RngStreams(config.seed)
+    vms = []
+    for index in range(config.n_vms):
+        points = SyntheticTrace(
+            base_percent=config.base_percent,
+            swing_percent=config.swing_percent,
+            noise_percent=config.noise_percent,
+            burst_percent=config.burst_percent,
+            bursts=config.bursts,
+            day_length=config.day_length,
+            step=config.trace_step,
+        ).generate(streams.stream(f"vm{index}"))
+        trace = TraceLoad(points, repeat=True)
+        vms.append(
+            ClusterVM(
+                f"vm{index:02d}",
+                credit=config.vm_credit,
+                memory_mb=config.vm_memory_mb,
+                demand=trace.demand_at,
+            )
+        )
+    return vms
+
+
+def build_cluster(config: ClusterScenarioConfig) -> ClusterSim:
+    """Construct (but do not run) the fleet described by *config*."""
+    try:
+        policy = POLICIES[config.policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown placement policy {config.policy!r}; "
+            f"use one of: {', '.join(sorted(POLICIES))}"
+        ) from None
+    return ClusterSim(
+        n_machines=config.n_machines,
+        machine_spec=MachineSpec(
+            processor=config.processor, memory_mb=config.machine_memory_mb
+        ),
+        vms=make_population(config),
+        policy=policy,
+        dvfs=config.dvfs,
+        epoch=config.epoch,
+    )
+
+
+def run_cluster_scenario(config: ClusterScenarioConfig) -> ClusterSim:
+    """Build and run the fleet to its configured duration."""
+    sim = build_cluster(config)
+    sim.run(config.duration)
+    return sim

@@ -42,6 +42,7 @@ class CpuFreq:
         self._requests = 0
         self._last_load_percent = 0.0
         self._observers: list[Callable[[int], None]] = []
+        self._pre_observers: list[Callable[[int], None]] = []
         self._min_freq: int | None = None
         self._max_freq: int | None = None
 
@@ -138,6 +139,10 @@ class CpuFreq:
         if self._max_freq is not None and freq_mhz > self._max_freq:
             freq_mhz = self._max_freq
         freq_mhz = table.state_for(freq_mhz).freq_mhz
+        will_change = self._processor.table.state_for(freq_mhz) is not self._processor.state
+        if will_change:
+            for observer in self._pre_observers:
+                observer(freq_mhz)
         changed = self._processor.set_frequency(freq_mhz)
         if changed:
             for observer in self._observers:
@@ -152,6 +157,15 @@ class CpuFreq:
         change forces a re-dispatch at the new capacity.
         """
         self._observers.append(callback)
+
+    def add_pre_observer(self, callback: Callable[[int], None]) -> None:
+        """Register *callback(new_freq_mhz)* to fire just *before* a change.
+
+        The hypervisor uses this to fold the in-flight slice prefix (or idle
+        gap) into the books while the outgoing P-state is still current, so
+        energy and time-in-state are billed at the state that actually ran.
+        """
+        self._pre_observers.append(callback)
 
     # ------------------------------------------------------------- sampling
 

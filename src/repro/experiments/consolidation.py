@@ -22,36 +22,10 @@ every strategy delivers the full SLA (demand never exceeds booked credits).
 
 from __future__ import annotations
 
-from ..cluster import ClusterSim, ClusterVM, consolidate_first_fit, MachineSpec, spread_round_robin
-from ..cpu import catalog
-from ..sim import RngStreams
-from ..workloads import SyntheticTrace, TraceLoad, TracePoint
+from ..cluster import ClusterScenarioConfig, ClusterSim
+from ..sweep import run_cells, SweepGrid
+from ..sweep.metrics import fleet_metrics
 from .report import ExperimentReport
-
-
-def _make_population(n_vms: int, seed: int) -> list[ClusterVM]:
-    streams = RngStreams(seed)
-    vms = []
-    for index in range(n_vms):
-        points = SyntheticTrace(
-            base_percent=14.0,
-            swing_percent=8.0,
-            noise_percent=2.0,
-            burst_percent=10.0,
-            bursts=1,
-            day_length=600.0,
-            step=10.0,
-        ).generate(streams.stream(f"vm{index}"))
-        trace = TraceLoad(points, repeat=True)
-        vms.append(
-            ClusterVM(
-                f"vm{index:02d}",
-                credit=30.0,
-                memory_mb=5120,
-                demand=trace.demand_at,
-            )
-        )
-    return vms
 
 
 def run_consolidation_ablation(
@@ -61,36 +35,35 @@ def run_consolidation_ablation(
     duration: float = 600.0,
     seed: int = 7,
 ) -> ExperimentReport:
-    """Fleet energy under the four strategies of §2.3."""
+    """Fleet energy under the four strategies of §2.3.
+
+    A thin reduction over a policy x DVFS sweep of the declarative
+    :class:`~repro.cluster.scenario.ClusterScenarioConfig` (the raw sims
+    are kept for the packed-host memory-bound introspection below).
+    """
     report = ExperimentReport(
         experiment="Ablation E (consolidation)",
         title="memory-bound consolidation leaves CPU idle - DVFS is complementary (§2.3)",
     )
-    spec = MachineSpec(processor=catalog.CORE_I7_3770, memory_mb=16384)
+    base = ClusterScenarioConfig(
+        n_machines=n_machines, n_vms=n_vms, duration=duration, seed=seed
+    )
     strategies = {
-        "spread, no DVFS": (spread_round_robin, False),
-        "spread + DVFS": (spread_round_robin, True),
-        "consolidation, no DVFS": (consolidate_first_fit, False),
-        "consolidation + DVFS": (consolidate_first_fit, True),
+        "spread, no DVFS": base.with_changes(policy="spread", dvfs=False),
+        "spread + DVFS": base.with_changes(policy="spread", dvfs=True),
+        "consolidation, no DVFS": base.with_changes(policy="consolidate", dvfs=False),
+        "consolidation + DVFS": base.with_changes(policy="consolidate", dvfs=True),
     }
+    sims: dict[str, ClusterSim] = run_cells(SweepGrid.from_variants(strategies))
     energy: dict[str, float] = {}
-    sims: dict[str, ClusterSim] = {}
-    for label, (policy, dvfs) in strategies.items():
-        sim = ClusterSim(
-            n_machines=n_machines,
-            machine_spec=spec,
-            vms=_make_population(n_vms, seed),
-            policy=policy,
-            dvfs=dvfs,
-        )
-        sim.run(duration)
-        energy[label] = sim.fleet_energy_joules
-        sims[label] = sim
+    for label, sim in sims.items():
+        metrics = fleet_metrics(sim)
+        energy[label] = metrics["fleet_energy_joules"]
         report.add_row(
             label,
             "energy kJ / machines on / SLA",
-            f"{sim.fleet_energy_joules / 1000:8.1f} / {sim.mean_machines_on:4.1f} "
-            f"/ {sim.mean_sla_fraction * 100:5.1f}%",
+            f"{metrics['fleet_energy_joules'] / 1000:8.1f} / {metrics['mean_machines_on']:4.1f} "
+            f"/ {metrics['mean_sla_fraction'] * 100:5.1f}%",
         )
 
     consolidated = sims["consolidation + DVFS"]

@@ -13,12 +13,17 @@
 from __future__ import annotations
 
 from ..cpu import catalog
+from ..sweep import run_sweep, SweepGrid
 from .report import ExperimentReport
 from .scenario import analysis_windows, ScenarioConfig, run_scenario
 
 
-def run_energy_ablation(**overrides) -> ExperimentReport:
-    """Energy and SLA across schedulers on the thrashing profile."""
+def run_energy_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
+    """Energy and SLA across schedulers on the thrashing profile.
+
+    A thin reduction over a four-variant sweep; *workers* fans the variants
+    out across a process pool (results are identical either way).
+    """
     report = ExperimentReport(
         experiment="Ablation A (energy)",
         title="energy vs SLA on the thrashing profile: PAS saves energy AND holds the SLA",
@@ -35,14 +40,15 @@ def run_energy_ablation(**overrides) -> ExperimentReport:
         ),
         "pas": ScenarioConfig(scheduler="pas", v20_load="thrashing"),
     }
+    grid = SweepGrid.from_variants(
+        {label: config.with_changes(**overrides) for label, config in configs.items()}
+    )
+    results = run_sweep(grid, metrics=("loads", "energy"), workers=workers)
     energies: dict[str, float] = {}
     slas: dict[str, float] = {}
-    for label, config in configs.items():
-        config = config.with_changes(**overrides)
-        result = run_scenario(config)
-        solo, _, _ = analysis_windows(config)
-        energies[label] = result.energy_joules
-        slas[label] = result.phase_mean("V20.absolute_load", solo)
+    for label in grid.axes["variant"]:
+        energies[label] = results.metric(label, "energy_joules")
+        slas[label] = results.metric(label, "v20_absolute_solo_early")
         report.add_row(
             label,
             "energy J / V20 absolute % (solo)",

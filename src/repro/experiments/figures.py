@@ -22,6 +22,7 @@ Fig. 10   (absolute of Fig. 9)         absolute 20 / 20 at low frequency
 
 from __future__ import annotations
 
+from ..sweep import run_cells, SweepGrid
 from ..telemetry import render_chart
 from .report import ExperimentReport
 from .scenario import (
@@ -93,9 +94,16 @@ def run_fig2(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 def run_fig3(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 3: the stock ondemand governor oscillates (credit scheduler)."""
     config = ScenarioConfig(scheduler="credit", governor="ondemand").with_changes(**overrides)
-    result = run_scenario(config)
+    runs = run_cells(
+        SweepGrid.from_variants(
+            {
+                "ondemand": config,
+                "stable": config.with_changes(governor="stable"),
+            }
+        )
+    )
+    result, stable = runs["ondemand"], runs["stable"]
     solo, both, late = analysis_windows(config)
-    stable = run_scenario(config.with_changes(governor="stable"))
     report = ExperimentReport(
         experiment="Figure 3",
         title="global loads with the stock Ondemand governor (aggressive, unstable)",

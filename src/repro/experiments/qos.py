@@ -15,23 +15,19 @@ at the compensated credit: millisecond-scale responses, no drops.
 
 from __future__ import annotations
 
+from ..errors import WorkloadError
+from ..sweep import run_sweep, SweepGrid
 from .report import ExperimentReport
-from .scenario import ScenarioConfig, build_scenario, ScenarioResult
+from .scenario import ScenarioConfig
 
 
-def _run_with_latency(config: ScenarioConfig) -> tuple[ScenarioResult, object]:
-    host = build_scenario(config)
-    webapp = host.domain("V20").workload
-    host.run(until=config.duration)
-    return ScenarioResult(config=config, host=host), webapp
-
-
-def run_qos_ablation(**overrides) -> ExperimentReport:
+def run_qos_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
     """V20 response times under each scheduler (near-exact load, §5.3 profile).
 
     V20 runs at 90 % of its booked capacity — the standard operating point
     for latency measurement; at exactly 100 % any transient backlog
-    persists forever and hides the steady-state difference.
+    persists forever and hides the steady-state difference.  A thin
+    reduction over a four-variant sweep with the ``qos`` metric set.
     """
     report = ExperimentReport(
         experiment="Ablation D (QoS)",
@@ -49,13 +45,20 @@ def run_qos_ablation(**overrides) -> ExperimentReport:
         ),
         "pas": ScenarioConfig(scheduler="pas", v20_load="near_exact"),
     }
+    grid = SweepGrid.from_variants(
+        {label: config.with_changes(**overrides) for label, config in configs.items()}
+    )
+    results = run_sweep(grid, metrics=("qos",), workers=workers)
     stats: dict[str, tuple[float, float, float]] = {}
-    for label, config in configs.items():
-        _, webapp = _run_with_latency(config.with_changes(**overrides))
-        tracker = webapp.latency
-        p50 = tracker.percentile(50)
-        p99 = tracker.percentile(99)
-        drops = webapp.drop_fraction * 100.0
+    for label in grid.axes["variant"]:
+        p50 = results.metric(label, "v20_latency_p50_s")
+        p99 = results.metric(label, "v20_latency_p99_s")
+        drops = results.metric(label, "v20_drop_percent")
+        if p50 is None or p99 is None:
+            raise WorkloadError(
+                f"cell {label!r}: V20 completed no requests — timeline too "
+                "short to measure response times"
+            )
         stats[label] = (p50, p99, drops)
         report.add_row(
             label,

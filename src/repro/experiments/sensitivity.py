@@ -18,22 +18,29 @@ window of 1 reacts fastest but tracks sampling noise.
 
 from __future__ import annotations
 
+from ..errors import TelemetryError
+from ..sweep import run_sweep, SweepGrid
 from .report import ExperimentReport
-from .scenario import analysis_windows, ScenarioConfig, run_scenario
+from .scenario import ScenarioConfig
 
 
-def _reaction_time(result, activation: float) -> float:
-    """Seconds from *activation* until the frequency first hits the max."""
-    freq = result.series("host.freq_mhz", smooth=False)
-    maximum = result.host.processor.max_frequency_mhz
-    for t, value in freq:
-        if t >= activation and value == maximum:
-            return t - activation
-    return float("inf")
+def _required(results, label: str, name: str) -> float:
+    """A metric that must have samples; None means the window was empty."""
+    value = results.metric(label, name)
+    if value is None:
+        raise TelemetryError(
+            f"cell {label!r} has no samples for {name!r} — is the timeline too "
+            "short for the analysis windows?"
+        )
+    return value
 
 
-def run_pas_sensitivity(**overrides) -> ExperimentReport:
-    """Sweep PAS's sample period and averaging window on the §5.3 profile."""
+def run_pas_sensitivity(*, workers: int = 1, **overrides) -> ExperimentReport:
+    """Sweep PAS's sample period and averaging window on the §5.3 profile.
+
+    A thin reduction over a six-variant sweep with the ``loads``,
+    ``frequency`` and ``reaction`` metric sets.
+    """
     report = ExperimentReport(
         experiment="Ablation F (PAS sensitivity)",
         title="sample period x averaging window: reactivity vs stability vs accuracy",
@@ -46,20 +53,26 @@ def run_pas_sensitivity(**overrides) -> ExperimentReport:
         (1.0, 5),
         (2.0, 3),
     ]
+    grid = SweepGrid.from_variants(
+        {
+            f"{sample_period}x{window}": ScenarioConfig(
+                scheduler="pas",
+                v20_load="thrashing",
+                scheduler_kwargs={"sample_period": sample_period, "window": window},
+            ).with_changes(**overrides)
+            for sample_period, window in sweeps
+        }
+    )
+    sweep_results = run_sweep(grid, metrics=("loads", "frequency", "reaction"), workers=workers)
     results: dict[tuple[float, int], tuple[float, int, float]] = {}
     for sample_period, window in sweeps:
-        config = ScenarioConfig(
-            scheduler="pas",
-            v20_load="thrashing",
-            scheduler_kwargs={"sample_period": sample_period, "window": window},
-        ).with_changes(**overrides)
-        result = run_scenario(config)
-        solo, both, late = analysis_windows(config)
-        reaction = _reaction_time(result, config.v70_active[0])
-        transitions = result.frequency_transitions
+        label = f"{sample_period}x{window}"
+        reaction = sweep_results.metric(label, "freq_reaction_s")
+        reaction = float("inf") if reaction is None else reaction
+        transitions = sweep_results.metric(label, "dvfs_transitions")
         sla_error = max(
-            abs(result.phase_mean("V20.absolute_load", phase) - 20.0)
-            for phase in (solo, both, late)
+            abs(_required(sweep_results, label, f"v20_absolute_{phase}") - 20.0)
+            for phase in ("solo_early", "both", "solo_late")
         )
         results[(sample_period, window)] = (reaction, transitions, sla_error)
         marker = "  <- paper" if (sample_period, window) == (1.0, 3) else ""

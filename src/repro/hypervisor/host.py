@@ -94,6 +94,7 @@ class Host:
         self._domain_energy: dict[str, float] = {}
         self._idle_energy = 0.0
 
+        self.cpufreq.add_pre_observer(self._before_frequency_change)
         self.cpufreq.add_observer(self._on_frequency_change)
 
     # -------------------------------------------------------------- domains
@@ -207,10 +208,21 @@ class Host:
                 self._end_current_slice()
             self._begin_dispatch()
 
+    def _before_frequency_change(self, freq_mhz: int) -> None:
+        # Fold the in-flight slice prefix (or idle gap) into the books while
+        # the outgoing P-state is still current: the prefix ran at the old
+        # state's capacity *and* the old state's wattage, so billing it
+        # after the flip would charge it at the wrong power and log it in
+        # the wrong time-in-state bucket.
+        self.sync_accounting()
+
     def _on_frequency_change(self, freq_mhz: int) -> None:
         # Work accrues at a constant capacity per slice; a P-state change
         # invalidates that, so end the slice and re-dispatch at the new rate.
-        if self._current is not None:
+        # A change that lands on the same effective capacity (two states with
+        # equal ratio * cf) leaves the in-flight slice's accounting valid, so
+        # it is not a preemption.
+        if self._current is not None and self.processor.capacity_fraction != self._slice_capacity:
             self._preemptions += 1
             self._end_current_slice()
             self._begin_dispatch()

@@ -1,0 +1,189 @@
+"""Declarative parameter grids over scenario and cluster configs.
+
+A :class:`SweepGrid` enumerates *cells*: one config (plus a stable label and
+a deterministic seed) per point of a Cartesian product of axes, or per entry
+of an explicit variant mapping.  Cells are plain frozen data, picklable, and
+ordered — the same grid always expands to the same cells in the same order,
+which is what lets the runner promise bit-identical serial/parallel results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import zlib
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+
+def derive_cell_seed(root_seed: int, label: str) -> int:
+    """A deterministic, process-independent seed for the cell *label*.
+
+    CRC32 of ``"<root>|<label>"`` — stable across Python versions and
+    processes (unlike ``hash()``, which is salted per interpreter).
+    """
+    return zlib.crc32(f"{root_seed}|{label}".encode("utf-8")) & 0x7FFFFFFF
+
+
+def describe_value(value: Any) -> Any:
+    """A JSON-able, deterministic description of an axis value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = getattr(value, "name", None)
+        return name if name is not None else str(value)
+    if isinstance(value, Mapping):
+        return dict(value)
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _format_value(value: Any) -> str:
+    described = describe_value(value)
+    if isinstance(described, (dict, list)):
+        return json.dumps(described, sort_keys=True, separators=(",", ":"))
+    return str(described)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One point of a grid: a label, its parameters, and the built config."""
+
+    index: int
+    label: str
+    params: Mapping[str, Any]
+    config: Any
+    seed: int | None = None
+
+
+class SweepGrid:
+    """A declarative grid of configs.
+
+    Parameters
+    ----------
+    axes:
+        Mapping of config field name to the sequence of values to sweep.
+        Axis order (mapping insertion order) fixes the cell order: the last
+        axis varies fastest, like nested loops.  Every key must be a field
+        of the base config's dataclass.  List values for tuple-typed fields
+        (e.g. ``v20_active``) are coerced to tuples, so grids can come
+        straight from JSON.
+    base:
+        The config every cell is derived from via ``dataclasses.replace``.
+        Defaults to a fresh :class:`~repro.experiments.scenario.ScenarioConfig`.
+    vary_seed:
+        When True and ``seed`` is not itself an axis, each cell's config
+        gets a deterministic per-cell seed derived from the base seed and
+        the cell label (:func:`derive_cell_seed`).  When False every cell
+        keeps the base seed, so single-config experiments stay bit-equal to
+        their pre-sweep form.
+    """
+
+    def __init__(
+        self,
+        axes: Mapping[str, Sequence[Any]],
+        *,
+        base: Any = None,
+        vary_seed: bool = False,
+    ) -> None:
+        if base is None:
+            from ..experiments.scenario import ScenarioConfig
+
+            base = ScenarioConfig()
+        if not dataclasses.is_dataclass(base):
+            raise ConfigurationError(
+                f"grid base must be a config dataclass, got {type(base).__name__}"
+            )
+        field_types = {f.name: f.type for f in dataclasses.fields(base)}
+        self.base = base
+        self.vary_seed = vary_seed
+        self.axes: dict[str, tuple[Any, ...]] = {}
+        for name, values in axes.items():
+            if name not in field_types:
+                known = ", ".join(sorted(field_types))
+                raise ConfigurationError(
+                    f"unknown sweep axis {name!r} for {type(base).__name__}; "
+                    f"fields: {known}"
+                )
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(f"sweep axis {name!r} has no values")
+            current = getattr(base, name)
+            if isinstance(current, tuple):
+                values = tuple(
+                    tuple(v) if isinstance(v, list) else v for v in values
+                )
+            self.axes[name] = values
+        self._cells = self._expand()
+
+    @classmethod
+    def from_variants(cls, variants: Mapping[str, Any]) -> "SweepGrid":
+        """A grid of explicitly named configs (no Cartesian product).
+
+        Used by experiments whose cells are hand-picked combinations rather
+        than a full product; cell seeds are whatever each config carries.
+        """
+        if not variants:
+            raise ConfigurationError("from_variants needs at least one config")
+        first = next(iter(variants.values()))
+        grid = cls.__new__(cls)
+        grid.base = first
+        grid.vary_seed = False
+        grid.axes = {"variant": tuple(variants)}
+        grid._cells = tuple(
+            SweepCell(
+                index=index,
+                label=label,
+                params={"variant": label},
+                config=config,
+                seed=getattr(config, "seed", None),
+            )
+            for index, (label, config) in enumerate(variants.items())
+        )
+        return grid
+
+    def _expand(self) -> tuple[SweepCell, ...]:
+        if not self.axes:
+            raise ConfigurationError("a sweep grid needs at least one axis")
+        cells = []
+        names = list(self.axes)
+        for index, combo in enumerate(itertools.product(*self.axes.values())):
+            params = dict(zip(names, combo))
+            label = ",".join(f"{k}={_format_value(v)}" for k, v in params.items())
+            config = dataclasses.replace(self.base, **params)
+            seed = getattr(config, "seed", None)
+            if self.vary_seed and "seed" not in self.axes and seed is not None:
+                seed = derive_cell_seed(getattr(self.base, "seed", 0), label)
+                config = dataclasses.replace(config, seed=seed)
+            cells.append(
+                SweepCell(
+                    index=index, label=label, params=params, config=config, seed=seed
+                )
+            )
+        return tuple(cells)
+
+    @property
+    def cells(self) -> tuple[SweepCell, ...]:
+        """All cells in deterministic order."""
+        return self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return iter(self._cells)
+
+    def spec(self) -> dict[str, Any]:
+        """JSON-able description of the grid (axes + base type + size)."""
+        return {
+            "base": type(self.base).__name__,
+            "axes": {
+                name: [describe_value(v) for v in values]
+                for name, values in self.axes.items()
+            },
+            "cells": len(self._cells),
+            "vary_seed": self.vary_seed,
+        }

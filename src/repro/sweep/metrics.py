@@ -1,0 +1,157 @@
+"""Per-cell metric reducers: a finished run -> a flat dict of scalars.
+
+Every reducer is a module-level function (picklable by reference, so pool
+workers can apply them in-process) taking the cell's outcome — a
+:class:`~repro.experiments.scenario.ScenarioResult` for single-host cells,
+a :class:`~repro.cluster.simulator.ClusterSim` for fleet cells — and
+returning JSON-safe ``{name: value}`` pairs.  Metrics that cannot be
+computed (a phase window with no samples on a compressed timeline, a
+latency query with no completed requests) come back as ``None`` rather
+than raising, so one odd cell never sinks a whole sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError, TelemetryError, WorkloadError
+
+#: The three analysis phases of the §5.3 profile, in timeline order.
+PHASE_NAMES = ("solo_early", "both", "solo_late")
+
+
+def _windows(result) -> dict[str, tuple[float, float]]:
+    from ..experiments.scenario import analysis_windows
+
+    return dict(zip(PHASE_NAMES, analysis_windows(result.config)))
+
+
+def _safe_phase_mean(result, series: str, window, *, smooth: bool = True):
+    try:
+        return result.phase_mean(series, window, smooth=smooth)
+    except TelemetryError:
+        return None
+
+
+def load_metrics(result) -> dict:
+    """Global/absolute loads of V20 and V70 per analysis phase."""
+    out: dict[str, float | None] = {}
+    for phase, window in _windows(result).items():
+        for domain in ("v20", "v70"):
+            for kind in ("global", "absolute"):
+                series = f"{domain.upper()}.{kind}_load"
+                out[f"{domain}_{kind}_{phase}"] = _safe_phase_mean(
+                    result, series, window
+                )
+    return out
+
+
+def frequency_metrics(result) -> dict:
+    """Frequency per phase plus whole-run DVFS statistics."""
+    out: dict[str, float | int | None] = {}
+    for phase, window in _windows(result).items():
+        out[f"freq_mhz_{phase}"] = _safe_phase_mean(
+            result, "host.freq_mhz", window, smooth=False
+        )
+    raw = result.series("host.freq_mhz", smooth=False)
+    out["freq_mhz_min"] = raw.min()
+    out["freq_mhz_max"] = raw.max()
+    out["dvfs_transitions"] = result.frequency_transitions
+    out["preemptions"] = result.host.preemptions
+    return out
+
+
+def energy_metrics(result) -> dict:
+    """Whole-run package energy and its per-domain attribution."""
+    host = result.host
+    out: dict[str, float] = {"energy_joules": result.energy_joules}
+    for domain in host.domains:
+        key = f"energy_{domain.name.lower()}_joules"
+        out[key] = host.domain_energy_joules(domain.name)
+    out["energy_idle_joules"] = host.idle_energy_joules
+    return out
+
+
+def qos_metrics(result) -> dict:
+    """Client-visible response times and drops per latency-tracked guest."""
+    out: dict[str, float | None] = {}
+    for domain in result.host.domains:
+        workload = domain.workload
+        tracker = getattr(workload, "latency", None)
+        if tracker is None:
+            continue
+        prefix = domain.name.lower()
+        try:
+            out[f"{prefix}_latency_p50_s"] = tracker.percentile(50)
+            out[f"{prefix}_latency_p99_s"] = tracker.percentile(99)
+        except WorkloadError:
+            out[f"{prefix}_latency_p50_s"] = None
+            out[f"{prefix}_latency_p99_s"] = None
+        out[f"{prefix}_completed_requests"] = tracker.completed_requests
+        drop = getattr(workload, "drop_fraction", None)
+        out[f"{prefix}_drop_percent"] = None if drop is None else 100.0 * drop
+    return out
+
+
+def reaction_metrics(result) -> dict:
+    """Seconds from V70's activation until the frequency first hits max.
+
+    The reactivity measure of the PAS sensitivity ablation; ``None`` when
+    the maximum is never reached after the activation edge.
+    """
+    activation = result.config.v70_active[0]
+    freq = result.series("host.freq_mhz", smooth=False)
+    maximum = result.host.processor.max_frequency_mhz
+    for t, value in freq:
+        if t >= activation and value == maximum:
+            return {"freq_reaction_s": t - activation}
+    return {"freq_reaction_s": None}
+
+
+def fleet_metrics(sim) -> dict:
+    """Fleet-level energy, packing and SLA statistics (cluster cells)."""
+    return {
+        "fleet_energy_joules": sim.fleet_energy_joules,
+        "mean_machines_on": sim.mean_machines_on,
+        "mean_sla_fraction": sim.mean_sla_fraction,
+        "total_migrations": sim.total_migrations,
+    }
+
+
+#: Named reducers addressable from a grid spec / the CLI.
+METRICS: dict[str, Callable] = {
+    "loads": load_metrics,
+    "frequency": frequency_metrics,
+    "energy": energy_metrics,
+    "qos": qos_metrics,
+    "reaction": reaction_metrics,
+    "fleet": fleet_metrics,
+}
+
+#: Defaults per cell kind (see :func:`repro.sweep.runner.execute_config`).
+DEFAULT_SCENARIO_METRICS: tuple[str, ...] = ("loads", "frequency", "energy")
+DEFAULT_CLUSTER_METRICS: tuple[str, ...] = ("fleet",)
+
+
+def resolve_metrics(metrics: Sequence[str | Callable]) -> tuple[Callable, ...]:
+    """Map metric names through :data:`METRICS`; pass callables through."""
+    resolved = []
+    for metric in metrics:
+        if callable(metric):
+            resolved.append(metric)
+        elif metric in METRICS:
+            resolved.append(METRICS[metric])
+        else:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; use one of: {', '.join(sorted(METRICS))}"
+            )
+    return tuple(resolved)
+
+
+def reduce_outcome(outcome, metrics: Sequence[str | Callable]) -> dict:
+    """Apply every reducer to *outcome* and merge the resulting dicts."""
+    merged: dict = {}
+    for fn in resolve_metrics(metrics):
+        values: Mapping = fn(outcome)
+        merged.update(values)
+    return merged

@@ -1,0 +1,139 @@
+"""Executing a grid: serial, or fanned out over a process pool.
+
+The contract is *bit-identical results regardless of worker count*: each
+cell is an isolated deterministic simulation (its own engine, its own
+seeded RNG streams), cells are mapped in grid order with ``Pool.map`` (which
+preserves ordering), and nothing time- or pid-dependent enters a
+:class:`CellResult`.  ``workers=1`` runs everything in-process — the
+reference the parallel path is tested against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .grid import describe_value, SweepCell, SweepGrid
+from .metrics import (
+    DEFAULT_CLUSTER_METRICS,
+    DEFAULT_SCENARIO_METRICS,
+    reduce_outcome,
+)
+from .store import CellResult, SweepResults
+
+
+def execute_config(config: Any):
+    """Run one cell's config to completion and return the raw outcome.
+
+    Dispatches on config type: :class:`ScenarioConfig` runs the §5.3
+    single-host scenario, :class:`ClusterScenarioConfig` the fleet model.
+    Imports are deferred so this module can be loaded before the
+    experiments package finishes initialising (they import each other).
+    """
+    from ..cluster.scenario import ClusterScenarioConfig, run_cluster_scenario
+    from ..experiments.scenario import ScenarioConfig, run_scenario
+
+    if isinstance(config, ScenarioConfig):
+        return run_scenario(config)
+    if isinstance(config, ClusterScenarioConfig):
+        return run_cluster_scenario(config)
+    raise ConfigurationError(
+        f"no executor for config type {type(config).__name__}"
+    )
+
+
+def default_metrics_for(config: Any) -> tuple[str, ...]:
+    """The default metric set for a cell's config type."""
+    from ..cluster.scenario import ClusterScenarioConfig
+
+    if isinstance(config, ClusterScenarioConfig):
+        return DEFAULT_CLUSTER_METRICS
+    return DEFAULT_SCENARIO_METRICS
+
+
+def _execute_cell(task: tuple[SweepCell, Sequence[str | Callable]]) -> CellResult:
+    cell, metrics = task
+    outcome = execute_config(cell.config)
+    return CellResult(
+        index=cell.index,
+        label=cell.label,
+        params={k: describe_value(v) for k, v in cell.params.items()},
+        seed=cell.seed,
+        metrics=reduce_outcome(outcome, metrics),
+    )
+
+
+class SweepRunner:
+    """Run every cell of a grid and collect a :class:`SweepResults`.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.sweep.grid.SweepGrid` to execute.
+    metrics:
+        Metric names (keys of :data:`repro.sweep.metrics.METRICS`) and/or
+        module-level callables; defaults to the grid kind's standard set.
+    workers:
+        Process-pool size.  ``1`` (default) runs in-process; anything above
+        fans cells out with ``multiprocessing.Pool.map`` (order-preserving,
+        chunksize 1 so cells spread evenly).
+    """
+
+    def __init__(
+        self,
+        grid: SweepGrid,
+        *,
+        metrics: Sequence[str | Callable] | None = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.grid = grid
+        self.metrics = (
+            tuple(metrics) if metrics is not None else default_metrics_for(grid.base)
+        )
+        self.workers = workers
+
+    def run(self) -> SweepResults:
+        """Execute all cells; results come back in grid order."""
+        tasks = [(cell, self.metrics) for cell in self.grid]
+        if self.workers == 1 or len(tasks) <= 1:
+            cells = [_execute_cell(task) for task in tasks]
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context("spawn")
+            with context.Pool(min(self.workers, len(tasks))) as pool:
+                cells = pool.map(_execute_cell, tasks, chunksize=1)
+        meta = self.grid.spec()
+        meta["metrics"] = [
+            m if isinstance(m, str) else getattr(m, "__name__", str(m))
+            for m in self.metrics
+        ]
+        # Deliberately no worker count, timestamps or host details in meta:
+        # the exported bytes must not depend on how the sweep was executed.
+        return SweepResults(cells, meta=meta)
+
+
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    metrics: Sequence[str | Callable] | None = None,
+    workers: int = 1,
+) -> SweepResults:
+    """One-call façade over :class:`SweepRunner`."""
+    return SweepRunner(grid, metrics=metrics, workers=workers).run()
+
+
+def run_cells(grid: SweepGrid) -> dict[str, Any]:
+    """Run a grid serially, keeping each cell's *full* outcome by label.
+
+    For reductions that need the raw :class:`ScenarioResult` /
+    :class:`ClusterSim` (series for charts, packed-host introspection)
+    rather than flat metrics.  Serial only: full outcomes carry live engine
+    state and are not worth shipping across process boundaries.
+    """
+    return {cell.label: execute_config(cell.config) for cell in grid}

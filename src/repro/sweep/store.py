@@ -1,0 +1,202 @@
+"""Sweep results: an ordered, queryable, exportable store.
+
+A :class:`SweepResults` holds one :class:`CellResult` per grid cell, in
+grid order.  Export is canonical — sorted JSON keys, fixed cell order, no
+execution metadata — so two runs of the same grid produce byte-identical
+files whatever the worker count.  Aggregation groups cells by an axis and
+summarises a metric (count/mean/min/max), the reduction the ablation
+experiments and the CLI summary are built from.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..telemetry.export import records_to_csv, table_to_text
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The reduced outcome of one grid cell."""
+
+    index: int
+    label: str
+    params: Mapping[str, Any]
+    seed: int | None
+    metrics: Mapping[str, Any]
+
+    def record(self) -> dict[str, Any]:
+        """Flat dict: label + params + seed + metrics (CSV row shape)."""
+        row: dict[str, Any] = {"label": self.label}
+        row.update(self.params)
+        row["seed"] = self.seed
+        row.update(self.metrics)
+        return row
+
+
+class SweepResults:
+    """All cell results of one sweep, with query/aggregate/export helpers."""
+
+    def __init__(
+        self, cells: Sequence[CellResult], *, meta: Mapping[str, Any] | None = None
+    ) -> None:
+        self.cells: tuple[CellResult, ...] = tuple(cells)
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._by_label = {cell.label: cell for cell in self.cells}
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.cells)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Cell labels in grid order."""
+        return tuple(cell.label for cell in self.cells)
+
+    def get(self, label: str) -> CellResult:
+        """The cell called *label*."""
+        try:
+            return self._by_label[label]
+        except KeyError:
+            known = ", ".join(self.labels) or "<none>"
+            raise ConfigurationError(f"no sweep cell {label!r}; have: {known}") from None
+
+    def metric(self, label: str, name: str) -> Any:
+        """One metric value of one cell."""
+        metrics = self.get(label).metrics
+        try:
+            return metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(metrics)) or "<none>"
+            raise ConfigurationError(
+                f"cell {label!r} has no metric {name!r}; have: {known}"
+            ) from None
+
+    def filter(self, **params: Any) -> "SweepResults":
+        """The sub-sweep whose cells match every given ``param=value``."""
+        kept = [
+            cell
+            for cell in self.cells
+            if all(cell.params.get(k) == v for k, v in params.items())
+        ]
+        return SweepResults(kept, meta=self.meta)
+
+    # ---------------------------------------------------------- aggregation
+
+    def aggregate(self, metric: str, by: str) -> dict[Any, dict[str, float]]:
+        """Group cells by axis *by* and summarise *metric* per group.
+
+        Returns ``{axis value: {count, mean, min, max}}`` in first-seen
+        order; cells where the metric is ``None`` are skipped.  Unhashable
+        axis values (lists/dicts from described tuple or kwargs axes) are
+        keyed by their canonical JSON encoding.
+        """
+        groups: dict[Any, list[float]] = {}
+        for cell in self.cells:
+            if by not in cell.params:
+                raise ConfigurationError(
+                    f"cell {cell.label!r} has no param {by!r}; "
+                    f"axes: {', '.join(cell.params)}"
+                )
+            key = cell.params[by]
+            if isinstance(key, (list, dict)):
+                key = json.dumps(key, sort_keys=True, separators=(",", ":"))
+            value = cell.metrics.get(metric)
+            groups.setdefault(key, [])
+            if value is not None:
+                groups[key].append(float(value))
+        out: dict[Any, dict[str, float]] = {}
+        for key, values in groups.items():
+            out[key] = {
+                "count": len(values),
+                "mean": sum(values) / len(values) if values else float("nan"),
+                "min": min(values) if values else float("nan"),
+                "max": max(values) if values else float("nan"),
+            }
+        return out
+
+    def summary_table(
+        self, metrics: Sequence[str] | None = None, *, title: str = ""
+    ) -> str:
+        """An aligned per-cell table of the chosen metrics."""
+        if not self.cells:
+            raise ConfigurationError("no cells to summarise")
+        if metrics is None:
+            metrics = sorted(self.cells[0].metrics)
+        rows = []
+        for cell in self.cells:
+            row: list[object] = [cell.label]
+            for name in metrics:
+                value = cell.metrics.get(name)
+                row.append("-" if value is None else value)
+            rows.append(row)
+        return table_to_text(["cell", *metrics], rows, title=title)
+
+    # -------------------------------------------------------------- export
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flat dicts, one per cell, in grid order."""
+        return [cell.record() for cell in self.cells]
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, grid order, trailing newline."""
+        payload = {
+            "meta": self.meta,
+            "cells": [
+                {
+                    "index": cell.index,
+                    "label": cell.label,
+                    "params": dict(cell.params),
+                    "seed": cell.seed,
+                    "metrics": dict(cell.metrics),
+                }
+                for cell in self.cells
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    def to_csv(self) -> str:
+        """Flat CSV via :func:`repro.telemetry.export.records_to_csv`."""
+        return records_to_csv(self.to_records())
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write JSON (default) or CSV, chosen by the file extension."""
+        path = pathlib.Path(path)
+        if path.suffix.lower() == ".csv":
+            path.write_text(self.to_csv())
+        else:
+            path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResults":
+        """Rebuild a results store from :meth:`to_json` output.
+
+        Round-trips labels, params, seeds and metrics; the original configs
+        are not reconstructed.
+        """
+        payload = json.loads(text)
+        cells = [
+            CellResult(
+                index=entry["index"],
+                label=entry["label"],
+                params=entry["params"],
+                seed=entry["seed"],
+                metrics=entry["metrics"],
+            )
+            for entry in payload["cells"]
+        ]
+        return cls(cells, meta=payload.get("meta"))
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "SweepResults":
+        """Read a JSON results file written by :meth:`save`."""
+        return cls.from_json(pathlib.Path(path).read_text())

@@ -11,7 +11,7 @@ from .series import TimeSeries
 from .recorder import Recorder
 from .stats import rolling_mean, phase_mean, summarize, Summary
 from .ascii_chart import render_chart
-from .export import series_to_csv, table_to_text
+from .export import records_to_csv, series_to_csv, table_to_text
 
 __all__ = [
     "TimeSeries",
@@ -21,6 +21,7 @@ __all__ = [
     "summarize",
     "Summary",
     "render_chart",
+    "records_to_csv",
     "series_to_csv",
     "table_to_text",
 ]

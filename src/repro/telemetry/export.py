@@ -1,9 +1,10 @@
-"""Plain-text exporters: CSV for series, aligned tables for reports."""
+"""Plain-text exporters: CSV for series and records, aligned tables."""
 
 from __future__ import annotations
 
 import io
-from typing import Sequence
+import json
+from typing import Any, Mapping, Sequence
 
 from ..errors import TelemetryError
 from .series import TimeSeries
@@ -33,6 +34,49 @@ def series_to_csv(series_list: Sequence[TimeSeries]) -> str:
                 cells.extend(["", ""])
         buffer.write(",".join(cells) + "\n")
     return buffer.getvalue()
+
+
+def records_to_csv(
+    records: Sequence[Mapping[str, Any]],
+    fieldnames: Sequence[str] | None = None,
+) -> str:
+    """Render flat record dicts (e.g. sweep cells) as one CSV table.
+
+    Field order is *fieldnames* when given, otherwise first-seen order
+    across the records — deterministic for a fixed record sequence.
+    ``None`` renders as an empty cell; non-scalar values are JSON-encoded
+    with sorted keys so output bytes never depend on execution order.
+    """
+    if not records:
+        raise TelemetryError("records_to_csv needs at least one record")
+    if fieldnames is None:
+        seen: dict[str, None] = {}
+        for record in records:
+            for key in record:
+                seen.setdefault(key)
+        fieldnames = list(seen)
+    buffer = io.StringIO()
+    buffer.write(",".join(fieldnames) + "\n")
+    for record in records:
+        buffer.write(",".join(_csv_cell(record.get(name)) for name in fieldnames) + "\n")
+    return buffer.getvalue()
+
+
+def _csv_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = (
+        value
+        if isinstance(value, str)
+        else json.dumps(value, sort_keys=True, separators=(",", ":"))
+    )
+    if any(ch in text for ch in ',"\n'):
+        text = '"' + text.replace('"', '""') + '"'
+    return text
 
 
 def table_to_text(

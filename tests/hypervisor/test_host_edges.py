@@ -3,6 +3,8 @@
 import pytest
 
 from repro import Host, catalog, VCpuState
+from repro.cpu.power import PowerModel
+from repro.cpu.processor import ProcessorSpec, make_states
 from repro.errors import SchedulerError
 from repro.workloads import ConstantLoad, PiApp
 
@@ -123,6 +125,66 @@ def test_cap_tighter_than_quantum_still_precise():
     vm.attach_workload(ConstantLoad(100, injection_period=0.01))
     host.run(until=20.0)
     assert vm.cpu_seconds / 20.0 == pytest.approx(0.02, abs=0.004)
+
+
+def test_same_capacity_frequency_change_does_not_preempt():
+    # 1000 MHz at cf=1.0 and 2000 MHz at cf=0.5 deliver the identical
+    # effective capacity (ratio * cf = 0.5): switching between them must not
+    # end the in-flight slice, because its work accounting is still valid.
+    spec = ProcessorSpec(
+        name="iso-capacity",
+        states=make_states([1000, 2000], cf=[1.0, 0.5]),
+        power=PowerModel(idle_watts=10.0, busy_watts=30.0),
+    )
+    host = Host(processor=spec, scheduler="credit", governor="userspace")
+    vm = host.create_domain("vm", credit=100)
+    vm.attach_workload(PiApp(10.0))
+    host.start()
+    host.run(until=1.0)
+    before = host.preemptions
+    host.cpufreq.set_speed(1000)  # real P-state change, same capacity
+    assert host.processor.transitions == 1
+    assert host.preemptions == before
+    host.run(until=2.0)
+    # Work conservation: 2 wall seconds at capacity 0.5 throughout.
+    assert vm.work_done == pytest.approx(1.0, rel=0.01)
+
+
+def test_mid_slice_frequency_change_bills_prefix_at_old_state():
+    # The slice prefix before a P-state flip ran at the old state's wattage
+    # and must land in the old state's energy/time-in-state books, even when
+    # the flip happens between accounting boundaries.
+    spec = ProcessorSpec(
+        name="iso-capacity",
+        states=make_states([1000, 2000], cf=[1.0, 0.5]),
+        power=PowerModel(idle_watts=10.0, busy_watts=30.0),
+    )
+    host = Host(processor=spec, scheduler="credit", governor="userspace")
+    vm = host.create_domain("vm", credit=100)
+    vm.attach_workload(PiApp(10.0))
+    host.start()
+    host.run(until=1.5)  # mid-way between the 1 s monitor samples
+    host.cpufreq.set_speed(1000)
+    host.run(until=3.0)
+    table = host.processor.table
+    state_2000, state_1000 = table.state_for(2000), table.state_for(1000)
+    expected = spec.power.energy(state_2000, table, 1.0, 1.5) + spec.power.energy(
+        state_1000, table, 1.0, 1.5
+    )
+    assert host.processor.energy_joules == pytest.approx(expected, rel=1e-9)
+    assert host.processor.time_in_state(2000) == pytest.approx(1.5)
+    assert host.processor.time_in_state(1000) == pytest.approx(1.5)
+
+
+def test_capacity_changing_frequency_change_still_preempts():
+    host = make_host(governor="userspace")
+    vm = host.create_domain("vm", credit=100)
+    vm.attach_workload(PiApp(10.0))
+    host.start()
+    host.run(until=1.0)
+    before = host.preemptions
+    host.cpufreq.set_speed(1600)
+    assert host.preemptions == before + 1
 
 
 def test_all_domains_idle_whole_run_consumes_only_idle_power():

@@ -1,0 +1,113 @@
+"""Grid expansion, labelling, seed derivation and validation."""
+
+import pytest
+
+from repro.cluster import ClusterScenarioConfig
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioConfig
+from repro.sweep import derive_cell_seed, SweepGrid
+
+
+def test_product_expansion_order_and_size():
+    grid = SweepGrid(
+        {"scheduler": ["credit", "pas"], "governor": ["performance", "stable"]}
+    )
+    assert len(grid) == 4
+    labels = [cell.label for cell in grid]
+    # Last axis varies fastest, like nested loops.
+    assert labels == [
+        "scheduler=credit,governor=performance",
+        "scheduler=credit,governor=stable",
+        "scheduler=pas,governor=performance",
+        "scheduler=pas,governor=stable",
+    ]
+    assert [cell.index for cell in grid] == [0, 1, 2, 3]
+
+
+def test_cells_carry_replaced_configs():
+    base = ScenarioConfig(duration=123.0)
+    grid = SweepGrid({"scheduler": ["sedf"], "v20_load": ["thrashing"]}, base=base)
+    (cell,) = grid.cells
+    assert cell.config.scheduler == "sedf"
+    assert cell.config.v20_load == "thrashing"
+    assert cell.config.duration == 123.0  # base fields preserved
+
+
+def test_unknown_axis_rejected():
+    with pytest.raises(ConfigurationError, match="unknown sweep axis"):
+        SweepGrid({"flux_capacitor": [1, 2]})
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ConfigurationError, match="no values"):
+        SweepGrid({"scheduler": []})
+
+
+def test_no_axes_rejected():
+    with pytest.raises(ConfigurationError, match="at least one axis"):
+        SweepGrid({})
+
+
+def test_list_values_coerced_for_tuple_fields():
+    # JSON grids deliver lists; tuple-typed config fields must accept them.
+    grid = SweepGrid({"v20_active": [[20.0, 180.0]]})
+    (cell,) = grid.cells
+    assert cell.config.v20_active == (20.0, 180.0)
+
+
+def test_derived_seeds_deterministic_and_distinct():
+    axes = {"scheduler": ["credit", "pas"], "governor": ["performance", "stable"]}
+    first = SweepGrid(axes, base=ScenarioConfig(seed=1), vary_seed=True)
+    second = SweepGrid(axes, base=ScenarioConfig(seed=1), vary_seed=True)
+    seeds = [cell.seed for cell in first]
+    assert seeds == [cell.seed for cell in second]  # expansion is reproducible
+    assert len(set(seeds)) == len(seeds)  # every cell gets its own stream
+    for cell in first:
+        assert cell.config.seed == cell.seed == derive_cell_seed(1, cell.label)
+
+
+def test_root_seed_changes_derived_seeds():
+    axes = {"scheduler": ["credit", "pas"]}
+    one = SweepGrid(axes, base=ScenarioConfig(seed=1), vary_seed=True)
+    two = SweepGrid(axes, base=ScenarioConfig(seed=2), vary_seed=True)
+    assert [c.seed for c in one] != [c.seed for c in two]
+
+
+def test_vary_seed_off_keeps_base_seed():
+    grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=ScenarioConfig(seed=5))
+    assert all(cell.config.seed == 5 for cell in grid)
+
+
+def test_explicit_seed_axis_wins_over_derivation():
+    grid = SweepGrid({"seed": [3, 4]}, vary_seed=True)
+    assert [cell.config.seed for cell in grid] == [3, 4]
+
+
+def test_from_variants_preserves_labels_and_configs():
+    variants = {
+        "paper": ScenarioConfig(scheduler="pas", seed=9),
+        "baseline": ScenarioConfig(scheduler="credit", seed=9),
+    }
+    grid = SweepGrid.from_variants(variants)
+    assert [cell.label for cell in grid] == ["paper", "baseline"]
+    assert grid.cells[0].config is variants["paper"]
+    assert grid.cells[0].seed == 9
+
+
+def test_cluster_config_grid():
+    grid = SweepGrid(
+        {"policy": ["spread", "consolidate"], "dvfs": [False, True]},
+        base=ClusterScenarioConfig(n_machines=2, n_vms=3, duration=50.0),
+    )
+    assert len(grid) == 4
+    assert grid.cells[-1].config.policy == "consolidate"
+    assert grid.cells[-1].config.dvfs is True
+
+
+def test_spec_is_json_friendly():
+    import json
+
+    grid = SweepGrid({"scheduler": ["credit"], "v20_active": [[20.0, 180.0]]})
+    spec = grid.spec()
+    assert spec["cells"] == 1
+    assert json.loads(json.dumps(spec)) == spec

@@ -1,0 +1,92 @@
+"""Metric reducers over a single finished scenario."""
+
+import pytest
+
+from repro.experiments import run_scenario, ScenarioConfig
+from repro.sweep.metrics import (
+    energy_metrics,
+    frequency_metrics,
+    load_metrics,
+    qos_metrics,
+    reaction_metrics,
+    reduce_outcome,
+)
+
+FAST = dict(duration=200.0, v20_active=(20.0, 180.0), v70_active=(60.0, 140.0))
+
+
+@pytest.fixture(scope="module")
+def pas_result():
+    return run_scenario(
+        ScenarioConfig(scheduler="pas", v20_load="thrashing", **FAST)
+    )
+
+
+def test_load_metrics_phases(pas_result):
+    out = load_metrics(pas_result)
+    assert out["v20_absolute_solo_early"] == pytest.approx(20.0, abs=1.5)
+    assert out["v70_global_both"] == pytest.approx(70.0, abs=2.5)
+    assert set(out) == {
+        f"{d}_{k}_{p}"
+        for d in ("v20", "v70")
+        for k in ("global", "absolute")
+        for p in ("solo_early", "both", "solo_late")
+    }
+
+
+def test_frequency_metrics(pas_result):
+    out = frequency_metrics(pas_result)
+    assert out["freq_mhz_solo_early"] == 1600.0
+    assert out["freq_mhz_both"] == 2667.0
+    assert out["freq_mhz_min"] == 1600.0
+    assert out["freq_mhz_max"] == 2667.0
+    assert out["dvfs_transitions"] == pas_result.frequency_transitions
+    assert out["preemptions"] == pas_result.host.preemptions
+
+
+def test_energy_metrics_attribution_sums(pas_result):
+    out = energy_metrics(pas_result)
+    parts = (
+        out["energy_dom0_joules"]
+        + out["energy_v20_joules"]
+        + out["energy_v70_joules"]
+        + out["energy_idle_joules"]
+    )
+    assert parts == pytest.approx(out["energy_joules"], rel=1e-9)
+
+
+def test_qos_metrics_cover_latency_tracked_guests(pas_result):
+    out = qos_metrics(pas_result)
+    assert out["v20_completed_requests"] > 0
+    assert out["v20_latency_p50_s"] <= out["v20_latency_p99_s"]
+    assert 0.0 <= out["v20_drop_percent"] <= 100.0
+
+
+def test_reaction_metric(pas_result):
+    out = reaction_metrics(pas_result)
+    activation = pas_result.config.v70_active[0]
+    assert out["freq_reaction_s"] is not None
+    assert 0.0 <= out["freq_reaction_s"] < 30.0
+    # Sanity: the frequency really is below max right before activation.
+    freq = pas_result.series("host.freq_mhz", smooth=False)
+    before = [v for t, v in freq if t < activation]
+    assert before[-1] < pas_result.host.processor.max_frequency_mhz
+
+
+def test_empty_phase_windows_reduce_to_none():
+    # duration stops before V70 ever activates: both/late windows are empty.
+    result = run_scenario(
+        ScenarioConfig(
+            duration=50.0, v20_active=(5.0, 300.0), v70_active=(100.0, 200.0)
+        )
+    )
+    out = load_metrics(result)
+    assert out["v20_global_solo_early"] is not None
+    assert out["v20_global_both"] is None
+    assert out["v20_global_solo_late"] is None
+
+
+def test_reduce_outcome_merges_and_accepts_callables(pas_result):
+    merged = reduce_outcome(pas_result, ("energy", frequency_metrics))
+    assert "energy_joules" in merged
+    assert "dvfs_transitions" in merged

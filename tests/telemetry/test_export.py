@@ -4,7 +4,7 @@ import pytest
 
 from repro import TimeSeries
 from repro.errors import TelemetryError
-from repro.telemetry import series_to_csv, table_to_text
+from repro.telemetry import records_to_csv, series_to_csv, table_to_text
 
 
 def test_csv_header_and_rows():
@@ -27,6 +27,39 @@ def test_csv_multiple_series_with_different_lengths():
 def test_csv_empty_input_raises():
     with pytest.raises(TelemetryError):
         series_to_csv([])
+
+
+def test_records_csv_field_order_first_seen():
+    csv = records_to_csv([{"b": 1, "a": 2}, {"a": 3, "c": 4}])
+    lines = csv.splitlines()
+    assert lines[0] == "b,a,c"
+    assert lines[1] == "1,2,"
+    assert lines[2] == ",3,4"
+
+
+def test_records_csv_explicit_fieldnames():
+    csv = records_to_csv([{"a": 1, "b": 2}], fieldnames=["b", "a"])
+    assert csv.splitlines()[0] == "b,a"
+
+
+def test_records_csv_cell_encoding():
+    csv = records_to_csv(
+        [{"none": None, "flag": True, "f": 0.1, "text": "has,comma", "obj": {"k": 1}}]
+    )
+    row = csv.splitlines()[1]
+    assert row == ',true,0.1,"has,comma","{""k"":1}"'
+
+
+def test_records_csv_float_repr_roundtrips():
+    # repr (not str formatting) so exported floats parse back bit-equal.
+    value = 9671.723155231544
+    csv = records_to_csv([{"v": value}])
+    assert float(csv.splitlines()[1]) == value
+
+
+def test_records_csv_empty_raises():
+    with pytest.raises(TelemetryError):
+        records_to_csv([])
 
 
 def test_table_alignment():

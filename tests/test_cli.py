@@ -62,6 +62,74 @@ def test_scenario_command(capsys):
     assert "energy" in out
 
 
+_FAST_GRID = (
+    '{"scheduler": ["credit", "pas"], "v20_load": ["exact", "thrashing"],'
+    ' "duration": [200.0], "v20_active": [[20.0, 180.0]], "v70_active": [[60.0, 140.0]]}'
+)
+
+
+def test_sweep_command_json_grid(capsys, tmp_path):
+    out_path = tmp_path / "results.json"
+    assert main(["sweep", "--grid", _FAST_GRID, "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out
+    assert "energy_joules" in out
+    text = out_path.read_text()
+    assert '"scheduler=pas,' in text
+
+
+def test_sweep_workers_output_byte_identical(capsys, tmp_path):
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    assert main(["sweep", "--grid", _FAST_GRID, "--workers", "1", "--out", str(serial_path)]) == 0
+    assert main(["sweep", "--grid", _FAST_GRID, "--workers", "4", "--out", str(parallel_path)]) == 0
+    capsys.readouterr()
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+
+def test_sweep_csv_output(capsys, tmp_path):
+    out_path = tmp_path / "results.csv"
+    assert main(["sweep", "--grid", _FAST_GRID, "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    lines = out_path.read_text().splitlines()
+    assert lines[0].startswith("label,")
+    assert len(lines) == 5
+
+
+def test_sweep_rejects_non_object_grid(capsys):
+    assert main(["sweep", "--grid", "[1, 2]"]) == 2
+    assert "JSON object" in capsys.readouterr().err
+
+
+def test_sweep_rejects_invalid_json_grid(capsys):
+    assert main(["sweep", "--grid", "{oops}"]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_axis(capsys):
+    assert main(["sweep", "--grid", '{"flux": [1]}']) == 2
+    assert "unknown sweep axis" in capsys.readouterr().err
+
+
+def test_sweep_reports_bad_cell_value_cleanly(capsys):
+    # The failure happens inside a worker cell; it must still surface as a
+    # clean one-line error and exit 2, not a traceback.
+    code = main(
+        ["sweep", "--grid", '{"scheduler": ["xenomorph"], "duration": [50.0]}']
+    )
+    assert code == 2
+    assert "unknown scheduler" in capsys.readouterr().err
+
+
+def test_sweep_default_grid_is_24_cells():
+    from repro.cli import _SWEEP_DEFAULTS
+
+    cells = 1
+    for axis in _SWEEP_DEFAULTS.values():
+        cells *= len(axis.split(","))
+    assert cells >= 24
+
+
 def test_invalid_figure_number_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "11"])
