@@ -9,7 +9,11 @@ Examples::
     python -m repro ablation energy
     python -m repro calibrate "Intel Xeon E5-2620"
     python -m repro scenario --scheduler pas --v20-load thrashing
+    python -m repro run --preset mixed-guests
+    python -m repro run --scenario myfleet.json
     python -m repro sweep --workers 4 --out results.json
+    python -m repro sweep --preset governors --replicates 3
+    python -m repro sweep --list-presets
 
 Every command prints the same paper-vs-measured report the benchmarks
 assert on, and exits non-zero when a shape criterion fails — so the CLI
@@ -20,15 +24,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import Callable, Sequence
 
 from . import experiments
 from .cpu import catalog
+from .errors import ConfigurationError
 from .experiments import (
+    analysis_windows,
+    get_preset,
     PHASE_BOTH,
     PHASE_SOLO_EARLY,
     PHASE_SOLO_LATE,
+    PRESETS,
+    preset_grid,
     ScenarioConfig,
     run_scenario,
 )
@@ -85,6 +95,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("validate  :", ", ".join(sorted(_VALIDATIONS)))
     print("ablations :", ", ".join(sorted(_ABLATIONS)))
     print("processors:", ", ".join(sorted(catalog.ALL_PROCESSORS)))
+    print("presets   :", ", ".join(PRESETS))
     return 0
 
 
@@ -185,6 +196,76 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        if args.scenario:
+            path = pathlib.Path(args.scenario)
+            try:
+                data = json.loads(path.read_text())
+            except OSError as error:
+                print(f"run: cannot read {path}: {error}", file=sys.stderr)
+                return 2
+            except json.JSONDecodeError as error:
+                print(f"run: {path} is not valid JSON: {error}", file=sys.stderr)
+                return 2
+            if not isinstance(data, dict):
+                print(f"run: {path} must hold a JSON object (a scenario spec)", file=sys.stderr)
+                return 2
+            config = ScenarioConfig.from_dict(data)
+            title = f"scenario {path.name}"
+        else:
+            config = get_preset(args.preset).config
+            title = f"preset {args.preset}"
+        result = run_scenario(config)
+    except ConfigurationError as error:
+        print(f"run: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in result.guest_names:
+        domain = result.host.domain(name)
+        try:
+            window = result.guest_window(name)
+            global_mean = f"{result.guest_mean(name, 'global', window):8.2f}"
+            absolute_mean = f"{result.guest_mean(name, 'absolute', window):8.2f}"
+            window_text = f"[{window[0]:.0f}, {window[1]:.0f})"
+        except Exception:  # idle guest or empty window: report dashes
+            global_mean = absolute_mean = window_text = "-"
+        rows.append([name, f"{domain.credit:.0f}%", window_text, global_mean, absolute_mean])
+    print(
+        table_to_text(
+            ["guest", "credit", "window", "global %", "absolute %"],
+            rows,
+            title=(
+                f"{title}: scheduler={config.scheduler} governor={config.governor} "
+                f"({len(result.guest_names)} guests, {result.host.now:.0f}s)"
+            ),
+        )
+    )
+    charted = list(result.guest_names)[:4]
+    freq_percent = result.series("host.freq_mhz").map(
+        lambda mhz: 100.0 * mhz / result.host.processor.max_frequency_mhz
+    )
+    print()
+    print(
+        render_chart(
+            [result.guest_series(name) for name in charted] + [freq_percent],
+            title="global loads + frequency",
+            y_max=100.0,
+            labels=[f"{name} %" for name in charted] + ["freq (% max)"],
+        )
+    )
+    print()
+    print(
+        f"energy: {result.energy_joules:.0f} J   "
+        f"DVFS transitions: {result.frequency_transitions}"
+    )
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote scenario spec to {path}")
+    return 0
+
+
 #: Default sweep grid: the full scheduler x governor x load evaluation
 #: plane of §5 (4 x 3 x 2 = 24 cells).
 _SWEEP_DEFAULTS = {
@@ -203,36 +284,91 @@ _SWEEP_SUMMARY_METRICS = (
 )
 
 
+def _list_presets() -> int:
+    rows = [
+        [
+            preset.name,
+            str(preset.cells),
+            ",".join(preset.axes) or "-",
+            preset.description,
+        ]
+        for preset in PRESETS.values()
+    ]
+    print(table_to_text(["preset", "cells", "axes", "description"], rows, title="scenario presets"))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweep import run_sweep, SweepGrid
 
-    if args.grid:
-        try:
-            axes = json.loads(args.grid)
-        except json.JSONDecodeError as error:
-            print(f"--grid is not valid JSON: {error}", file=sys.stderr)
+    if args.list_presets:
+        return _list_presets()
+    metrics = None
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.preset:
+        conflicting = [
+            flag
+            for flag, value, default in (
+                ("--grid", args.grid, None),
+                ("--schedulers", args.schedulers, _SWEEP_DEFAULTS["schedulers"]),
+                ("--governors", args.governors, _SWEEP_DEFAULTS["governors"]),
+                ("--v20-loads", args.v20_loads, _SWEEP_DEFAULTS["v20_loads"]),
+            )
+            if value != default
+        ]
+        if conflicting:
+            print(
+                f"sweep: --preset carries its own axes; drop {', '.join(conflicting)}",
+                file=sys.stderr,
+            )
             return 2
-        if not isinstance(axes, dict):
-            print(f"--grid must be a JSON object of axes, got: {args.grid!r}", file=sys.stderr)
-            return 2
-    else:
-        axes = {
-            "scheduler": args.schedulers.split(","),
-            "governor": args.governors.split(","),
-            "v20_load": args.v20_loads.split(","),
-        }
-    from .errors import ConfigurationError
-
-    base = ScenarioConfig(duration=args.duration, seed=args.seed)
     try:
-        grid = SweepGrid(axes, base=base, vary_seed=not args.fixed_seed)
-        results = run_sweep(grid, workers=args.workers)
+        if args.preset:
+            preset = get_preset(args.preset)
+            metrics = preset.metrics
+            grid = preset_grid(
+                args.preset,
+                overrides=overrides,
+                replicates=args.replicates,
+                vary_seed=not args.fixed_seed,
+            )
+        else:
+            if args.grid:
+                try:
+                    axes = json.loads(args.grid)
+                except json.JSONDecodeError as error:
+                    print(f"--grid is not valid JSON: {error}", file=sys.stderr)
+                    return 2
+                if not isinstance(axes, dict):
+                    print(
+                        f"--grid must be a JSON object of axes, got: {args.grid!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            else:
+                axes = {
+                    "scheduler": args.schedulers.split(","),
+                    "governor": args.governors.split(","),
+                    "v20_load": args.v20_loads.split(","),
+                }
+            base = ScenarioConfig().with_changes(**overrides)
+            grid = SweepGrid(
+                axes,
+                base=base,
+                vary_seed=not args.fixed_seed,
+                replicates=args.replicates,
+            )
+        results = run_sweep(grid, metrics=metrics, workers=args.workers)
     except ConfigurationError as error:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
     print(
         results.summary_table(
-            [m for m in _SWEEP_SUMMARY_METRICS if m in results.cells[0].metrics],
+            [m for m in _SWEEP_SUMMARY_METRICS if m in results.cells[0].metrics] or None,
             title=f"sweep: {len(results)} cells, axes {', '.join(grid.axes)}",
         )
     )
@@ -242,7 +378,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(f"mean energy by {axis}:")
         for value, summary in results.aggregate("energy_joules", by=axis).items():
-            print(f"  {str(value):<14} {summary['mean']:10.0f} J over {summary['count']} cells")
+            ci = f" ± {summary['ci95']:.0f}" if summary["count"] > 1 else ""
+            print(
+                f"  {str(value):<14} {summary['mean']:10.0f}{ci} J "
+                f"over {summary['count']} cells"
+            )
     if args.out:
         path = results.save(args.out)
         print(f"\nwrote {len(results)} cells to {path}")
@@ -296,15 +436,48 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=1)
     scenario.set_defaults(fn=_cmd_scenario)
 
+    run = commands.add_parser(
+        "run",
+        help="run a named preset or a scenario-spec JSON file",
+        description=(
+            "Run one declarative scenario end-to-end and print a per-guest "
+            "summary.  The scenario comes from --preset (see 'sweep "
+            "--list-presets') or from --scenario, a JSON file in the "
+            "ScenarioConfig.to_dict() format (arbitrary guest fleets)."
+        ),
+    )
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", help="preset name (see sweep --list-presets)")
+    source.add_argument("--scenario", help="path to a scenario-spec JSON file")
+    run.add_argument("--out", default=None, help="also write the resolved spec to PATH")
+    run.set_defaults(fn=_cmd_run)
+
     sweep = commands.add_parser(
         "sweep",
         help="run a scenario grid (scheduler x governor x load by default)",
         description=(
             "Expand a parameter grid over the §5.3 scenario and run every cell, "
-            "optionally across a process pool.  Axes come from the three list "
-            "flags, or from --grid as a JSON object mapping ScenarioConfig "
-            "fields to value lists (see the repro.sweep module docs)."
+            "optionally across a process pool.  Axes come from a named preset "
+            "(--preset, see --list-presets), from the three list flags, or from "
+            "--grid as a JSON object mapping ScenarioConfig fields to value "
+            "lists (see the repro.sweep module docs)."
         ),
+    )
+    sweep.add_argument(
+        "--preset",
+        default=None,
+        help="run a named preset grid instead of the flag/JSON axes",
+    )
+    sweep.add_argument(
+        "--list-presets",
+        action="store_true",
+        help="list available presets and exit",
+    )
+    sweep.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="statistical replicates per cell (per-replicate derived seeds)",
     )
     sweep.add_argument(
         "--schedulers",
@@ -326,8 +499,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON object of axes overriding the three list flags",
     )
-    sweep.add_argument("--duration", type=float, default=800.0)
-    sweep.add_argument("--seed", type=int, default=1, help="root seed for per-cell seeds")
+    sweep.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the base config's duration (default: the preset's own)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=None, help="root seed for per-cell seeds"
+    )
     sweep.add_argument(
         "--fixed-seed",
         action="store_true",

@@ -8,13 +8,20 @@ reports; integration tests assert the shape criteria listed in DESIGN.md.
 
 from .scenario import (
     analysis_windows,
+    build_scenario,
+    effective_guests,
+    guest_active_span,
+    guest_window,
+    GuestSpec,
     PHASE_BOTH,
     PHASE_SOLO_EARLY,
     PHASE_SOLO_LATE,
     ScenarioConfig,
     ScenarioResult,
     run_scenario,
+    WorkloadSpec,
 )
+from .presets import get_preset, Preset, preset_config, preset_grid, PRESETS
 from .report import Check, ExperimentReport
 from .validation import (
     validate_credit_time,
@@ -43,8 +50,19 @@ from .sensitivity import run_pas_sensitivity
 __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
+    "GuestSpec",
+    "WorkloadSpec",
     "run_scenario",
+    "build_scenario",
     "analysis_windows",
+    "effective_guests",
+    "guest_active_span",
+    "guest_window",
+    "PRESETS",
+    "Preset",
+    "get_preset",
+    "preset_config",
+    "preset_grid",
     "PHASE_SOLO_EARLY",
     "PHASE_BOTH",
     "PHASE_SOLO_LATE",

@@ -13,34 +13,40 @@ be quite intrusive because of system calls and it may lack reactivity".
 This runner measures all three on the thrashing profile: SLA accuracy in
 steady state and worst-case transient deviation around the V70 activation
 edge, where reactivity shows.
+
+Each design is an ordinary :class:`ScenarioConfig` — the ``manager`` field
+selects the §4.1 user-level manager beside the chosen scheduler/governor —
+so the comparison is a plain variant grid over the spec-based builder.
 """
 
 from __future__ import annotations
 
-from ..core.user_credit_manager import UserCreditManager
-from ..core.user_full_manager import UserFullManager
+from ..sweep import run_cells, SweepGrid
+from .presets import preset_config
 from .report import ExperimentReport
-from .scenario import ScenarioConfig, ScenarioResult, build_scenario
+from .scenario import effective_guests, guest_active_span
+from .scenario import ScenarioConfig  # noqa: F401  (re-export for tests/docs)
 
 
-def _run_design(design: str, config: ScenarioConfig) -> ScenarioResult:
-    if design == "in-scheduler":
-        host = build_scenario(config.with_changes(scheduler="pas"))
-    elif design == "user-credit":
-        # §4.1 design 1: "we let the Ondemand governor manage the processor
-        # frequency" — the stock, oscillating one.  Caps chase it from user
-        # level, one poll period behind.
-        host = build_scenario(config.with_changes(scheduler="credit", governor="ondemand"))
-        manager = UserCreditManager(host)
-        manager.start()
-    elif design == "user-full":
-        host = build_scenario(config.with_changes(scheduler="credit", governor="userspace"))
-        manager = UserFullManager(host)
-        manager.start()
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unknown design {design!r}")
-    host.run(until=config.duration)
-    return ScenarioResult(config=config, host=host)
+def design_variants(config) -> dict:
+    """The three §4.1 designs as configs derived from *config*.
+
+    * ``in-scheduler`` — PAS recomputes frequency and credits at each tick;
+    * ``user-credit`` — §4.1 design 1: "we let the Ondemand governor manage
+      the processor frequency" (the stock, oscillating one); caps chase it
+      from user level, one poll period behind;
+    * ``user-full`` — a user-level daemon owns both frequency and credits
+      through the userspace governor.
+    """
+    return {
+        "in-scheduler": config.with_changes(scheduler="pas"),
+        "user-credit": config.with_changes(
+            scheduler="credit", governor="ondemand", manager="user-credit"
+        ),
+        "user-full": config.with_changes(
+            scheduler="credit", governor="userspace", manager="user-full"
+        ),
+    }
 
 
 def run_design_comparison(**overrides) -> ExperimentReport:
@@ -54,14 +60,16 @@ def run_design_comparison(**overrides) -> ExperimentReport:
         experiment="Ablation B (§4.1 designs)",
         title="in-scheduler PAS vs the two user-level manager designs",
     )
-    config = ScenarioConfig(v20_load="thrashing").with_changes(**overrides)
-    active_window = (config.v20_active[0] + 10.0, config.v20_active[1] - 10.0)
+    config = preset_config("paper-5.3").with_changes(v20_load="thrashing").with_changes(**overrides)
+    primary = effective_guests(config)[0]
+    span = guest_active_span(config, primary.name)
+    active_window = (span[0] + 10.0, span[1] - 10.0)
+    runs = run_cells(SweepGrid.from_variants(design_variants(config)))
     mean_error: dict[str, float] = {}
     max_error: dict[str, float] = {}
-    for design in ("in-scheduler", "user-credit", "user-full"):
-        result = _run_design(design, config)
-        trace = result.series("V20.absolute_load").window(*active_window)
-        errors = [abs(v - 20.0) for _, v in trace]
+    for design, result in runs.items():
+        trace = result.series(f"{primary.name}.absolute_load").window(*active_window)
+        errors = [abs(v - primary.credit) for _, v in trace]
         mean_error[design] = sum(errors) / len(errors)
         max_error[design] = max(errors)
         report.add_row(

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from ..cpu import catalog
 from ..sweep import run_sweep, SweepGrid
+from .presets import preset_config
 from .report import ExperimentReport
-from .scenario import analysis_windows, ScenarioConfig, run_scenario
+from .scenario import analysis_windows, run_scenario
 
 
 def run_energy_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
@@ -28,17 +29,14 @@ def run_energy_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
         experiment="Ablation A (energy)",
         title="energy vs SLA on the thrashing profile: PAS saves energy AND holds the SLA",
     )
+    base = preset_config("paper-5.3").with_changes(v20_load="thrashing")
     configs = {
-        "credit + performance": ScenarioConfig(
-            scheduler="credit", governor="performance", v20_load="thrashing"
+        "credit + performance": base.with_changes(
+            scheduler="credit", governor="performance"
         ),
-        "credit + stable": ScenarioConfig(
-            scheduler="credit", governor="stable", v20_load="thrashing"
-        ),
-        "sedf + stable": ScenarioConfig(
-            scheduler="sedf", governor="stable", v20_load="thrashing"
-        ),
-        "pas": ScenarioConfig(scheduler="pas", v20_load="thrashing"),
+        "credit + stable": base.with_changes(scheduler="credit", governor="stable"),
+        "sedf + stable": base.with_changes(scheduler="sedf", governor="stable"),
+        "pas": base.with_changes(scheduler="pas"),
     }
     grid = SweepGrid.from_variants(
         {label: config.with_changes(**overrides) for label, config in configs.items()}
@@ -85,7 +83,7 @@ def run_cf_ablation(**overrides) -> ExperimentReport:
         experiment="Ablation C (cf-awareness)",
         title="ignoring Table 1's correction factor under-compensates on low-cf machines",
     )
-    base = ScenarioConfig(
+    base = preset_config("paper-5.3").with_changes(
         scheduler="pas",
         v20_load="thrashing",
         processor=catalog.XEON_E5_2620,

@@ -24,13 +24,18 @@ from __future__ import annotations
 
 from ..sweep import run_cells, SweepGrid
 from ..telemetry import render_chart
+from .presets import preset_config
 from .report import ExperimentReport
 from .scenario import (
     analysis_windows,
-    ScenarioConfig,
     ScenarioResult,
     run_scenario,
 )
+
+
+def _paper53(**changes):
+    """The shared §5.3 base (the ``paper-5.3`` preset) with figure changes."""
+    return preset_config("paper-5.3").with_changes(**changes)
 
 
 def _within(value: float, target: float, tolerance: float) -> bool:
@@ -66,7 +71,7 @@ def _absolute_chart(result: ScenarioResult, title: str) -> str:
 
 def run_fig2(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 2: the execution profile at the maximum frequency."""
-    config = ScenarioConfig(scheduler="credit", governor="performance").with_changes(**overrides)
+    config = _paper53(scheduler="credit", governor="performance").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(
@@ -93,7 +98,7 @@ def run_fig2(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig3(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 3: the stock ondemand governor oscillates (credit scheduler)."""
-    config = ScenarioConfig(scheduler="credit", governor="ondemand").with_changes(**overrides)
+    config = _paper53(scheduler="credit", governor="ondemand").with_changes(**overrides)
     runs = run_cells(
         SweepGrid.from_variants(
             {
@@ -128,7 +133,7 @@ def run_fig3(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig4(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 4: the authors' stabilised governor (credit scheduler, exact load)."""
-    config = ScenarioConfig(scheduler="credit", governor="stable").with_changes(**overrides)
+    config = _paper53(scheduler="credit", governor="stable").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(
@@ -158,7 +163,7 @@ def run_fig4(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig5(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 5: absolute loads expose the credit scheduler's SLA violation."""
-    config = ScenarioConfig(scheduler="credit", governor="stable").with_changes(**overrides)
+    config = _paper53(scheduler="credit", governor="stable").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(
@@ -188,7 +193,7 @@ def run_fig5(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig6(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 6: SEDF hands unused slices to V20 (global loads, exact load)."""
-    config = ScenarioConfig(scheduler="sedf", governor="stable").with_changes(**overrides)
+    config = _paper53(scheduler="sedf", governor="stable").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(
@@ -213,7 +218,7 @@ def run_fig6(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig7(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 7: SEDF's extra slices restore V20's absolute 20% under exact load."""
-    config = ScenarioConfig(scheduler="sedf", governor="stable").with_changes(**overrides)
+    config = _paper53(scheduler="sedf", governor="stable").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(
@@ -239,7 +244,7 @@ def run_fig7(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig8(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 8: SEDF under thrashing load — V20 eats the machine, no DVFS saving."""
-    config = ScenarioConfig(
+    config = _paper53(
         scheduler="sedf", governor="stable", v20_load="thrashing"
     ).with_changes(**overrides)
     result = run_scenario(config)
@@ -269,7 +274,7 @@ def run_fig8(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig9(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 9: PAS under thrashing load — compensated credits at low frequency."""
-    config = ScenarioConfig(scheduler="pas", v20_load="thrashing").with_changes(**overrides)
+    config = _paper53(scheduler="pas", v20_load="thrashing").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(
@@ -297,7 +302,7 @@ def run_fig9(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
 
 def run_fig10(**overrides) -> tuple[ScenarioResult, ExperimentReport]:
     """Fig. 10: PAS absolute loads — every VM gets exactly what it bought."""
-    config = ScenarioConfig(scheduler="pas", v20_load="thrashing").with_changes(**overrides)
+    config = _paper53(scheduler="pas", v20_load="thrashing").with_changes(**overrides)
     result = run_scenario(config)
     solo, both, late = analysis_windows(config)
     report = ExperimentReport(

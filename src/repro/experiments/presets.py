@@ -1,0 +1,281 @@
+"""Named scenario presets: the scenario zoo behind ``--preset``.
+
+A :class:`Preset` bundles a fully-specified :class:`ScenarioConfig` with
+optional sweep ``axes`` (making it a named *grid*, not just a named config)
+and the metric set that makes sense for its workloads.  The registry is the
+one config language shared by the CLI (``python -m repro sweep --preset
+<name>``, ``python -m repro run --preset <name>``), the experiment runners
+and tests; every preset round-trips through
+:meth:`ScenarioConfig.to_dict` / :meth:`ScenarioConfig.from_dict`.
+
+Registry
+--------
+
+``paper-5.3``
+    The paper's evaluation profile exactly as published: V20 (20 %) active
+    over [50, 750), V70 (70 %) over [250, 550) on the Optiplex 755 —
+    byte-identical to a default ``ScenarioConfig()``.  No axes.
+``governors``
+    The §5 evaluation plane on a compressed three-phase timeline:
+    scheduler (credit, pas) x governor (performance, ondemand,
+    conservative, stable) — 8 cells showing the SLA hole and its PAS fix
+    under every DVFS policy.
+``diurnal-web``
+    Two guests replaying seeded diurnal utilisation traces (the
+    hosting-center shape of the paper's motivation: base + day/night swing
+    + noise + bursts), swept over three governors.
+``pi-batch``
+    Staggered fixed-work batch jobs (§5.1 pi-app) under performance vs
+    stable, with ``stop_when_batch_done`` — the Table 2 execution-time
+    pattern as a reusable scenario.
+``mixed-guests``
+    A web guest, a batch guest and a diurnal-trace guest sharing one host,
+    swept over credit/sedf/pas — the consolidation case no single-workload
+    scenario covers.
+``stress-fleet``
+    An 8-guest packing stress: small-credit web guests with staggered
+    active windows, credit vs pas — the N-guest scalability check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from .scenario import GuestSpec, ScenarioConfig, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named scenario (or scenario grid) with its preferred metrics."""
+
+    name: str
+    description: str
+    config: ScenarioConfig
+    #: Sweep axes (field name -> values); empty = a single-cell preset.
+    axes: Mapping[str, tuple] = field(default_factory=dict)
+    #: Metric-set names for :func:`repro.sweep.run_sweep` (None = defaults).
+    metrics: tuple[str, ...] | None = None
+
+    @property
+    def cells(self) -> int:
+        """Number of grid cells the preset expands to (before replicates)."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+
+def _paper_53() -> Preset:
+    return Preset(
+        name="paper-5.3",
+        description="the paper's V20/V70 execution profile on the Optiplex 755",
+        config=ScenarioConfig(),
+    )
+
+
+def _governors() -> Preset:
+    return Preset(
+        name="governors",
+        description="scheduler x governor evaluation plane (compressed timeline)",
+        config=ScenarioConfig(
+            duration=200.0, v20_active=(20.0, 180.0), v70_active=(60.0, 140.0)
+        ),
+        axes={
+            "scheduler": ("credit", "pas"),
+            "governor": ("performance", "ondemand", "conservative", "stable"),
+        },
+    )
+
+
+def _diurnal_web() -> Preset:
+    guests = (
+        GuestSpec(
+            name="D40",
+            credit=40.0,
+            workloads=(
+                WorkloadSpec(
+                    kind="trace",
+                    diurnal={
+                        "base_percent": 22.0,
+                        "swing_percent": 14.0,
+                        "noise_percent": 3.0,
+                        "burst_percent": 25.0,
+                        "bursts": 2,
+                        "day_length": 400.0,
+                        "step": 5.0,
+                    },
+                ),
+            ),
+        ),
+        GuestSpec(
+            name="D30",
+            credit=30.0,
+            workloads=(
+                WorkloadSpec(
+                    kind="trace",
+                    diurnal={
+                        "base_percent": 15.0,
+                        "swing_percent": 10.0,
+                        "noise_percent": 2.0,
+                        "burst_percent": 0.0,
+                        "bursts": 0,
+                        "day_length": 400.0,
+                        "step": 5.0,
+                    },
+                ),
+            ),
+        ),
+    )
+    return Preset(
+        name="diurnal-web",
+        description="two guests replaying seeded diurnal hosting-center traces",
+        config=ScenarioConfig(guests=guests, duration=400.0),
+        axes={"governor": ("performance", "ondemand", "stable")},
+        metrics=("guest_loads", "frequency", "energy"),
+    )
+
+
+def _pi_batch() -> Preset:
+    guests = (
+        GuestSpec(
+            name="B25",
+            credit=25.0,
+            workloads=(WorkloadSpec(kind="pi", work=30.0),),
+        ),
+        GuestSpec(
+            name="B45",
+            credit=45.0,
+            workloads=(WorkloadSpec(kind="pi", work=60.0, start_at=50.0),),
+        ),
+    )
+    return Preset(
+        name="pi-batch",
+        description="staggered fixed-work batch jobs, run-to-completion",
+        config=ScenarioConfig(
+            guests=guests, duration=1500.0, stop_when_batch_done=True
+        ),
+        axes={"governor": ("performance", "stable")},
+        metrics=("batch", "frequency", "energy"),
+    )
+
+
+def _mixed_guests() -> Preset:
+    guests = (
+        GuestSpec(
+            name="W20",
+            credit=20.0,
+            workloads=(
+                WorkloadSpec(kind="web", load="exact", active=((50.0, 350.0),)),
+            ),
+        ),
+        GuestSpec(
+            name="B30",
+            credit=30.0,
+            workloads=(WorkloadSpec(kind="pi", work=40.0, start_at=100.0),),
+        ),
+        GuestSpec(
+            name="T25",
+            credit=25.0,
+            workloads=(
+                WorkloadSpec(
+                    kind="trace",
+                    diurnal={
+                        "base_percent": 12.0,
+                        "swing_percent": 8.0,
+                        "noise_percent": 2.0,
+                        "burst_percent": 20.0,
+                        "bursts": 1,
+                        "day_length": 400.0,
+                        "step": 5.0,
+                    },
+                ),
+            ),
+        ),
+    )
+    return Preset(
+        name="mixed-guests",
+        description="web + batch + diurnal-trace guests sharing one host",
+        config=ScenarioConfig(guests=guests, duration=400.0),
+        axes={"scheduler": ("credit", "sedf", "pas")},
+        metrics=("guest_loads", "batch", "frequency", "energy"),
+    )
+
+
+def _stress_fleet() -> Preset:
+    # Eight 10%-credit web guests with staggered on/off windows: together
+    # with Dom0 they book 90% of the machine, but never all at once.
+    guests = tuple(
+        GuestSpec(
+            name=f"S{index:02d}",
+            credit=10.0,
+            workloads=(
+                WorkloadSpec(
+                    kind="web",
+                    load="exact",
+                    active=((10.0 + 20.0 * index, 130.0 + 20.0 * index),),
+                ),
+            ),
+        )
+        for index in range(8)
+    )
+    return Preset(
+        name="stress-fleet",
+        description="8-guest staggered web fleet (N-guest scheduler stress)",
+        config=ScenarioConfig(guests=guests, duration=300.0),
+        axes={"scheduler": ("credit", "pas")},
+        metrics=("guest_loads", "frequency", "energy"),
+    )
+
+
+#: All presets, keyed by name, in documentation order.
+PRESETS: dict[str, Preset] = {
+    preset.name: preset
+    for preset in (
+        _paper_53(),
+        _governors(),
+        _diurnal_web(),
+        _pi_batch(),
+        _mixed_guests(),
+        _stress_fleet(),
+    )
+}
+
+
+def get_preset(name: str) -> Preset:
+    """The preset called *name*; unknown names list the valid choices."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigurationError(f"unknown preset {name!r}; presets: {known}") from None
+
+
+def preset_config(name: str) -> ScenarioConfig:
+    """The base config of preset *name* (shorthand for experiment runners)."""
+    return get_preset(name).config
+
+
+def preset_grid(
+    name: str,
+    *,
+    overrides: Mapping[str, Any] | None = None,
+    replicates: int = 1,
+    vary_seed: bool = True,
+):
+    """A ready-to-run :class:`~repro.sweep.grid.SweepGrid` for preset *name*.
+
+    Presets without axes become a single-variant grid (so the sweep CLI and
+    runner treat every preset uniformly); *overrides* patch the base config
+    first (unknown fields raise a :class:`ConfigurationError`).
+    """
+    from ..sweep import SweepGrid
+
+    preset = get_preset(name)
+    config = preset.config.with_changes(**(overrides or {}))
+    if not preset.axes:
+        return SweepGrid.from_variants({preset.name: config}, replicates=replicates)
+    return SweepGrid(
+        preset.axes, base=config, vary_seed=vary_seed, replicates=replicates
+    )

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from ..errors import WorkloadError
 from ..sweep import run_sweep, SweepGrid
+from .presets import preset_config
 from .report import ExperimentReport
-from .scenario import ScenarioConfig
 
 
 def run_qos_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
@@ -33,17 +33,14 @@ def run_qos_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
         experiment="Ablation D (QoS)",
         title="client-visible response times behind the same 20% SLA (90% loaded)",
     )
+    base = preset_config("paper-5.3").with_changes(v20_load="near_exact")
     configs = {
-        "credit + stable": ScenarioConfig(
-            scheduler="credit", governor="stable", v20_load="near_exact"
+        "credit + stable": base.with_changes(scheduler="credit", governor="stable"),
+        "credit + performance": base.with_changes(
+            scheduler="credit", governor="performance"
         ),
-        "credit + performance": ScenarioConfig(
-            scheduler="credit", governor="performance", v20_load="near_exact"
-        ),
-        "sedf + stable": ScenarioConfig(
-            scheduler="sedf", governor="stable", v20_load="near_exact"
-        ),
-        "pas": ScenarioConfig(scheduler="pas", v20_load="near_exact"),
+        "sedf + stable": base.with_changes(scheduler="sedf", governor="stable"),
+        "pas": base.with_changes(scheduler="pas"),
     }
     grid = SweepGrid.from_variants(
         {label: config.with_changes(**overrides) for label, config in configs.items()}

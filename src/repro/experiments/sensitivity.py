@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from ..errors import TelemetryError
 from ..sweep import run_sweep, SweepGrid
+from .presets import preset_config
 from .report import ExperimentReport
-from .scenario import ScenarioConfig
 
 
 def _required(results, label: str, name: str) -> float:
@@ -53,11 +53,10 @@ def run_pas_sensitivity(*, workers: int = 1, **overrides) -> ExperimentReport:
         (1.0, 5),
         (2.0, 3),
     ]
+    base = preset_config("paper-5.3").with_changes(scheduler="pas", v20_load="thrashing")
     grid = SweepGrid.from_variants(
         {
-            f"{sample_period}x{window}": ScenarioConfig(
-                scheduler="pas",
-                v20_load="thrashing",
+            f"{sample_period}x{window}": base.with_changes(
                 scheduler_kwargs={"sample_period": sample_period, "window": window},
             ).with_changes(**overrides)
             for sample_period, window in sweeps

@@ -1,10 +1,18 @@
-"""Runners for Table 1 (cf per machine) and Table 2 (platform comparison)."""
+"""Runners for Table 1 (cf per machine) and Table 2 (platform comparison).
+
+Table 2 is a sweep: every platform/mode pair is an ordinary declarative
+:class:`~repro.experiments.scenario.ScenarioConfig`
+(:func:`~repro.platforms.virt_platforms.platform_config`), expanded into a
+variant grid and reduced with the ``batch`` metric — so the platform rows
+ride the same runner (and the same worker pool) as every other experiment.
+"""
 
 from __future__ import annotations
 
 from ..cpu import catalog
 from ..platforms.calibration import CalibrationResult, calibrate_cf_min
-from ..platforms.virt_platforms import PLATFORMS, Table2Row, run_platform
+from ..platforms.virt_platforms import build_row, PLATFORMS, platform_config, Table2Row
+from ..sweep import run_sweep, SweepGrid
 from .report import ExperimentReport
 
 #: Table 1's published cf_min values, by the paper's column headers.
@@ -47,11 +55,15 @@ def run_table1() -> tuple[list[CalibrationResult], ExperimentReport]:
     return results, report
 
 
-def run_table2(*, quick: bool = False) -> tuple[list[Table2Row], ExperimentReport]:
+def run_table2(
+    *, quick: bool = False, workers: int = 1
+) -> tuple[list[Table2Row], ExperimentReport]:
     """Table 2: execution times on the seven virtualization platforms.
 
     *quick* restricts the run to one platform per discipline plus PAS
     (used by fast integration tests; benchmarks run the full table).
+    *workers* fans the platform/mode cells out across a process pool
+    (results are identical either way).
     """
     platforms = PLATFORMS
     if quick:
@@ -61,9 +73,23 @@ def run_table2(*, quick: bool = False) -> tuple[list[Table2Row], ExperimentRepor
         experiment="Table 2",
         title="execution times on different virtualization platforms (§5.8)",
     )
+    grid = SweepGrid.from_variants(
+        {
+            f"{platform.name}/{mode}": platform_config(platform, mode)
+            for platform in platforms
+            for mode in ("performance", "ondemand")
+        }
+    )
+    results = run_sweep(grid, metrics=("batch",), workers=workers)
     rows: list[Table2Row] = []
     for platform in platforms:
-        row = run_platform(platform)
+        row = build_row(
+            platform,
+            {
+                mode: results.metric(f"{platform.name}/{mode}", "v20_batch_time_s")
+                for mode in ("performance", "ondemand")
+            },
+        )
         rows.append(row)
         report.add_row(
             f"{row.platform} (performance)",

@@ -97,7 +97,7 @@ class Domain:
         self._config = config
         self._host = host
         self._vcpu = VCpu(self)
-        self._workload: "Workload | None" = None
+        self._workloads: list["Workload"] = []
         #: Callbacks fired when the vCPU drains its queue (blocks).
         self._idle_callbacks: list[Callable[[float], None]] = []
 
@@ -137,15 +137,18 @@ class Domain:
 
     @property
     def workload(self) -> "Workload | None":
-        """The attached workload, if any."""
-        return self._workload
+        """The first attached workload, if any (single-workload shorthand)."""
+        return self._workloads[0] if self._workloads else None
+
+    @property
+    def workloads(self) -> tuple["Workload", ...]:
+        """All attached workloads, in attach order."""
+        return tuple(self._workloads)
 
     def attach_workload(self, workload: "Workload") -> None:
-        """Attach *workload* (one per domain)."""
-        if self._workload is not None:
-            raise ConfigurationError(f"domain {self._name!r} already has a workload")
-        self._workload = workload
+        """Attach *workload*; a domain may run several (demand adds up)."""
         workload.bind(self)
+        self._workloads.append(workload)
 
     # ----------------------------------------------------------------- work
 

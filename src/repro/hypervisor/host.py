@@ -164,8 +164,8 @@ class Host:
             self._tick_timer.start()
         self._monitor.start()
         for domain in self._domains.values():
-            if domain.workload is not None:
-                domain.workload.start()
+            for workload in domain.workloads:
+                workload.start()
 
     def run(self, until: float) -> None:
         """Advance the simulation to absolute time *until* (auto-starts)."""

@@ -16,26 +16,24 @@ floor (largest penalty), stock Xen ondemand nearly so, ESXi is markedly more
 conservative, PAS compensates fully, and the variable-credit platforms never
 let the frequency drop while a VM is hungry (fast, but no energy saving).
 KVM and VirtualBox are modelled as weight-fair work-conserving schedulers
-(their CFS-based schedulers have no cap), SEDF with the extra flag set.
+(their CFS-based schedulers have no cap), here the credit2 policy.
 
-The workload is the paper's §5.8 scenario: V20 (20 % credit) runs pi-app
-while V70 (70 % credit) runs the three-phase Web-app profile; Table 2
-reports V20's execution time under the Performance and OnDemand governors.
+Every platform/mode pair is an ordinary
+:class:`~repro.experiments.scenario.ScenarioConfig`
+(:func:`platform_config`): V20 (20 % credit) runs a pi batch spec while V70
+(70 % credit) runs the three-phase Web-app spec, with
+``stop_when_batch_done`` ending the run once pi finishes — so Table 2 rows
+ride the same spec interpreter (and the same sweep grids) as every other
+experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from ..cpu import catalog
 from ..cpu.processor import ProcessorSpec
 from ..errors import ConfigurationError
-from ..governors import PerformanceGovernor, StableGovernor, UserspaceGovernor
-from ..hypervisor.host import Host
-from ..schedulers import Credit2Scheduler, CreditScheduler, SedfScheduler
-from ..core.pas import PasScheduler
-from ..workloads import ConstantLoad, LoadProfile, PiApp, WebApp, exact_rate
 
 #: pi-app size in absolute seconds for the Table 2 scenario.  At 20 % credit
 #: and maximum frequency this takes 1400 s — the same order as the paper's
@@ -62,8 +60,8 @@ class VirtPlatform:
         The paper's column header.
     discipline:
         ``"fix"`` or ``"variable"`` — which §3.1 scheduler family.
-    make_scheduler:
-        Factory for the platform's scheduler.
+    scheduler:
+        Registry name of the platform's scheduler model.
     ondemand_floor_mhz:
         The lowest frequency the platform's OnDemand-mode governor uses
         (None = the physical minimum).  This is the modelled vendor
@@ -76,7 +74,7 @@ class VirtPlatform:
 
     name: str
     discipline: str
-    make_scheduler: Callable[[], object]
+    scheduler: str
     ondemand_floor_mhz: int | None
     uses_pas: bool
     paper_performance: float
@@ -106,28 +104,12 @@ class Table2Row:
         return (1.0 - self.time_performance / self.time_ondemand) * 100.0
 
 
-def _fix_credit() -> CreditScheduler:
-    return CreditScheduler()
-
-
-def _pas() -> PasScheduler:
-    return PasScheduler()
-
-
-def _sedf() -> SedfScheduler:
-    return SedfScheduler()
-
-
-def _fair_share() -> Credit2Scheduler:
-    return Credit2Scheduler()
-
-
 #: Table 2's platforms in the paper's column order.
 PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="Hyper-V",
         discipline="fix",
-        make_scheduler=_fix_credit,
+        scheduler="credit",
         ondemand_floor_mhz=1600,  # clocks to the physical floor
         uses_pas=False,
         paper_performance=1601.0,
@@ -136,7 +118,7 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="VMware",
         discipline="fix",
-        make_scheduler=_fix_credit,
+        scheduler="credit",
         ondemand_floor_mhz=2400,  # conservative power management
         uses_pas=False,
         paper_performance=1550.0,
@@ -145,7 +127,7 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="Xen/credit",
         discipline="fix",
-        make_scheduler=_fix_credit,
+        scheduler="credit",
         ondemand_floor_mhz=2000,  # stock Xen ondemand
         uses_pas=False,
         paper_performance=1559.0,
@@ -154,7 +136,7 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="Xen/PAS",
         discipline="fix",
-        make_scheduler=_pas,
+        scheduler="pas",
         ondemand_floor_mhz=None,
         uses_pas=True,
         paper_performance=1559.0,
@@ -163,7 +145,7 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="Xen/SEDF",
         discipline="variable",
-        make_scheduler=_sedf,
+        scheduler="sedf",
         ondemand_floor_mhz=None,
         uses_pas=False,
         paper_performance=616.0,
@@ -172,7 +154,7 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="KVM",
         discipline="variable",
-        make_scheduler=_fair_share,
+        scheduler="credit2",
         ondemand_floor_mhz=None,
         uses_pas=False,
         paper_performance=599.0,
@@ -181,7 +163,7 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
     VirtPlatform(
         name="Vbox",
         discipline="variable",
-        make_scheduler=_fair_share,
+        scheduler="credit2",
         ondemand_floor_mhz=None,
         uses_pas=False,
         paper_performance=625.0,
@@ -190,52 +172,71 @@ PLATFORMS: tuple[VirtPlatform, ...] = (
 )
 
 
-def _build_host(platform: VirtPlatform, mode: str, processor: ProcessorSpec) -> tuple[Host, PiApp]:
-    if mode not in ("performance", "ondemand"):
-        raise ConfigurationError(f"mode must be 'performance' or 'ondemand', got {mode!r}")
-    if platform.uses_pas:
-        governor = UserspaceGovernor()
-    elif mode == "performance":
-        governor = PerformanceGovernor()
-    else:
-        governor = StableGovernor()
-    host = Host(
-        processor=processor,
-        scheduler=platform.make_scheduler(),
-        governor=governor,
-    )
-    dom0 = host.create_domain("Dom0", credit=10, dom0=True)
-    dom0.attach_workload(ConstantLoad(DOM0_DEMAND))
-    v20 = host.create_domain("V20", credit=20, sedf_extra=True)
-    v70 = host.create_domain("V70", credit=70, sedf_extra=True)
-    pi = PiApp(PI_WORK)
-    v20.attach_workload(pi)
-    rate = exact_rate(70, request_cost=0.005)
-    v70.attach_workload(WebApp(LoadProfile.three_phase(*V70_ACTIVE, rate)))
-    host.start()
-    if mode == "ondemand" and platform.ondemand_floor_mhz is not None:
-        host.cpufreq.set_policy_limits(min_mhz=platform.ondemand_floor_mhz)
-    return host, pi
-
-
-def run_platform(
+def platform_config(
     platform: VirtPlatform,
+    mode: str,
     *,
     processor: ProcessorSpec = catalog.CORE_I7_3770,
     horizon: float = HORIZON,
-) -> Table2Row:
-    """Run the §5.8 scenario on *platform* under both governor modes."""
-    times: dict[str, float] = {}
+):
+    """The §5.8 scenario on *platform* under *mode*, as a declarative spec.
+
+    ``mode`` is ``"performance"`` or ``"ondemand"``.  The vendor OnDemand
+    model is the stable governor floored at the platform's
+    ``ondemand_floor_mhz`` (``cpufreq_min_mhz``); PAS drives the frequency
+    itself through the userspace governor.
+    """
+    from ..experiments.scenario import GuestSpec, ScenarioConfig, WorkloadSpec
+
+    if mode not in ("performance", "ondemand"):
+        raise ConfigurationError(f"mode must be 'performance' or 'ondemand', got {mode!r}")
+    if platform.uses_pas:
+        governor = "userspace"
+    elif mode == "performance":
+        governor = "performance"
+    else:
+        governor = "stable"
+    floor = platform.ondemand_floor_mhz if mode == "ondemand" else None
+    guests = (
+        GuestSpec(
+            name="V20",
+            credit=20.0,
+            workloads=(WorkloadSpec(kind="pi", work=PI_WORK),),
+        ),
+        GuestSpec(
+            name="V70",
+            credit=70.0,
+            workloads=(
+                WorkloadSpec(kind="web", load="exact", active=(V70_ACTIVE,)),
+            ),
+        ),
+    )
+    return ScenarioConfig(
+        scheduler=platform.scheduler,
+        governor=governor,
+        processor=processor,
+        guests=guests,
+        duration=horizon,
+        dom0_demand_percent=DOM0_DEMAND,
+        cpufreq_min_mhz=floor,
+        stop_when_batch_done=True,
+        seed=0,
+    )
+
+
+def build_row(platform: VirtPlatform, times: dict[str, float | None]) -> Table2Row:
+    """Assemble a :class:`Table2Row` from measured per-mode pi times.
+
+    *times* maps ``"performance"``/``"ondemand"`` to V20's pi execution
+    time; ``None`` (the job never finished) raises the shared
+    did-not-finish error.  One assembly path for :func:`run_platform` and
+    the sweep-based :func:`repro.experiments.tables.run_table2`.
+    """
     for mode in ("performance", "ondemand"):
-        host, pi = _build_host(platform, mode, processor)
-        step = 200.0
-        while not pi.done and host.now < horizon:
-            host.run(until=host.now + step)
-        if not pi.done:
+        if times.get(mode) is None:
             raise ConfigurationError(
-                f"{platform.name} ({mode}) did not finish pi-app within {horizon}s"
+                f"{platform.name} ({mode}) did not finish pi-app within the horizon"
             )
-        times[mode] = pi.execution_time
     return Table2Row(
         platform=platform.name,
         discipline=platform.discipline,
@@ -245,3 +246,21 @@ def run_platform(
         paper_ondemand=platform.paper_ondemand,
         paper_degradation=platform.paper_degradation,
     )
+
+
+def run_platform(
+    platform: VirtPlatform,
+    *,
+    processor: ProcessorSpec = catalog.CORE_I7_3770,
+    horizon: float = HORIZON,
+) -> Table2Row:
+    """Run the §5.8 scenario on *platform* under both governor modes."""
+    from ..experiments.scenario import run_scenario
+    from ..sweep.metrics import batch_metrics
+
+    times: dict[str, float | None] = {}
+    for mode in ("performance", "ondemand"):
+        config = platform_config(platform, mode, processor=processor, horizon=horizon)
+        result = run_scenario(config)
+        times[mode] = batch_metrics(result).get("v20_batch_time_s")
+    return build_row(platform, times)

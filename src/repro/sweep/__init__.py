@@ -33,10 +33,20 @@ cell is derived from — a :class:`~repro.experiments.scenario.ScenarioConfig`
     results.save("results.json")                 # or .csv
     results.aggregate("energy_joules", by="scheduler")
 
+Axes are not limited to scalars: any spec field works, including whole
+guest fleets (``guests`` values may be lists of ``GuestSpec`` objects or
+their JSON dict form — the base config's ``coerce_field`` hook converts
+them), and ``replicates=N`` expands every cell into N seed-derived
+replicate cells whose spread :meth:`SweepResults.aggregate` reduces to
+``std``/``ci95`` columns.
+
 The same spec works as a plain JSON dict on the command line (list values
-for tuple fields such as ``v20_active`` are coerced)::
+for tuple fields such as ``v20_active`` are coerced), and named preset
+grids from :mod:`repro.experiments.presets` ride the same runner::
 
     python -m repro sweep --workers 4 --out results.json
+    python -m repro sweep --preset governors --replicates 3
+    python -m repro sweep --list-presets
     python -m repro sweep --schedulers credit,pas --governors stable \\
         --v20-loads exact,thrashing --duration 400 --out results.csv
     python -m repro sweep --grid '{"scheduler": ["credit", "pas"],
@@ -56,7 +66,7 @@ to ``workers=1`` output for the same grid — tested, and relied on by every
 "more scenarios, faster" follow-up.
 """
 
-from .grid import derive_cell_seed, SweepCell, SweepGrid
+from .grid import derive_cell_seed, describe_value, SweepCell, SweepGrid
 from .metrics import (
     DEFAULT_CLUSTER_METRICS,
     DEFAULT_SCENARIO_METRICS,
@@ -70,6 +80,7 @@ __all__ = [
     "SweepGrid",
     "SweepCell",
     "derive_cell_seed",
+    "describe_value",
     "SweepRunner",
     "run_sweep",
     "run_cells",

@@ -28,14 +28,24 @@ def derive_cell_seed(root_seed: int, label: str) -> int:
 
 
 def describe_value(value: Any) -> Any:
-    """A JSON-able, deterministic description of an axis value."""
+    """A JSON-able, deterministic description of an axis value.
+
+    Spec dataclasses (``GuestSpec``/``WorkloadSpec``/configs) that expose a
+    ``describe()`` method are reduced to that compact label; other
+    dataclasses fall back to their ``name`` attribute or ``str``.  Tuples
+    and mappings are described recursively, so an axis of guest fleets
+    yields a list of short guest labels rather than nested reprs.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        describe = getattr(value, "describe", None)
+        if callable(describe):
+            return describe()
         name = getattr(value, "name", None)
         return name if name is not None else str(value)
     if isinstance(value, Mapping):
-        return dict(value)
-    if isinstance(value, tuple):
-        return list(value)
+        return {key: describe_value(item) for key, item in value.items()}
+    if isinstance(value, (tuple, list)):
+        return [describe_value(item) for item in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
@@ -43,6 +53,10 @@ def describe_value(value: Any) -> Any:
 
 def _format_value(value: Any) -> str:
     described = describe_value(value)
+    if isinstance(described, list) and described and all(
+        isinstance(item, str) for item in described
+    ):
+        return "+".join(described)  # e.g. guests=V20(20%:web:exact)+V70(...)
     if isinstance(described, (dict, list)):
         return json.dumps(described, sort_keys=True, separators=(",", ":"))
     return str(described)
@@ -80,6 +94,12 @@ class SweepGrid:
         the cell label (:func:`derive_cell_seed`).  When False every cell
         keeps the base seed, so single-config experiments stay bit-equal to
         their pre-sweep form.
+    replicates:
+        Statistical replication: every cell expands into N cells labelled
+        ``...,rep=<k>``, each with a seed derived from the base seed and
+        the replicate label — so replicate runs differ only in their random
+        streams and :meth:`SweepResults.aggregate` can attach confidence
+        intervals.  ``1`` (default) changes nothing.
     """
 
     def __init__(
@@ -88,6 +108,7 @@ class SweepGrid:
         *,
         base: Any = None,
         vary_seed: bool = False,
+        replicates: int = 1,
     ) -> None:
         if base is None:
             from ..experiments.scenario import ScenarioConfig
@@ -97,9 +118,18 @@ class SweepGrid:
             raise ConfigurationError(
                 f"grid base must be a config dataclass, got {type(base).__name__}"
             )
+        if replicates < 1:
+            raise ConfigurationError(f"replicates must be >= 1, got {replicates}")
+        if replicates > 1 and "seed" in axes:
+            raise ConfigurationError(
+                "an explicit 'seed' axis cannot be combined with replicates > 1: "
+                "replicates derive their own per-replicate seeds"
+            )
         field_types = {f.name: f.type for f in dataclasses.fields(base)}
         self.base = base
         self.vary_seed = vary_seed
+        self.replicates = replicates
+        coerce = getattr(base, "coerce_field", None)
         self.axes: dict[str, tuple[Any, ...]] = {}
         for name, values in axes.items():
             if name not in field_types:
@@ -111,58 +141,95 @@ class SweepGrid:
             values = tuple(values)
             if not values:
                 raise ConfigurationError(f"sweep axis {name!r} has no values")
-            current = getattr(base, name)
-            if isinstance(current, tuple):
-                values = tuple(
-                    tuple(v) if isinstance(v, list) else v for v in values
-                )
+            if callable(coerce):
+                values = tuple(coerce(name, v) for v in values)
+            else:
+                current = getattr(base, name)
+                if isinstance(current, tuple):
+                    values = tuple(
+                        tuple(v) if isinstance(v, list) else v for v in values
+                    )
             self.axes[name] = values
         self._cells = self._expand()
 
     @classmethod
-    def from_variants(cls, variants: Mapping[str, Any]) -> "SweepGrid":
+    def from_variants(
+        cls, variants: Mapping[str, Any], *, replicates: int = 1
+    ) -> "SweepGrid":
         """A grid of explicitly named configs (no Cartesian product).
 
         Used by experiments whose cells are hand-picked combinations rather
         than a full product; cell seeds are whatever each config carries.
+        ``replicates`` expands every variant as in the main constructor.
         """
         if not variants:
             raise ConfigurationError("from_variants needs at least one config")
+        if replicates < 1:
+            raise ConfigurationError(f"replicates must be >= 1, got {replicates}")
         first = next(iter(variants.values()))
         grid = cls.__new__(cls)
         grid.base = first
         grid.vary_seed = False
+        grid.replicates = replicates
         grid.axes = {"variant": tuple(variants)}
-        grid._cells = tuple(
-            SweepCell(
-                index=index,
-                label=label,
-                params={"variant": label},
-                config=config,
-                seed=getattr(config, "seed", None),
-            )
-            for index, (label, config) in enumerate(variants.items())
-        )
+        cells = []
+        for label, config in variants.items():
+            seed = getattr(config, "seed", None)
+            for cell_label, params, cell_config, cell_seed in grid._replicated(
+                label, {"variant": label}, config, seed, root_seed=seed
+            ):
+                cells.append(
+                    SweepCell(
+                        index=len(cells),
+                        label=cell_label,
+                        params=params,
+                        config=cell_config,
+                        seed=cell_seed,
+                    )
+                )
+        grid._cells = tuple(cells)
         return grid
+
+    def _replicated(self, label, params, config, seed, *, root_seed):
+        """Expand one logical cell into its replicate cells (or itself)."""
+        if self.replicates == 1:
+            yield label, params, config, seed
+            return
+        for rep in range(self.replicates):
+            rep_label = f"{label},rep={rep}"
+            rep_seed = seed
+            rep_config = config
+            if seed is not None:
+                rep_seed = derive_cell_seed(root_seed or 0, rep_label)
+                rep_config = dataclasses.replace(config, seed=rep_seed)
+            yield rep_label, {**params, "rep": rep}, rep_config, rep_seed
 
     def _expand(self) -> tuple[SweepCell, ...]:
         if not self.axes:
             raise ConfigurationError("a sweep grid needs at least one axis")
         cells = []
         names = list(self.axes)
-        for index, combo in enumerate(itertools.product(*self.axes.values())):
+        root_seed = getattr(self.base, "seed", 0)
+        for combo in itertools.product(*self.axes.values()):
             params = dict(zip(names, combo))
             label = ",".join(f"{k}={_format_value(v)}" for k, v in params.items())
             config = dataclasses.replace(self.base, **params)
             seed = getattr(config, "seed", None)
             if self.vary_seed and "seed" not in self.axes and seed is not None:
-                seed = derive_cell_seed(getattr(self.base, "seed", 0), label)
+                seed = derive_cell_seed(root_seed, label)
                 config = dataclasses.replace(config, seed=seed)
-            cells.append(
-                SweepCell(
-                    index=index, label=label, params=params, config=config, seed=seed
+            for cell_label, cell_params, cell_config, cell_seed in self._replicated(
+                label, params, config, seed, root_seed=root_seed
+            ):
+                cells.append(
+                    SweepCell(
+                        index=len(cells),
+                        label=cell_label,
+                        params=cell_params,
+                        config=cell_config,
+                        seed=cell_seed,
+                    )
                 )
-            )
         return tuple(cells)
 
     @property
@@ -178,7 +245,7 @@ class SweepGrid:
 
     def spec(self) -> dict[str, Any]:
         """JSON-able description of the grid (axes + base type + size)."""
-        return {
+        spec: dict[str, Any] = {
             "base": type(self.base).__name__,
             "axes": {
                 name: [describe_value(v) for v in values]
@@ -187,3 +254,6 @@ class SweepGrid:
             "cells": len(self._cells),
             "vary_seed": self.vary_seed,
         }
+        if self.replicates > 1:
+            spec["replicates"] = self.replicates
+        return spec

@@ -34,15 +34,65 @@ def _safe_phase_mean(result, series: str, window, *, smooth: bool = True):
 
 
 def load_metrics(result) -> dict:
-    """Global/absolute loads of V20 and V70 per analysis phase."""
+    """Global/absolute loads of every guest per analysis phase.
+
+    Keys are ``<guest>_<kind>_<phase>`` with the guest name lower-cased —
+    ``v20_absolute_solo_early`` on the paper's profile, one set per guest on
+    arbitrary fleets.
+    """
     out: dict[str, float | None] = {}
+    guests = [d.name for d in result.host.domains if not d.is_dom0]
     for phase, window in _windows(result).items():
-        for domain in ("v20", "v70"):
+        for domain in guests:
             for kind in ("global", "absolute"):
-                series = f"{domain.upper()}.{kind}_load"
-                out[f"{domain}_{kind}_{phase}"] = _safe_phase_mean(
+                series = f"{domain}.{kind}_load"
+                out[f"{domain.lower()}_{kind}_{phase}"] = _safe_phase_mean(
                     result, series, window
                 )
+    return out
+
+
+def guest_load_metrics(result) -> dict:
+    """Mean global/absolute load of every guest over its *own* trimmed window.
+
+    The per-guest reduction for fleets whose guests follow unrelated
+    timelines (diurnal traces, staggered batches), where the three shared
+    §5.3 phases are meaningless.
+    """
+    out: dict[str, float | None] = {}
+    for name in result.guest_names:
+        try:
+            window = result.guest_window(name)
+        except ConfigurationError:
+            continue
+        for kind in ("global", "absolute"):
+            out[f"{name.lower()}_{kind}_mean"] = _safe_phase_mean(
+                result, f"{name}.{kind}_load", window
+            )
+    return out
+
+
+def batch_metrics(result) -> dict:
+    """Per-guest batch (pi) makespan: first start to last finish.
+
+    For a single pi workload this is its execution time; for several on one
+    domain it is the span covering all of them.  ``None`` while any of the
+    domain's batch jobs is unfinished.
+    """
+    from ..workloads import PiApp
+
+    out: dict[str, float | None] = {}
+    for domain in result.host.domains:
+        batch = [w for w in domain.workloads if isinstance(w, PiApp)]
+        if not batch:
+            continue
+        key = f"{domain.name.lower()}_batch_time_s"
+        if all(w.done for w in batch):
+            out[key] = max(w.finished_at for w in batch) - min(
+                w.started_at for w in batch
+            )
+        else:
+            out[key] = None
     return out
 
 
@@ -73,10 +123,17 @@ def energy_metrics(result) -> dict:
 
 
 def qos_metrics(result) -> dict:
-    """Client-visible response times and drops per latency-tracked guest."""
+    """Client-visible response times and drops per latency-tracked guest.
+
+    With several workloads on one domain, the first latency-tracked one is
+    reported (the QoS experiments attach exactly one per guest).
+    """
     out: dict[str, float | None] = {}
     for domain in result.host.domains:
-        workload = domain.workload
+        workload = next(
+            (w for w in domain.workloads if getattr(w, "latency", None) is not None),
+            None,
+        )
         tracker = getattr(workload, "latency", None)
         if tracker is None:
             continue
@@ -94,12 +151,17 @@ def qos_metrics(result) -> dict:
 
 
 def reaction_metrics(result) -> dict:
-    """Seconds from V70's activation until the frequency first hits max.
+    """Seconds from the second guest's activation until the frequency hits max.
 
-    The reactivity measure of the PAS sensitivity ablation; ``None`` when
-    the maximum is never reached after the activation edge.
+    The reactivity measure of the PAS sensitivity ablation (V70's wake on
+    the paper's profile); ``None`` when there is no activation edge or the
+    maximum is never reached after it.
     """
-    activation = result.config.v70_active[0]
+    from ..experiments.scenario import secondary_activation
+
+    activation = secondary_activation(result.config)
+    if activation is None:
+        return {"freq_reaction_s": None}
     freq = result.series("host.freq_mhz", smooth=False)
     maximum = result.host.processor.max_frequency_mhz
     for t, value in freq:
@@ -121,6 +183,8 @@ def fleet_metrics(sim) -> dict:
 #: Named reducers addressable from a grid spec / the CLI.
 METRICS: dict[str, Callable] = {
     "loads": load_metrics,
+    "guest_loads": guest_load_metrics,
+    "batch": batch_metrics,
     "frequency": frequency_metrics,
     "energy": energy_metrics,
     "qos": qos_metrics,

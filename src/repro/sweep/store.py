@@ -11,6 +11,7 @@ experiments and the CLI summary are built from.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
@@ -94,10 +95,14 @@ class SweepResults:
     def aggregate(self, metric: str, by: str) -> dict[Any, dict[str, float]]:
         """Group cells by axis *by* and summarise *metric* per group.
 
-        Returns ``{axis value: {count, mean, min, max}}`` in first-seen
-        order; cells where the metric is ``None`` are skipped.  Unhashable
-        axis values (lists/dicts from described tuple or kwargs axes) are
-        keyed by their canonical JSON encoding.
+        Returns ``{axis value: {count, mean, min, max, std, ci95}}`` in
+        first-seen order; cells where the metric is ``None`` are skipped.
+        ``std`` is the sample standard deviation and ``ci95`` the half-width
+        of the normal-approximation 95 % confidence interval on the mean
+        (``1.96 * std / sqrt(n)``; 0 for groups of one) — the replicate
+        reduction for Poisson-arrival sweeps.  Unhashable axis values
+        (lists/dicts from described tuple or kwargs axes) are keyed by
+        their canonical JSON encoding.
         """
         groups: dict[Any, list[float]] = {}
         for cell in self.cells:
@@ -115,11 +120,20 @@ class SweepResults:
                 groups[key].append(float(value))
         out: dict[Any, dict[str, float]] = {}
         for key, values in groups.items():
+            n = len(values)
+            mean = sum(values) / n if values else float("nan")
+            if n > 1:
+                variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+                std = math.sqrt(variance)
+            else:
+                std = 0.0 if values else float("nan")
             out[key] = {
-                "count": len(values),
-                "mean": sum(values) / len(values) if values else float("nan"),
+                "count": n,
+                "mean": mean,
                 "min": min(values) if values else float("nan"),
                 "max": max(values) if values else float("nan"),
+                "std": std,
+                "ci95": 1.96 * std / math.sqrt(n) if n else float("nan"),
             }
         return out
 

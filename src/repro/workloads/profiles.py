@@ -81,6 +81,39 @@ class LoadProfile:
         return cls(phases)
 
     @classmethod
+    def windows(
+        cls, active: Sequence[Sequence[float]], rate_rps: float
+    ) -> "LoadProfile":
+        """*rate_rps* over each (start, end) window, zero in between.
+
+        The general form of :meth:`three_phase`: one window reproduces the
+        paper's inactive / active / inactive profile exactly; several give
+        intermittent activity (on/off duty cycles, staggered timelines).
+        Windows must be in ascending order and must not overlap; adjacent
+        windows (end == next start) merge into continuous activity.
+        """
+        if not active:
+            raise WorkloadError("windows() needs at least one (start, end) window")
+        phases: list[Phase] = []
+        previous_end = None
+        for window in active:
+            start, end = float(window[0]), float(window[1])
+            if end <= start:
+                raise WorkloadError(f"window end ({end}) must follow start ({start})")
+            if previous_end is not None and start < previous_end:
+                raise WorkloadError(
+                    f"windows overlap: one ends at {previous_end}, next starts at {start}"
+                )
+            if previous_end is not None and start == previous_end:
+                phases.pop()  # merge: drop the zero phase between them
+            phases.append(Phase(start, rate_rps))
+            phases.append(Phase(end, 0.0))
+            previous_end = end
+        if phases[0].start > 0.0:
+            phases.insert(0, Phase(0.0, 0.0))
+        return cls(phases)
+
+    @classmethod
     def constant(cls, rate_rps: float) -> "LoadProfile":
         """A single always-on phase."""
         return cls([Phase(0.0, rate_rps)])

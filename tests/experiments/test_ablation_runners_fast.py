@@ -34,6 +34,13 @@ def test_design_comparison_compressed():
     assert report.all_passed, [str(c) for c in report.failures]
 
 
+def test_design_comparison_accepts_load_override():
+    # Callers may override the default thrashing intensity (regression:
+    # the override used to collide with the hard-coded v20_load kwarg).
+    report = run_design_comparison(v20_load="exact", **FAST)
+    assert len(report.rows) == 3
+
+
 def test_qos_ablation_compressed():
     report = run_qos_ablation(**FAST)
     # Compressed phases shrink the starved window, so only structural

@@ -78,12 +78,14 @@ def test_add_work_wakes_blocked_vcpu():
     assert domain.vcpu.runnable
 
 
-def test_attach_workload_once():
+def test_attach_multiple_workloads_accumulates():
     host = make_host()
     domain = host.create_domain("vm", credit=50)
-    domain.attach_workload(ConstantLoad(10))
-    with pytest.raises(ConfigurationError):
-        domain.attach_workload(ConstantLoad(10))
+    first, second = ConstantLoad(10), ConstantLoad(10)
+    domain.attach_workload(first)
+    domain.attach_workload(second)
+    assert domain.workload is first  # single-workload shorthand: first attached
+    assert domain.workloads == (first, second)
 
 
 def test_workload_bound_to_single_domain():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.platforms import PLATFORMS
-from repro.platforms.virt_platforms import run_platform
+from repro.platforms.virt_platforms import platform_config, run_platform
 
 
 def platform(name):
@@ -39,6 +39,32 @@ def test_vendor_floor_ordering():
     # Hyper-V clocks the deepest, ESXi is most conservative.
     assert platform("Hyper-V").ondemand_floor_mhz < platform("Xen/credit").ondemand_floor_mhz
     assert platform("Xen/credit").ondemand_floor_mhz < platform("VMware").ondemand_floor_mhz
+
+
+def test_platform_config_is_a_declarative_spec():
+    config = platform_config(platform("Hyper-V"), "ondemand")
+    assert [g.name for g in config.guests] == ["V20", "V70"]
+    assert config.guests[0].workloads[0].kind == "pi"
+    assert config.guests[1].workloads[0].kind == "web"
+    assert config.cpufreq_min_mhz == 1600
+    assert config.stop_when_batch_done
+    # And it round-trips like any other scenario spec.
+    from repro.experiments import ScenarioConfig
+
+    assert ScenarioConfig.from_dict(config.to_dict()) == config
+
+
+def test_platform_config_performance_mode_has_no_floor():
+    config = platform_config(platform("Hyper-V"), "performance")
+    assert config.cpufreq_min_mhz is None
+    assert config.governor == "performance"
+
+
+def test_platform_config_rejects_unknown_mode():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="mode"):
+        platform_config(platform("Hyper-V"), "turbo")
 
 
 def test_run_platform_pas_cancels_degradation():

@@ -111,3 +111,94 @@ def test_spec_is_json_friendly():
     spec = grid.spec()
     assert spec["cells"] == 1
     assert json.loads(json.dumps(spec)) == spec
+
+
+# ----------------------------------------------------------------- replicates
+
+
+def test_replicates_expand_each_cell_with_derived_seeds():
+    grid = SweepGrid(
+        {"scheduler": ["credit", "pas"]}, base=ScenarioConfig(seed=1), replicates=3
+    )
+    assert len(grid) == 6
+    assert [cell.params["rep"] for cell in grid] == [0, 1, 2, 0, 1, 2]
+    assert grid.cells[0].label == "scheduler=credit,rep=0"
+    seeds = [cell.seed for cell in grid]
+    assert len(set(seeds)) == len(seeds)  # every replicate its own stream
+    assert all(cell.config.seed == cell.seed for cell in grid)
+    assert [cell.seed for cell in grid] == [
+        derive_cell_seed(1, cell.label) for cell in grid
+    ]
+
+
+def test_replicates_one_is_the_identity():
+    axes = {"scheduler": ["credit", "pas"]}
+    plain = SweepGrid(axes)
+    explicit = SweepGrid(axes, replicates=1)
+    assert [c.label for c in plain] == [c.label for c in explicit]
+    assert "rep" not in plain.cells[0].params
+
+
+def test_replicates_on_variants():
+    grid = SweepGrid.from_variants(
+        {"a": ScenarioConfig(seed=1), "b": ScenarioConfig(seed=1)}, replicates=2
+    )
+    assert [cell.label for cell in grid] == ["a,rep=0", "a,rep=1", "b,rep=0", "b,rep=1"]
+    assert len({cell.seed for cell in grid}) == 4
+
+
+def test_invalid_replicates_rejected():
+    with pytest.raises(ConfigurationError, match="replicates"):
+        SweepGrid({"scheduler": ["credit"]}, replicates=0)
+
+
+def test_explicit_seed_axis_conflicts_with_replicates():
+    # Replicates derive their own seeds; a seed axis would be silently
+    # overridden and the exported params would lie about what ran.
+    with pytest.raises(ConfigurationError, match="seed.*replicates"):
+        SweepGrid({"seed": [1, 2]}, replicates=2)
+
+
+def test_replicated_spec_notes_the_replicates():
+    grid = SweepGrid({"scheduler": ["credit"]}, replicates=2)
+    assert grid.spec()["replicates"] == 2
+    assert "replicates" not in SweepGrid({"scheduler": ["credit"]}).spec()
+
+
+# ------------------------------------------------------------- nested specs
+
+
+def test_guest_spec_axis_values_get_compact_labels():
+    from repro.experiments import GuestSpec, WorkloadSpec
+    from repro.sweep.grid import describe_value
+
+    fleet = (
+        GuestSpec(
+            name="A",
+            credit=20.0,
+            workloads=(WorkloadSpec(kind="web", load="exact"),),
+        ),
+        GuestSpec(name="B", credit=30.0, workloads=(WorkloadSpec(kind="pi", work=5.0),)),
+    )
+    described = describe_value(fleet)
+    assert described == ["A(20%:web:exact)", "B(30%:pi:5s)"]
+    grid = SweepGrid({"guests": [fleet]})
+    (cell,) = grid.cells
+    assert cell.label == "guests=A(20%:web:exact)+B(30%:pi:5s)"
+    assert "object at 0x" not in cell.label
+
+
+def test_guests_axis_accepts_json_dicts():
+    grid = SweepGrid(
+        {
+            "guests": [
+                [{"name": "A", "credit": 20, "workloads": [{"kind": "web"}]}],
+                [{"name": "A", "credit": 40, "workloads": [{"kind": "web"}]}],
+            ]
+        }
+    )
+    from repro.experiments import GuestSpec
+
+    assert len(grid) == 2
+    assert all(isinstance(cell.config.guests[0], GuestSpec) for cell in grid)
+    assert grid.cells[1].config.guests[0].credit == 40

@@ -90,3 +90,56 @@ def test_reduce_outcome_merges_and_accepts_callables(pas_result):
     merged = reduce_outcome(pas_result, ("energy", frequency_metrics))
     assert "energy_joules" in merged
     assert "dvfs_transitions" in merged
+
+
+def test_guest_load_metrics_use_per_guest_windows(pas_result):
+    from repro.sweep.metrics import guest_load_metrics
+
+    out = guest_load_metrics(pas_result)
+    assert set(out) == {
+        f"{d}_{k}_mean" for d in ("v20", "v70") for k in ("global", "absolute")
+    }
+    assert out["v70_absolute_mean"] == pytest.approx(70.0, abs=2.5)
+
+
+def test_batch_metrics_report_pi_execution_times():
+    from repro.experiments import GuestSpec, ScenarioConfig, WorkloadSpec
+    from repro.sweep.metrics import batch_metrics
+
+    config = ScenarioConfig(
+        duration=400.0,
+        governor="performance",
+        stop_when_batch_done=True,
+        guests=(
+            GuestSpec(
+                name="B50",
+                credit=50.0,
+                workloads=(WorkloadSpec(kind="pi", work=10.0),),
+            ),
+        ),
+    )
+    result = run_scenario(config)
+    out = batch_metrics(result)
+    assert out["b50_batch_time_s"] == pytest.approx(10.0 / 0.5, rel=0.2)
+
+
+def test_load_metrics_cover_arbitrary_fleets():
+    from repro.experiments import GuestSpec, ScenarioConfig, WorkloadSpec
+
+    config = ScenarioConfig(
+        duration=60.0,
+        guests=(
+            GuestSpec(
+                name="A",
+                credit=30.0,
+                workloads=(WorkloadSpec(kind="web", active=((5.0, 55.0),)),),
+            ),
+            GuestSpec(
+                name="B",
+                credit=40.0,
+                workloads=(WorkloadSpec(kind="web", active=((20.0, 40.0),)),),
+            ),
+        ),
+    )
+    out = load_metrics(run_scenario(config))
+    assert "a_global_both" in out and "b_absolute_solo_early" in out

@@ -132,6 +132,33 @@ def test_aggregate_over_tuple_valued_axis():
     assert all(summary["count"] == 1 for summary in groups.values())
 
 
+def test_replicate_aggregate_carries_confidence_intervals():
+    # Poisson arrivals + replicates: the CI columns quantify the spread.
+    grid = SweepGrid(
+        {"scheduler": ["credit", "pas"]},
+        base=FAST.with_changes(poisson=True, duration=100.0, v20_active=(10.0, 90.0), v70_active=(30.0, 70.0)),
+        replicates=3,
+    )
+    results = run_sweep(grid, workers=2)
+    assert len(results) == 6
+    groups = results.aggregate("energy_joules", by="scheduler")
+    for summary in groups.values():
+        assert summary["count"] == 3
+        assert summary["std"] >= 0.0
+        assert summary["ci95"] == pytest.approx(1.96 * summary["std"] / 3**0.5)
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+    by_rep = results.aggregate("energy_joules", by="rep")
+    assert set(by_rep) == {0, 1, 2}
+
+
+def test_single_member_groups_have_zero_ci(serial):
+    groups = serial.filter(v20_load="exact").aggregate("energy_joules", by="scheduler")
+    for summary in groups.values():
+        assert summary["count"] == 1
+        assert summary["std"] == 0.0
+        assert summary["ci95"] == 0.0
+
+
 def test_invalid_workers_rejected(small_grid):
     with pytest.raises(ConfigurationError, match="workers"):
         run_sweep(small_grid, workers=0)

@@ -130,6 +130,115 @@ def test_sweep_default_grid_is_24_cells():
     assert cells >= 24
 
 
+def test_sweep_list_presets(capsys):
+    assert main(["sweep", "--list-presets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("paper-5.3", "governors", "diurnal-web", "pi-batch", "mixed-guests"):
+        assert name in out
+
+
+def test_sweep_preset_runs_a_grid(capsys, tmp_path):
+    out_path = tmp_path / "governors.json"
+    assert (
+        main(
+            [
+                "sweep",
+                "--preset",
+                "governors",
+                "--duration",
+                "100",
+                "--workers",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "8 cells" in out
+    assert out_path.exists()
+
+
+def test_sweep_unknown_preset_lists_choices(capsys):
+    assert main(["sweep", "--preset", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown preset" in err and "governors" in err
+
+
+def test_sweep_preset_rejects_conflicting_axis_flags(capsys):
+    assert main(["sweep", "--preset", "governors", "--grid", '{"scheduler": ["sedf"]}']) == 2
+    assert "--grid" in capsys.readouterr().err
+    assert main(["sweep", "--preset", "governors", "--schedulers", "sedf"]) == 2
+    assert "--schedulers" in capsys.readouterr().err
+
+
+def test_sweep_replicates_expand_cells(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--grid",
+                '{"scheduler": ["credit"], "duration": [60.0],'
+                ' "v20_active": [[10.0, 50.0]], "v70_active": [[20.0, 40.0]]}',
+                "--replicates",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 cells" in out
+    assert "rep=1" in out
+
+
+def test_run_preset(capsys):
+    assert main(["run", "--preset", "stress-fleet"]) == 0
+    out = capsys.readouterr().out
+    assert "S00" in out and "S07" in out
+    assert "energy" in out
+
+
+def test_run_unknown_preset(capsys):
+    assert main(["run", "--preset", "nope"]) == 2
+    assert "unknown preset" in capsys.readouterr().err
+
+
+def test_run_scenario_file_round_trip(capsys, tmp_path):
+    import json
+
+    from repro.experiments import preset_config
+
+    spec = preset_config("mixed-guests").with_changes(duration=120.0).to_dict()
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps(spec))
+    assert main(["run", "--scenario", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "W20" in out and "B30" in out and "T25" in out
+
+
+def test_run_scenario_file_unknown_field_is_clean(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schedular": "pas"}))
+    assert main(["run", "--scenario", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "valid fields" in err and "scheduler" in err
+
+
+def test_run_scenario_file_invalid_json(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{oops}")
+    assert main(["run", "--scenario", str(path)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_run_requires_a_source():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
 def test_invalid_figure_number_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "11"])

@@ -68,3 +68,38 @@ def test_negative_phase_values_rejected():
         Phase(-1.0, 10.0)
     with pytest.raises(Exception):
         Phase(0.0, -10.0)
+
+
+def test_windows_single_window_matches_three_phase():
+    assert (
+        LoadProfile.windows([(50.0, 750.0)], 40.0).phases
+        == LoadProfile.three_phase(50.0, 750.0, 40.0).phases
+    )
+
+
+def test_windows_multiple_windows_toggle_rate():
+    profile = LoadProfile.windows([(10.0, 20.0), (40.0, 50.0)], 8.0)
+    assert profile.rate_at(5.0) == 0.0
+    assert profile.rate_at(15.0) == 8.0
+    assert profile.rate_at(30.0) == 0.0
+    assert profile.rate_at(45.0) == 8.0
+    assert profile.rate_at(60.0) == 0.0
+
+
+def test_windows_adjacent_windows_merge():
+    profile = LoadProfile.windows([(10.0, 20.0), (20.0, 30.0)], 8.0)
+    assert profile.rate_at(20.0) == 8.0
+    assert profile.rate_at(25.0) == 8.0
+    assert profile.rate_at(31.0) == 0.0
+
+
+def test_windows_overlap_rejected():
+    import pytest
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError, match="overlap"):
+        LoadProfile.windows([(10.0, 30.0), (20.0, 40.0)], 8.0)
+    with pytest.raises(WorkloadError):
+        LoadProfile.windows([], 8.0)
+    with pytest.raises(WorkloadError):
+        LoadProfile.windows([(30.0, 10.0)], 8.0)
