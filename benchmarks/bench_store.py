@@ -1,0 +1,62 @@
+"""Store benchmark: cold vs warm sweep wall-time on the stress-fleet grid.
+
+The acceptance shape for the experiment store: re-running a grid against a
+populated store must be dominated by blob reads, not simulation — on the
+8-guest ``stress-fleet`` preset the warm pass has to come in at least 5x
+faster than the cold pass, with every cell a cache hit and the exported
+bytes identical.
+"""
+
+import time
+
+from repro.experiments import preset_grid
+from repro.experiments.report import ExperimentReport
+from repro.store import ExperimentStore
+from repro.sweep import SweepRunner
+
+from .conftest import emit
+
+
+def run_cold_then_warm(store_root):
+    store = ExperimentStore(store_root)
+    grid = preset_grid("stress-fleet")
+    timings = {}
+    runs = {}
+    for phase in ("cold", "warm"):
+        runner = SweepRunner(grid, workers=1, store=store)
+        started = time.perf_counter()
+        results = runner.run()
+        timings[phase] = time.perf_counter() - started
+        runs[phase] = (runner, results)
+    return timings, runs
+
+
+def test_warm_cache_speedup(benchmark, tmp_path):
+    timings, runs = benchmark.pedantic(
+        lambda: run_cold_then_warm(tmp_path / "store"), rounds=1, iterations=1
+    )
+    cold_runner, cold_results = runs["cold"]
+    warm_runner, warm_results = runs["warm"]
+    speedup = timings["cold"] / timings["warm"]
+
+    report = ExperimentReport(
+        experiment="Store benchmark",
+        title="content-addressed store: warm re-runs skip the simulation entirely",
+    )
+    report.add_row("cold sweep (s)", "full simulation", f"{timings['cold']:.3f}")
+    report.add_row("warm sweep (s)", "blob reads only", f"{timings['warm']:.3f}")
+    report.add_row("speedup", ">= 5x", f"{speedup:.1f}x")
+    report.add_row(
+        "warm hits / computed",
+        f"{len(cold_results)} / 0",
+        f"{warm_runner.cache_hits} / {warm_runner.computed}",
+    )
+    report.check("cold pass computed every cell", cold_runner.computed == len(cold_results))
+    report.check(
+        "warm pass is all cache hits",
+        warm_runner.cache_hits == len(warm_results) and warm_runner.computed == 0,
+    )
+    report.check("warm export is byte-identical", warm_results.to_json() == cold_results.to_json())
+    report.check("warm re-run is at least 5x faster than cold", speedup >= 5.0)
+    emit(report)
+    assert report.all_passed, f"shape criteria failed: {[str(c) for c in report.failures]}"

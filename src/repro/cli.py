@@ -12,17 +12,25 @@ Examples::
     python -m repro run --preset mixed-guests
     python -m repro run --scenario myfleet.json
     python -m repro sweep --workers 4 --out results.json
-    python -m repro sweep --preset governors --replicates 3
+    python -m repro sweep --preset governors --replicates 3 --out-aggregated agg.csv
+    python -m repro sweep --preset stress-fleet --store results-store
+    python -m repro sweep --preset stress-fleet --store results-store --resume
     python -m repro sweep --list-presets
+    python -m repro store ls --store results-store
+    python -m repro store export --store results-store --out corpus.csv
 
 Every command prints the same paper-vs-measured report the benchmarks
 assert on, and exits non-zero when a shape criterion fails — so the CLI
-doubles as a reproduction smoke-check in CI.
+doubles as a reproduction smoke-check in CI.  Sweeps (and the sweep-backed
+ablations/tables) accept ``--store DIR``: finished cells persist as they
+complete and re-runs only compute what is missing, so repeated builds are
+warm-cache and interrupted grids resume where they died.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import pathlib
 import sys
@@ -30,7 +38,7 @@ from typing import Callable, Sequence
 
 from . import experiments
 from .cpu import catalog
-from .errors import ConfigurationError
+from .errors import ConfigurationError, StoreError
 from .experiments import (
     analysis_windows,
     get_preset,
@@ -103,8 +111,34 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return _emit_and_exit_code(_FIGURES[args.number]())
 
 
+def _runner_kwargs(runner: Callable, args: argparse.Namespace) -> dict:
+    """The store/workers options *runner* understands (warn about the rest).
+
+    Experiment runners adopt sweep persistence incrementally; passing
+    ``--store`` to one that hand-builds its cells is a no-op worth naming,
+    not a crash.
+    """
+    params = inspect.signature(runner).parameters
+    kwargs = {}
+    for name, value, default in (
+        ("workers", getattr(args, "workers", 1), 1),
+        ("store", getattr(args, "store", None), None),
+    ):
+        if value == default:
+            continue
+        if name in params:
+            kwargs[name] = value
+        else:
+            print(
+                f"note: {runner.__name__} does not support --{name}; ignored",
+                file=sys.stderr,
+            )
+    return kwargs
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
-    return _emit_and_exit_code(_TABLES[args.number]())
+    runner = _TABLES[args.number]
+    return _emit_and_exit_code(runner(**_runner_kwargs(runner, args)))
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -112,7 +146,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    return _emit_and_exit_code(_ABLATIONS[args.name]())
+    runner = _ABLATIONS[args.name]
+    return _emit_and_exit_code(runner(**_runner_kwargs(runner, args)))
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -196,6 +231,49 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cluster_spec(data: dict, title: str, out: str | None) -> int:
+    """Run a fleet spec (``kind: cluster``) and print its summary."""
+    from .cluster import ClusterScenarioConfig
+    from .cluster.scenario import run_cluster_scenario
+    from .sweep.metrics import fleet_metrics
+
+    config = ClusterScenarioConfig.from_dict(data)
+    sim = run_cluster_scenario(config)
+    rows = [
+        [
+            machine.name,
+            str(len(machine.vms)),
+            f"{machine.memory_used_mb} MB",
+            ", ".join(vm.name for vm in machine.vms) or "-",
+        ]
+        for machine in sim.machines
+    ]
+    print(
+        table_to_text(
+            ["machine", "vms", "memory used", "placed"],
+            rows,
+            title=(
+                f"{title}: {config.n_vms} VMs on {config.n_machines} machines "
+                f"(policy={config.policy}, dvfs={'on' if config.dvfs else 'off'}, "
+                f"{config.duration:.0f}s)"
+            ),
+        )
+    )
+    metrics = fleet_metrics(sim)
+    print()
+    print(
+        f"fleet energy: {metrics['fleet_energy_joules'] / 1000:.1f} kJ   "
+        f"machines on (mean): {metrics['mean_machines_on']:.1f}   "
+        f"SLA: {metrics['mean_sla_fraction'] * 100:.1f}%   "
+        f"migrations: {metrics['total_migrations']}"
+    )
+    if out:
+        path = pathlib.Path(out)
+        path.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote scenario spec to {path}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         if args.scenario:
@@ -211,6 +289,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if not isinstance(data, dict):
                 print(f"run: {path} must hold a JSON object (a scenario spec)", file=sys.stderr)
                 return 2
+            if data.get("kind") == "cluster":
+                return _run_cluster_spec(data, f"scenario {path.name}", args.out)
             config = ScenarioConfig.from_dict(data)
             title = f"scenario {path.name}"
         else:
@@ -299,10 +379,16 @@ def _list_presets() -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .sweep import run_sweep, SweepGrid
+    from .sweep import SweepGrid, SweepRunner
 
     if args.list_presets:
         return _list_presets()
+    if args.resume and args.force:
+        print("sweep: --resume and --force are opposites; pick one", file=sys.stderr)
+        return 2
+    if (args.resume or args.force) and not args.store:
+        print("sweep: --resume/--force only make sense with --store DIR", file=sys.stderr)
+        return 2
     metrics = None
     overrides = {}
     if args.duration is not None:
@@ -362,7 +448,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 vary_seed=not args.fixed_seed,
                 replicates=args.replicates,
             )
-        results = run_sweep(grid, metrics=metrics, workers=args.workers)
+        runner = SweepRunner(
+            grid,
+            metrics=metrics,
+            workers=args.workers,
+            store=args.store,
+            resume=not args.force,
+        )
+        results = runner.run()
     except ConfigurationError as error:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
@@ -383,10 +476,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"  {str(value):<14} {summary['mean']:10.0f}{ci} J "
                 f"over {summary['count']} cells"
             )
+    if args.store:
+        print(
+            f"\nstore: {runner.cache_hits} cells warm, {runner.computed} computed "
+            f"({pathlib.Path(args.store)})"
+        )
     if args.out:
         path = results.save(args.out)
         print(f"\nwrote {len(results)} cells to {path}")
+    if args.out_aggregated:
+        path = results.export_aggregated(args.out_aggregated)
+        print(f"wrote {len(results.aggregated_records())} aggregated rows to {path}")
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import ExperimentStore
+
+    root = pathlib.Path(args.store)
+    if not (root / "index.jsonl").exists():
+        print(f"store: {root} is not an experiment store (no index.jsonl)", file=sys.stderr)
+        return 2
+    store = ExperimentStore(root)
+    if args.action == "ls":
+        payloads = store.payloads()
+        if not payloads:
+            print(f"store {root}: empty")
+            return 0
+        rows = [
+            [
+                payload["key"][:12],
+                payload["label"],
+                (payload.get("config") or {}).get("type", "?"),
+                str(len(payload.get("metrics", {}))),
+            ]
+            for payload in payloads
+        ]
+        print(
+            table_to_text(
+                ["key", "label", "config", "metrics"],
+                rows,
+                title=f"store {root}: {len(payloads)} cells",
+            )
+        )
+        return 0
+    if args.action == "show":
+        try:
+            payload = store.find(args.cell)
+        except StoreError as error:
+            print(f"store: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    if args.action == "gc":
+        stats = store.gc()
+        print(
+            f"store {root}: kept {stats['kept']} cells "
+            f"(removed {stats['corrupt']} corrupt, "
+            f"{stats['version_mismatch']} version-mismatched; "
+            f"dropped {stats['stale_index']} stale index lines, "
+            f"re-indexed {stats['reindexed']} blobs)"
+        )
+        return 0
+    if args.action == "export":
+        results = store.to_results()
+        if not len(results):
+            print(f"store: {root} holds no valid cells to export", file=sys.stderr)
+            return 2
+        if args.aggregated:
+            path = results.export_aggregated(args.out)
+            print(f"wrote {len(results.aggregated_records())} aggregated rows to {path}")
+        else:
+            path = results.save(args.out)
+            print(f"wrote {len(results)} cells to {path}")
+        return 0
+    raise AssertionError(f"unhandled store action {args.action!r}")  # pragma: no cover
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -405,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = commands.add_parser("table", help="regenerate a table (1-2)")
     table.add_argument("number", type=int, choices=sorted(_TABLES))
+    table.add_argument("--workers", type=int, default=1, help="process-pool size (table 2)")
+    table.add_argument(
+        "--store",
+        default=None,
+        help="experiment-store DIR: reuse stored cells, persist new ones (table 2)",
+    )
     table.set_defaults(fn=_cmd_table)
 
     validate = commands.add_parser("validate", help="run a §5.2 validation sweep")
@@ -413,6 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     ablation = commands.add_parser("ablation", help="run an ablation study")
     ablation.add_argument("name", choices=sorted(_ABLATIONS))
+    ablation.add_argument("--workers", type=int, default=1, help="process-pool size")
+    ablation.add_argument(
+        "--store",
+        default=None,
+        help="experiment-store DIR: reuse stored cells, persist new ones",
+    )
     ablation.set_defaults(fn=_cmd_ablation)
 
     calibrate = commands.add_parser("calibrate", help="measure cf on a catalog processor")
@@ -515,7 +691,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
     sweep.add_argument("--out", default=None, help="write results to PATH (.json or .csv)")
+    sweep.add_argument(
+        "--out-aggregated",
+        default=None,
+        help="also write one row per logical cell with mean/std/ci95 columns "
+        "(replicates collapsed) to PATH (.json or .csv)",
+    )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        help="experiment-store DIR: stream finished cells to disk and skip "
+        "already-computed ones on re-run",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: serve stored cells, compute only the missing ones "
+        "(the default; the flag exists to make intent explicit)",
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="with --store: recompute every cell and overwrite its stored copy",
+    )
     sweep.set_defaults(fn=_cmd_sweep)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect or maintain an experiment store",
+        description=(
+            "Query and maintain a content-addressed experiment store written "
+            "by 'sweep --store DIR' (and by the sweep-backed ablations/tables): "
+            "list cells, show one blob, garbage-collect damaged entries, or "
+            "export the whole corpus as sweep results."
+        ),
+    )
+    store_actions = store.add_subparsers(dest="action", required=True)
+    store_ls = store_actions.add_parser("ls", help="list stored cells")
+    store_show = store_actions.add_parser("show", help="print one cell blob as JSON")
+    store_show.add_argument("cell", help="cell key (full) or cell label")
+    store_gc = store_actions.add_parser(
+        "gc", help="drop damaged/version-mismatched blobs, rebuild the index"
+    )
+    store_export = store_actions.add_parser(
+        "export", help="export all stored cells to a results file"
+    )
+    store_export.add_argument("--out", required=True, help="output PATH (.json or .csv)")
+    store_export.add_argument(
+        "--aggregated",
+        action="store_true",
+        help="emit the per-logical-cell mean/std/ci95 aggregate instead of raw cells",
+    )
+    for sub in (store_ls, store_show, store_gc, store_export):
+        sub.add_argument("--store", required=True, help="experiment-store DIR")
+        sub.set_defaults(fn=_cmd_store)
 
     return parser
 

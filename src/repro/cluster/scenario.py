@@ -11,7 +11,9 @@ executor a worker process can call.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 from ..cpu import catalog
 from ..cpu.processor import ProcessorSpec
@@ -62,6 +64,66 @@ class ClusterScenarioConfig:
     def with_changes(self, **changes) -> "ClusterScenarioConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact human-readable label (grid cell labelling)."""
+        dvfs = "+dvfs" if self.dvfs else ""
+        return f"fleet({self.n_vms}vm/{self.n_machines}m:{self.policy}{dvfs})"
+
+    @classmethod
+    def coerce_field(cls, name: str, value: Any) -> Any:
+        """Coerce a JSON-ish axis value for field *name* to its spec type.
+
+        Sweep grids call this so fleet axes can come straight from JSON
+        (the processor by catalog name, list values as tuples).
+        """
+        if name == "processor" and isinstance(value, str):
+            return catalog.processor_from_name(value)
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    # ------------------------------------------------------------- serialise
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form of the whole config (processor by catalog name).
+
+        Carries ``"kind": "cluster"`` so scenario files and the store can
+        tell fleet specs from single-host
+        :class:`~repro.experiments.scenario.ScenarioConfig` ones.
+        """
+        out: dict[str, Any] = {"kind": "cluster"}
+        for spec_field in dataclasses.fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "processor":
+                value = value.name
+            out[spec_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output or a scenario file.
+
+        Unknown keys raise a :class:`ConfigurationError` naming the valid
+        fields; the processor may be given as a catalog name.
+        """
+        kwargs = dict(data)
+        kind = kwargs.pop("kind", "cluster")
+        if kind != "cluster":
+            raise ConfigurationError(
+                f"not a cluster scenario spec: kind={kind!r} (expected 'cluster')"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown cluster scenario field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(f.name for f in dataclasses.fields(cls))}"
+            )
+        processor = kwargs.get("processor")
+        if isinstance(processor, str):
+            kwargs["processor"] = catalog.processor_from_name(processor)
+        return cls(**kwargs)
 
 
 def make_population(config: ClusterScenarioConfig) -> list[ClusterVM]:

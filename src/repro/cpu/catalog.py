@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..errors import ConfigurationError
 from .power import PowerModel
 from .processor import ProcessorSpec, make_states
 
@@ -112,3 +113,14 @@ ALL_PROCESSORS: dict[str, ProcessorSpec] = {
     OPTIPLEX_755.name: OPTIPLEX_755,
     **{spec.name: spec for spec in TABLE1_PROCESSORS.values()},
 }
+
+
+def processor_from_name(name: str) -> ProcessorSpec:
+    """The catalog entry called *name*; unknown names list the catalog."""
+    try:
+        return ALL_PROCESSORS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_PROCESSORS))
+        raise ConfigurationError(
+            f"unknown processor {name!r}; catalog: {known}"
+        ) from None

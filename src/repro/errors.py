@@ -38,3 +38,15 @@ class WorkloadError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry probe or series was queried incorrectly."""
+
+
+class StoreError(ReproError):
+    """The experiment store was used incorrectly or has no such entry."""
+
+
+class StoreCorruptionError(StoreError):
+    """A stored cell blob failed its integrity check (damaged on disk)."""
+
+
+class StoreVersionError(StoreError):
+    """A stored cell blob was written under an incompatible schema version."""

@@ -21,10 +21,10 @@ so the comparison is a plain variant grid over the spec-based builder.
 
 from __future__ import annotations
 
-from ..sweep import run_cells, SweepGrid
+from ..sweep import run_sweep, SweepGrid
 from .presets import preset_config
 from .report import ExperimentReport
-from .scenario import effective_guests, guest_active_span
+from .scenario import effective_guests
 from .scenario import ScenarioConfig  # noqa: F401  (re-export for tests/docs)
 
 
@@ -49,12 +49,14 @@ def design_variants(config) -> dict:
     }
 
 
-def run_design_comparison(**overrides) -> ExperimentReport:
+def run_design_comparison(*, workers: int = 1, store=None, **overrides) -> ExperimentReport:
     """Compare §4.1's three designs on SLA tracking of V20's 20% target.
 
     The error signal is ``|V20 absolute load - 20|`` over V20's whole active
     window: a design is better the closer it keeps the delivered capacity to
-    the booked capacity at every instant, whatever the governor does.
+    the booked capacity at every instant, whatever the governor does.  A
+    thin reduction over a three-variant sweep with the ``sla`` metric set —
+    *workers* fans the designs out, *store* makes repeated builds warm-cache.
     """
     report = ExperimentReport(
         experiment="Ablation B (§4.1 designs)",
@@ -62,16 +64,13 @@ def run_design_comparison(**overrides) -> ExperimentReport:
     )
     config = preset_config("paper-5.3").with_changes(v20_load="thrashing").with_changes(**overrides)
     primary = effective_guests(config)[0]
-    span = guest_active_span(config, primary.name)
-    active_window = (span[0] + 10.0, span[1] - 10.0)
-    runs = run_cells(SweepGrid.from_variants(design_variants(config)))
+    grid = SweepGrid.from_variants(design_variants(config))
+    results = run_sweep(grid, metrics=("sla",), workers=workers, store=store)
     mean_error: dict[str, float] = {}
     max_error: dict[str, float] = {}
-    for design, result in runs.items():
-        trace = result.series(f"{primary.name}.absolute_load").window(*active_window)
-        errors = [abs(v - primary.credit) for _, v in trace]
-        mean_error[design] = sum(errors) / len(errors)
-        max_error[design] = max(errors)
+    for design in grid.axes["variant"]:
+        mean_error[design] = results.metric(design, f"{primary.name.lower()}_sla_mean_error")
+        max_error[design] = results.metric(design, f"{primary.name.lower()}_sla_max_error")
         report.add_row(
             design,
             "mean / max SLA error (pp)",

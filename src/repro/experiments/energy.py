@@ -19,7 +19,7 @@ from .report import ExperimentReport
 from .scenario import analysis_windows, run_scenario
 
 
-def run_energy_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
+def run_energy_ablation(*, workers: int = 1, store=None, **overrides) -> ExperimentReport:
     """Energy and SLA across schedulers on the thrashing profile.
 
     A thin reduction over a four-variant sweep; *workers* fans the variants
@@ -41,7 +41,7 @@ def run_energy_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
     grid = SweepGrid.from_variants(
         {label: config.with_changes(**overrides) for label, config in configs.items()}
     )
-    results = run_sweep(grid, metrics=("loads", "energy"), workers=workers)
+    results = run_sweep(grid, metrics=("loads", "energy"), workers=workers, store=store)
     energies: dict[str, float] = {}
     slas: dict[str, float] = {}
     for label in grid.axes["variant"]:

@@ -21,7 +21,7 @@ from .presets import preset_config
 from .report import ExperimentReport
 
 
-def run_qos_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
+def run_qos_ablation(*, workers: int = 1, store=None, **overrides) -> ExperimentReport:
     """V20 response times under each scheduler (near-exact load, §5.3 profile).
 
     V20 runs at 90 % of its booked capacity — the standard operating point
@@ -45,7 +45,7 @@ def run_qos_ablation(*, workers: int = 1, **overrides) -> ExperimentReport:
     grid = SweepGrid.from_variants(
         {label: config.with_changes(**overrides) for label, config in configs.items()}
     )
-    results = run_sweep(grid, metrics=("qos",), workers=workers)
+    results = run_sweep(grid, metrics=("qos",), workers=workers, store=store)
     stats: dict[str, tuple[float, float, float]] = {}
     for label in grid.axes["variant"]:
         p50 = results.metric(label, "v20_latency_p50_s")

@@ -46,6 +46,7 @@ by :func:`effective_guests` into the equivalent spec, so
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
@@ -63,6 +64,7 @@ from ..workloads import (
     TracePoint,
     WebApp,
     exact_rate,
+    load_trace_csv,
     thrashing_rate,
 )
 
@@ -135,6 +137,9 @@ class WorkloadSpec:
     trace: tuple[tuple[float, float], ...] = ()
     #: trace: :class:`SyntheticTrace` keyword parameters (diurnal shape).
     diurnal: Mapping[str, float] | None = None
+    #: trace: path to a real utilisation time-series CSV
+    #: (:func:`~repro.workloads.trace.load_trace_csv` format).
+    trace_file: str | None = None
     #: trace: loop the trace past its last point.
     repeat: bool = False
 
@@ -160,9 +165,15 @@ class WorkloadSpec:
         )
         if self.diurnal is not None:
             object.__setattr__(self, "diurnal", dict(self.diurnal))
-        if self.kind == "trace" and not self.trace and self.diurnal is None:
+        if (
+            self.kind == "trace"
+            and not self.trace
+            and self.diurnal is None
+            and self.trace_file is None
+        ):
             raise ConfigurationError(
-                "a trace workload needs explicit 'trace' points or 'diurnal' parameters"
+                "a trace workload needs explicit 'trace' points, 'diurnal' "
+                "parameters, or a 'trace_file' CSV path"
             )
         if self.active and self.kind not in ("web", "constant"):
             raise ConfigurationError(
@@ -183,7 +194,11 @@ class WorkloadSpec:
             return f"pi:{self.work:g}s"
         if self.kind == "constant":
             return f"const:{self.demand_percent:g}%"
-        return "trace:diurnal" if self.diurnal is not None else f"trace:{len(self.trace)}pt"
+        if self.diurnal is not None:
+            return "trace:diurnal"
+        if self.trace_file is not None:
+            return f"trace:{pathlib.PurePath(self.trace_file).name}"
+        return f"trace:{len(self.trace)}pt"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able form; :meth:`from_dict` round-trips it exactly."""
@@ -209,6 +224,8 @@ class WorkloadSpec:
                 out["trace"] = [list(p) for p in self.trace]
             if self.diurnal is not None:
                 out["diurnal"] = dict(self.diurnal)
+            if self.trace_file is not None:
+                out["trace_file"] = self.trace_file
             if self.repeat:
                 out["repeat"] = self.repeat
         return out
@@ -359,7 +376,7 @@ class ScenarioConfig:
                 GuestSpec.from_dict(g) if isinstance(g, Mapping) else g for g in value
             )
         if name == "processor" and isinstance(value, str):
-            return _processor_from_name(value)
+            return catalog.processor_from_name(value)
         if isinstance(value, list):
             return tuple(value)
         return value
@@ -404,25 +421,21 @@ class ScenarioConfig:
         Unknown keys raise a :class:`ConfigurationError` naming the valid
         fields; the processor may be given as a catalog name.
         """
-        _reject_unknown(cls, data, "scenario config")
         kwargs = dict(data)
+        kind = kwargs.pop("kind", "scenario")
+        if kind != "scenario":
+            raise ConfigurationError(
+                f"not a single-host scenario spec: kind={kind!r} (cluster specs "
+                "load via ClusterScenarioConfig.from_dict)"
+            )
+        _reject_unknown(cls, kwargs, "scenario config")
         processor = kwargs.get("processor")
         if isinstance(processor, str):
-            kwargs["processor"] = _processor_from_name(processor)
+            kwargs["processor"] = catalog.processor_from_name(processor)
         for key in ("v20_active", "v70_active"):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
         return cls(**kwargs)
-
-
-def _processor_from_name(name: str) -> ProcessorSpec:
-    try:
-        return catalog.ALL_PROCESSORS[name]
-    except KeyError:
-        known = ", ".join(sorted(catalog.ALL_PROCESSORS))
-        raise ConfigurationError(
-            f"unknown processor {name!r}; catalog: {known}"
-        ) from None
 
 
 # ----------------------------------------------------------- interpretation
@@ -502,6 +515,8 @@ def _build_workload(spec: WorkloadSpec, guest: GuestSpec, config: ScenarioConfig
     if spec.kind == "trace":
         if spec.trace:
             points = [TracePoint(start=t, percent=p) for t, p in spec.trace]
+        elif spec.trace_file is not None:
+            points = load_trace_csv(spec.trace_file)
         else:
             rng = host.rng.stream(f"trace.{guest.name}")
             points = SyntheticTrace(**spec.diurnal).generate(rng)

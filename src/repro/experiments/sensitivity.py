@@ -35,7 +35,7 @@ def _required(results, label: str, name: str) -> float:
     return value
 
 
-def run_pas_sensitivity(*, workers: int = 1, **overrides) -> ExperimentReport:
+def run_pas_sensitivity(*, workers: int = 1, store=None, **overrides) -> ExperimentReport:
     """Sweep PAS's sample period and averaging window on the §5.3 profile.
 
     A thin reduction over a six-variant sweep with the ``loads``,
@@ -62,7 +62,7 @@ def run_pas_sensitivity(*, workers: int = 1, **overrides) -> ExperimentReport:
             for sample_period, window in sweeps
         }
     )
-    sweep_results = run_sweep(grid, metrics=("loads", "frequency", "reaction"), workers=workers)
+    sweep_results = run_sweep(grid, metrics=("loads", "frequency", "reaction"), workers=workers, store=store)
     results: dict[tuple[float, int], tuple[float, int, float]] = {}
     for sample_period, window in sweeps:
         label = f"{sample_period}x{window}"

@@ -56,7 +56,7 @@ def run_table1() -> tuple[list[CalibrationResult], ExperimentReport]:
 
 
 def run_table2(
-    *, quick: bool = False, workers: int = 1
+    *, quick: bool = False, workers: int = 1, store=None
 ) -> tuple[list[Table2Row], ExperimentReport]:
     """Table 2: execution times on the seven virtualization platforms.
 
@@ -80,7 +80,7 @@ def run_table2(
             for mode in ("performance", "ondemand")
         }
     )
-    results = run_sweep(grid, metrics=("batch",), workers=workers)
+    results = run_sweep(grid, metrics=("batch",), workers=workers, store=store)
     rows: list[Table2Row] = []
     for platform in platforms:
         row = build_row(

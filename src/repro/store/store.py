@@ -1,0 +1,312 @@
+"""The on-disk experiment store: ``index.jsonl`` + one blob per cell.
+
+Layout under the store root::
+
+    index.jsonl           append-only journal, one JSON line per put
+    cells/<key>.json      the cell blob, named by its content address
+
+Every blob is written atomically (temp file + ``os.replace``) and carries a
+sha256 digest of its payload, so torn writes and bit rot are *detected*,
+never silently served: :meth:`ExperimentStore.read` raises, the forgiving
+:meth:`ExperimentStore.lookup` (what resume uses) treats any damaged or
+version-mismatched entry as a miss and lets the runner recompute it.
+Index appends are single ``write()`` calls of one line, so concurrent
+writers interleave whole lines rather than corrupting each other; the
+index is only a catalog — the blobs are the truth, and :meth:`gc` rebuilds
+the index from them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..errors import (
+    ConfigurationError,
+    StoreCorruptionError,
+    StoreError,
+    StoreVersionError,
+)
+from .keys import canonical_json, STORE_SCHEMA_VERSION
+
+#: Index filename under the store root.
+INDEX_NAME = "index.jsonl"
+#: Blob directory under the store root.
+CELLS_DIR = "cells"
+
+
+def encode_blob(payload: Mapping[str, Any]) -> str:
+    """Serialise a blob: the payload plus a sha256 over its canonical form."""
+    digest = hashlib.sha256(canonical_json(dict(payload)).encode("utf-8")).hexdigest()
+    return json.dumps(
+        {"payload": dict(payload), "sha256": digest}, sort_keys=True, indent=2
+    ) + "\n"
+
+
+def decode_blob(text: str) -> dict[str, Any]:
+    """Parse and integrity-check a blob; raises on damage or version skew."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise StoreCorruptionError(f"blob is not valid JSON: {error}") from None
+    if not isinstance(document, dict) or "payload" not in document:
+        raise StoreCorruptionError("blob has no payload envelope")
+    payload = document["payload"]
+    recorded = document.get("sha256")
+    actual = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    if recorded != actual:
+        raise StoreCorruptionError(
+            f"blob digest mismatch: recorded {str(recorded)[:12]}…, "
+            f"content hashes to {actual[:12]}…"
+        )
+    schema = payload.get("schema")
+    if schema != STORE_SCHEMA_VERSION:
+        raise StoreVersionError(
+            f"blob written under store schema {schema!r}, "
+            f"this library speaks {STORE_SCHEMA_VERSION}"
+        )
+    return payload
+
+
+class ExperimentStore:
+    """A content-addressed, durable store of reduced sweep cells."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.cells_dir = self.root / CELLS_DIR
+        self.index_path = self.root / INDEX_NAME
+        try:
+            self.cells_dir.mkdir(parents=True, exist_ok=True)
+            self.index_path.touch(exist_ok=True)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot open experiment store at {self.root}: {error}"
+            ) from None
+
+    # -------------------------------------------------------------- plumbing
+
+    def blob_path(self, key: str) -> pathlib.Path:
+        """Where the blob for *key* lives (whether or not it exists)."""
+        return self.cells_dir / f"{key}.json"
+
+    def _write_atomic(self, path: pathlib.Path, text: str) -> None:
+        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    def _append_index(self, entry: Mapping[str, Any]) -> None:
+        line = canonical_json(dict(entry)) + "\n"
+        # One write() of one line: concurrent appenders interleave whole
+        # lines (the file is opened in append mode), never partial ones.
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    # --------------------------------------------------------------- writing
+
+    def put(
+        self,
+        key: str,
+        *,
+        config_payload: Mapping[str, Any],
+        label: str,
+        params: Mapping[str, Any],
+        seed: int | None,
+        metrics_list: Sequence[str],
+        metrics: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        """Persist one reduced cell under *key*; returns the stored payload."""
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "config": dict(config_payload),
+            "label": label,
+            "params": dict(params),
+            "seed": seed,
+            "metrics_list": list(metrics_list),
+            "metrics": dict(metrics),
+        }
+        self._write_atomic(self.blob_path(key), encode_blob(payload))
+        self._append_index(
+            {
+                "key": key,
+                "label": label,
+                "config_type": payload["config"].get("type"),
+            }
+        )
+        return payload
+
+    # --------------------------------------------------------------- reading
+
+    def read(self, key: str) -> dict[str, Any]:
+        """The payload stored under *key*; strict.
+
+        Raises :class:`StoreError` when absent,
+        :class:`StoreCorruptionError` when the blob fails its digest, and
+        :class:`StoreVersionError` on schema skew.
+        """
+        path = self.blob_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            raise StoreError(f"no stored cell {key!r} in {self.root}") from None
+        payload = decode_blob(text)
+        if payload.get("key") != key:
+            raise StoreCorruptionError(
+                f"blob {path.name} claims key {str(payload.get('key'))[:12]}…"
+            )
+        return payload
+
+    def lookup(self, key: str) -> dict[str, Any] | None:
+        """The payload under *key*, or ``None`` when missing or unusable.
+
+        The resume path: damage and version skew degrade to a cache miss
+        (the cell is recomputed and overwritten) instead of sinking a sweep.
+        """
+        try:
+            return self.read(key)
+        except StoreError:
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.lookup(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cells_dir.glob("*.json"))
+
+    def keys(self) -> list[str]:
+        """Keys of every blob on disk (valid or not), sorted."""
+        return sorted(path.stem for path in self.cells_dir.glob("*.json"))
+
+    # --------------------------------------------------------------- queries
+
+    def _index_lines(self) -> Iterator[dict[str, Any]]:
+        try:
+            text = self.index_path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn tail line; gc() rewrites the index
+            if isinstance(entry, dict) and "key" in entry:
+                yield entry
+
+    def entries(self) -> list[dict[str, Any]]:
+        """The index catalog, deduplicated by key (last write wins)."""
+        merged: dict[str, dict[str, Any]] = {}
+        for entry in self._index_lines():
+            merged[entry["key"]] = entry
+        return list(merged.values())
+
+    def find(self, label_or_key: str) -> dict[str, Any]:
+        """Resolve a cell by exact key or by label; strict read."""
+        if self.blob_path(label_or_key).exists():
+            return self.read(label_or_key)
+        matches = sorted(
+            {e["key"] for e in self.entries() if e.get("label") == label_or_key}
+        )
+        if not matches:
+            raise StoreError(
+                f"no stored cell with key or label {label_or_key!r} in {self.root}"
+            )
+        if len(matches) > 1:
+            raise StoreError(
+                f"label {label_or_key!r} is ambiguous ({len(matches)} cells); "
+                f"use a key: {', '.join(k[:12] + '…' for k in matches)}"
+            )
+        return self.read(matches[0])
+
+    def payloads(self) -> list[dict[str, Any]]:
+        """Every *valid* stored payload, ordered by (label, key)."""
+        out = []
+        for key in self.keys():
+            payload = self.lookup(key)
+            if payload is not None:
+                out.append(payload)
+        out.sort(key=lambda p: (p.get("label") or "", p.get("key") or ""))
+        return out
+
+    def to_results(self):
+        """All valid cells as a :class:`~repro.sweep.store.SweepResults`.
+
+        Cells are ordered by (label, key) — deterministic whatever order
+        sweeps streamed them in — and re-indexed sequentially.
+        """
+        from ..sweep.store import CellResult, SweepResults
+
+        cells = [
+            CellResult(
+                index=index,
+                label=payload["label"],
+                params=payload.get("params", {}),
+                seed=payload.get("seed"),
+                metrics=payload.get("metrics", {}),
+            )
+            for index, payload in enumerate(self.payloads())
+        ]
+        return SweepResults(cells, meta={"store": "export", "cells": len(cells)})
+
+    # ------------------------------------------------------------------- gc
+
+    def gc(self) -> dict[str, int]:
+        """Sweep the store: drop damaged blobs, rebuild the index.
+
+        * blobs that fail their digest (or aren't JSON) are deleted;
+        * blobs from another schema version are deleted (their keys could
+          never be produced by this library version);
+        * index lines pointing at no blob are dropped;
+        * valid blobs missing from the index are re-indexed.
+
+        Returns ``{"kept", "corrupt", "version_mismatch", "stale_index",
+        "reindexed"}`` counts.
+        """
+        stats = {
+            "kept": 0,
+            "corrupt": 0,
+            "version_mismatch": 0,
+            "stale_index": 0,
+            "reindexed": 0,
+        }
+        valid: dict[str, dict[str, Any]] = {}
+        for key in self.keys():
+            try:
+                valid[key] = self.read(key)
+            except StoreVersionError:
+                stats["version_mismatch"] += 1
+                self.blob_path(key).unlink(missing_ok=True)
+            except StoreError:
+                stats["corrupt"] += 1
+                self.blob_path(key).unlink(missing_ok=True)
+        stats["kept"] = len(valid)
+        indexed: set[str] = set()
+        lines: list[str] = []
+        for entry in self.entries():
+            key = entry["key"]
+            if key not in valid:
+                stats["stale_index"] += 1
+                continue
+            indexed.add(key)
+            lines.append(canonical_json(entry))
+        for key in sorted(set(valid) - indexed):
+            payload = valid[key]
+            stats["reindexed"] += 1
+            lines.append(
+                canonical_json(
+                    {
+                        "key": key,
+                        "label": payload.get("label"),
+                        "config_type": (payload.get("config") or {}).get("type"),
+                    }
+                )
+            )
+        self._write_atomic(
+            self.index_path, "".join(line + "\n" for line in lines)
+        )
+        return stats

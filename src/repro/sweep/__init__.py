@@ -55,6 +55,27 @@ grids from :mod:`repro.experiments.presets` ride the same runner::
 Experiments whose cells are hand-picked rather than a product use
 ``SweepGrid.from_variants({"label": config, ...})``.
 
+Persistence and resume
+----------------------
+
+Passing ``store=`` (an :class:`~repro.store.ExperimentStore` or a path)
+makes the runner stream every finished cell to disk *as it completes* and,
+on re-run, skip cells whose content address is already present::
+
+    results = run_sweep(grid, workers=8, store="results-store")   # cold
+    results = run_sweep(grid, workers=8, store="results-store")   # all warm
+
+    python -m repro sweep --preset stress-fleet --store results-store
+    python -m repro sweep --preset stress-fleet --store results-store --resume
+    python -m repro store ls --store results-store
+
+Parallel cells run on a *persistent* per-process worker pool
+(:class:`~repro.sweep.runner.WorkerPool`): one fork per pool size per
+process lifetime, shared by every subsequent sweep, consumed as an
+``imap``-style completion stream.  Replicated sweeps additionally export a
+per-logical-cell aggregate (:meth:`SweepResults.export_aggregated`,
+``sweep --out-aggregated``) with mean/std/ci95 columns per metric.
+
 Determinism contract
 --------------------
 
@@ -73,7 +94,7 @@ from .metrics import (
     METRICS,
     reduce_outcome,
 )
-from .runner import run_cells, run_sweep, SweepRunner
+from .runner import run_cells, run_sweep, SweepRunner, WorkerPool
 from .store import CellResult, SweepResults
 
 __all__ = [
@@ -82,6 +103,7 @@ __all__ = [
     "derive_cell_seed",
     "describe_value",
     "SweepRunner",
+    "WorkerPool",
     "run_sweep",
     "run_cells",
     "SweepResults",

@@ -170,6 +170,37 @@ def reaction_metrics(result) -> dict:
     return {"freq_reaction_s": None}
 
 
+def sla_error_metrics(result) -> dict:
+    """How far each guest's delivered capacity strays from its booked credit.
+
+    Per guest with bounded activity: mean and max of
+    ``|absolute load - credit|`` (percentage points) over the guest's active
+    span trimmed by 10 s on each side — the §4.1 design-comparison error
+    signal, as flat cacheable scalars.  Guests without activity, or whose
+    trimmed span holds no samples, are skipped.
+    """
+    from ..experiments.scenario import effective_guests, guest_active_span
+
+    out: dict[str, float] = {}
+    for guest in effective_guests(result.config):
+        span = guest_active_span(result.config, guest.name)
+        if span is None:
+            continue
+        window = (span[0] + 10.0, min(span[1], result.config.duration) - 10.0)
+        if window[1] <= window[0]:
+            continue
+        try:
+            trace = result.series(f"{guest.name}.absolute_load").window(*window)
+        except TelemetryError:
+            continue
+        errors = [abs(value - guest.credit) for _, value in trace]
+        if not errors:
+            continue
+        out[f"{guest.name.lower()}_sla_mean_error"] = sum(errors) / len(errors)
+        out[f"{guest.name.lower()}_sla_max_error"] = max(errors)
+    return out
+
+
 def fleet_metrics(sim) -> dict:
     """Fleet-level energy, packing and SLA statistics (cluster cells)."""
     return {
@@ -189,6 +220,7 @@ METRICS: dict[str, Callable] = {
     "energy": energy_metrics,
     "qos": qos_metrics,
     "reaction": reaction_metrics,
+    "sla": sla_error_metrics,
     "fleet": fleet_metrics,
 }
 

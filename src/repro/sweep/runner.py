@@ -1,25 +1,42 @@
-"""Executing a grid: serial, or fanned out over a process pool.
+"""Executing a grid: serial, or fanned out over a persistent worker pool.
 
 The contract is *bit-identical results regardless of worker count*: each
 cell is an isolated deterministic simulation (its own engine, its own
-seeded RNG streams), cells are mapped in grid order with ``Pool.map`` (which
-preserves ordering), and nothing time- or pid-dependent enters a
+seeded RNG streams), results carry their grid index so completion order
+never matters, and nothing time- or pid-dependent enters a
 :class:`CellResult`.  ``workers=1`` runs everything in-process — the
 reference the parallel path is tested against.
+
+Two scaling layers ride on that contract:
+
+* **persistent fan-out** — parallel cells go through :class:`WorkerPool`,
+  a process-wide pool reused across sweeps (one fork per pool size per
+  process lifetime, not one per sweep), consumed as an ``imap``-style
+  completion stream;
+* **content-addressed persistence** — with a ``store``
+  (:class:`~repro.store.ExperimentStore`), every finished cell is written
+  to disk *as it completes*, and re-runs skip cells whose
+  :func:`~repro.store.cell_key` is already present (``resume=True``, the
+  default) — so an interrupted 1000-cell grid resumes where it died, and
+  repeated figure builds are warm-cache.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import atexit
 import multiprocessing
-from typing import Any, Callable, Mapping, Sequence
+import multiprocessing.pool
+import pathlib
+from typing import Any, Callable, Iterator, Sequence
 
 from ..errors import ConfigurationError
+from ..store import cell_key, config_payload, ExperimentStore, metric_names
 from .grid import describe_value, SweepCell, SweepGrid
 from .metrics import (
     DEFAULT_CLUSTER_METRICS,
     DEFAULT_SCENARIO_METRICS,
     reduce_outcome,
+    resolve_metrics,
 )
 from .store import CellResult, SweepResults
 
@@ -65,6 +82,56 @@ def _execute_cell(task: tuple[SweepCell, Sequence[str | Callable]]) -> CellResul
     )
 
 
+class WorkerPool:
+    """Process-wide persistent worker pools, one per size, reused forever.
+
+    ``Pool.map`` per sweep paid a full interpreter fork (plus catalog and
+    module imports under ``spawn``) for every grid; experiments that chain
+    several sweeps paid it several times.  This registry forks each pool
+    once and hands the same one to every subsequent sweep of that size —
+    with the POSIX ``fork`` context the children share the parent's
+    read-only pages (processor catalog, code) for free.  Pools are torn
+    down atexit; :meth:`shutdown` exists for tests and long-lived hosts.
+    """
+
+    _pools: dict[int, multiprocessing.pool.Pool] = {}
+
+    @classmethod
+    def get(cls, workers: int) -> multiprocessing.pool.Pool:
+        """The persistent pool of *workers* processes (created on first use)."""
+        pool = cls._pools.get(workers)
+        if pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context("spawn")
+            pool = context.Pool(workers)
+            cls._pools[workers] = pool
+        return pool
+
+    @classmethod
+    def discard(cls, workers: int) -> None:
+        """Terminate and forget the pool of *workers* (recreated on next use).
+
+        Called when a sweep aborts mid-stream: tasks already queued would
+        otherwise keep burning CPU into a dead iterator and contend with
+        the next sweep for workers.
+        """
+        pool = cls._pools.pop(workers, None)
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    @classmethod
+    def shutdown(cls) -> None:
+        """Terminate and forget every pool (idempotent)."""
+        for workers in list(cls._pools):
+            cls.discard(workers)
+
+
+atexit.register(WorkerPool.shutdown)
+
+
 class SweepRunner:
     """Run every cell of a grid and collect a :class:`SweepResults`.
 
@@ -75,10 +142,23 @@ class SweepRunner:
     metrics:
         Metric names (keys of :data:`repro.sweep.metrics.METRICS`) and/or
         module-level callables; defaults to the grid kind's standard set.
+        With a *store*, metrics must all be names — the metric list is part
+        of each cell's content address.
     workers:
-        Process-pool size.  ``1`` (default) runs in-process; anything above
-        fans cells out with ``multiprocessing.Pool.map`` (order-preserving,
-        chunksize 1 so cells spread evenly).
+        Pool size.  ``1`` (default) runs in-process; anything above fans
+        cells out over the persistent :class:`WorkerPool` of that size,
+        consuming completions as they stream in.
+    store:
+        An :class:`~repro.store.ExperimentStore` (or a path, which opens
+        one).  Finished cells are persisted as they complete; damaged or
+        version-skewed entries read as misses and are recomputed.
+    resume:
+        With a store, ``True`` (default) serves already-stored cells from
+        disk and computes only the missing ones; ``False`` recomputes every
+        cell and overwrites (the CLI's ``--force``).
+
+    After :meth:`run`, ``cache_hits`` and ``computed`` report how many
+    cells came from the store versus fresh simulation.
     """
 
     def __init__(
@@ -87,6 +167,8 @@ class SweepRunner:
         *,
         metrics: Sequence[str | Callable] | None = None,
         workers: int = 1,
+        store: ExperimentStore | str | pathlib.Path | None = None,
+        resume: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -95,26 +177,93 @@ class SweepRunner:
             tuple(metrics) if metrics is not None else default_metrics_for(grid.base)
         )
         self.workers = workers
+        if store is not None and not isinstance(store, ExperimentStore):
+            store = ExperimentStore(store)
+        self.store = store
+        self.resume = resume
+        self.cache_hits = 0
+        self.computed = 0
+        # Resolve names in the *parent*: unknown metrics fail before any
+        # simulation, and workers receive callables rather than consulting
+        # their (forked, possibly stale) METRICS registry.
+        self._resolved = resolve_metrics(self.metrics)
+        if self.store is not None:
+            # Callables have no stable identity to hash into a content
+            # address, so stored sweeps must name their metrics.
+            self._metric_names = metric_names(self.metrics)
+        else:
+            self._metric_names = None
+
+    def _stream(
+        self, tasks: Sequence[tuple[SweepCell, Sequence[Callable]]]
+    ) -> Iterator[CellResult]:
+        """Yield results as cells finish (any order; results carry indices)."""
+        if self.workers == 1 or len(tasks) <= 1:
+            for task in tasks:
+                yield _execute_cell(task)
+            return
+        pool = WorkerPool.get(self.workers)
+        try:
+            yield from pool.imap_unordered(_execute_cell, tasks, chunksize=1)
+        except BaseException:
+            # A cell raised (or the consumer was killed): queued tasks would
+            # keep running into a dead iterator — tear the pool down.
+            WorkerPool.discard(self.workers)
+            raise
 
     def run(self) -> SweepResults:
-        """Execute all cells; results come back in grid order."""
-        tasks = [(cell, self.metrics) for cell in self.grid]
-        if self.workers == 1 or len(tasks) <= 1:
-            cells = [_execute_cell(task) for task in tasks]
-        else:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                context = multiprocessing.get_context("spawn")
-            with context.Pool(min(self.workers, len(tasks))) as pool:
-                cells = pool.map(_execute_cell, tasks, chunksize=1)
+        """Execute (or recall) all cells; results come back in grid order."""
+        self.cache_hits = 0
+        self.computed = 0
+        done: dict[int, CellResult] = {}
+        pending: list[SweepCell] = []
+        keys: dict[int, str] = {}
+        for cell in self.grid:
+            if self.store is None:
+                pending.append(cell)
+                continue
+            keys[cell.index] = cell_key(cell.config, self._metric_names, cell.seed)
+            payload = self.store.lookup(keys[cell.index]) if self.resume else None
+            if payload is not None:
+                # Label/params/seed come from the *grid* (the cache is keyed
+                # by content, not by what some earlier grid called the cell),
+                # so exports stay byte-identical to a cold run.
+                done[cell.index] = CellResult(
+                    index=cell.index,
+                    label=cell.label,
+                    params={k: describe_value(v) for k, v in cell.params.items()},
+                    seed=cell.seed,
+                    metrics=payload["metrics"],
+                )
+                self.cache_hits += 1
+            else:
+                pending.append(cell)
+        by_index = {cell.index: cell for cell in pending}
+        for result in self._stream([(cell, self._resolved) for cell in pending]):
+            # Stream into the store cell by cell: an interrupted sweep keeps
+            # everything finished so far, not just complete runs.
+            if self.store is not None:
+                cell = by_index[result.index]
+                self.store.put(
+                    keys[result.index],
+                    config_payload=config_payload(cell.config),
+                    label=result.label,
+                    params=result.params,
+                    seed=result.seed,
+                    metrics_list=self._metric_names,
+                    metrics=result.metrics,
+                )
+            done[result.index] = result
+            self.computed += 1
+        cells = [done[cell.index] for cell in self.grid]
         meta = self.grid.spec()
         meta["metrics"] = [
             m if isinstance(m, str) else getattr(m, "__name__", str(m))
             for m in self.metrics
         ]
-        # Deliberately no worker count, timestamps or host details in meta:
-        # the exported bytes must not depend on how the sweep was executed.
+        # Deliberately no worker count, cache statistics, timestamps or host
+        # details in meta: the exported bytes must not depend on how (or how
+        # warm) the sweep was executed.
         return SweepResults(cells, meta=meta)
 
 
@@ -123,9 +272,13 @@ def run_sweep(
     *,
     metrics: Sequence[str | Callable] | None = None,
     workers: int = 1,
+    store: ExperimentStore | str | pathlib.Path | None = None,
+    resume: bool = True,
 ) -> SweepResults:
     """One-call façade over :class:`SweepRunner`."""
-    return SweepRunner(grid, metrics=metrics, workers=workers).run()
+    return SweepRunner(
+        grid, metrics=metrics, workers=workers, store=store, resume=resume
+    ).run()
 
 
 def run_cells(grid: SweepGrid) -> dict[str, Any]:
@@ -133,7 +286,8 @@ def run_cells(grid: SweepGrid) -> dict[str, Any]:
 
     For reductions that need the raw :class:`ScenarioResult` /
     :class:`ClusterSim` (series for charts, packed-host introspection)
-    rather than flat metrics.  Serial only: full outcomes carry live engine
-    state and are not worth shipping across process boundaries.
+    rather than flat metrics.  Serial only, and never store-cached: full
+    outcomes carry live engine state and are not worth shipping across
+    process or disk boundaries.
     """
     return {cell.label: execute_config(cell.config) for cell in grid}

@@ -13,11 +13,29 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import re
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..telemetry.export import records_to_csv, table_to_text
+
+#: The replicate suffix :class:`~repro.sweep.grid.SweepGrid` appends to
+#: cell labels when ``replicates > 1``.
+_REP_SUFFIX = re.compile(r",rep=\d+$")
+
+
+def _mean_std_ci(values: Sequence[float]) -> tuple[float, float, float]:
+    """Mean, sample std and normal-approximation 95% CI half-width."""
+    n = len(values)
+    mean = sum(values) / n if values else float("nan")
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0 if values else float("nan")
+    ci95 = 1.96 * std / math.sqrt(n) if n else float("nan")
+    return mean, std, ci95
 
 
 @dataclass(frozen=True)
@@ -120,20 +138,14 @@ class SweepResults:
                 groups[key].append(float(value))
         out: dict[Any, dict[str, float]] = {}
         for key, values in groups.items():
-            n = len(values)
-            mean = sum(values) / n if values else float("nan")
-            if n > 1:
-                variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-                std = math.sqrt(variance)
-            else:
-                std = 0.0 if values else float("nan")
+            mean, std, ci95 = _mean_std_ci(values)
             out[key] = {
-                "count": n,
+                "count": len(values),
                 "mean": mean,
                 "min": min(values) if values else float("nan"),
                 "max": max(values) if values else float("nan"),
                 "std": std,
-                "ci95": 1.96 * std / math.sqrt(n) if n else float("nan"),
+                "ci95": ci95,
             }
         return out
 
@@ -153,6 +165,80 @@ class SweepResults:
                 row.append("-" if value is None else value)
             rows.append(row)
         return table_to_text(["cell", *metrics], rows, title=title)
+
+    # ------------------------------------------------- replicate aggregation
+
+    def aggregated_records(self) -> list[dict[str, Any]]:
+        """One flat dict per *logical* cell, replicates reduced to statistics.
+
+        Cells differing only in their ``rep=<k>`` replicate suffix collapse
+        into one record carrying the base label, the non-replicate params, a
+        ``replicates`` count, and ``<metric>_mean`` / ``<metric>_std`` /
+        ``<metric>_ci95`` columns per numeric metric (``None`` metrics are
+        skipped per-cell; a metric with no numeric samples in a group emits
+        ``None`` statistics).  Sweeps without replicates degrade gracefully:
+        every cell is its own group with ``std = ci95 = 0``.  Order and
+        content are deterministic for a fixed cell sequence — the plotting
+        export the raw per-replicate rows were too noisy for.
+        """
+        order: list[str] = []
+        groups: dict[str, dict[str, Any]] = {}
+        for cell in self.cells:
+            base = _REP_SUFFIX.sub("", cell.label)
+            group = groups.get(base)
+            if group is None:
+                params = {k: v for k, v in cell.params.items() if k != "rep"}
+                group = groups[base] = {"params": params, "cells": []}
+                order.append(base)
+            group["cells"].append(cell)
+        records: list[dict[str, Any]] = []
+        for base in order:
+            group = groups[base]
+            cells: list[CellResult] = group["cells"]
+            row: dict[str, Any] = {"label": base}
+            row.update(group["params"])
+            row["replicates"] = len(cells)
+            names: dict[str, None] = {}
+            for cell in cells:
+                for name in cell.metrics:
+                    names.setdefault(name)
+            for name in names:
+                values = [
+                    float(cell.metrics[name])
+                    for cell in cells
+                    if isinstance(cell.metrics.get(name), (int, float))
+                    and not isinstance(cell.metrics.get(name), bool)
+                ]
+                if values:
+                    mean, std, ci95 = _mean_std_ci(values)
+                else:
+                    mean = std = ci95 = None
+                row[f"{name}_mean"] = mean
+                row[f"{name}_std"] = std
+                row[f"{name}_ci95"] = ci95
+            records.append(row)
+        return records
+
+    def to_aggregated_json(self) -> str:
+        """Canonical JSON of :meth:`aggregated_records` (plus grid meta)."""
+        payload = {
+            "meta": {**self.meta, "aggregated": True},
+            "rows": self.aggregated_records(),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    def to_aggregated_csv(self) -> str:
+        """:meth:`aggregated_records` as one CSV table."""
+        return records_to_csv(self.aggregated_records())
+
+    def export_aggregated(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the per-logical-cell aggregate, JSON or CSV by extension."""
+        path = pathlib.Path(path)
+        if path.suffix.lower() == ".csv":
+            path.write_text(self.to_aggregated_csv())
+        else:
+            path.write_text(self.to_aggregated_json())
+        return path
 
     # -------------------------------------------------------------- export
 

@@ -19,7 +19,7 @@ from .latency import LatencyTracker
 from .pi_app import PiApp
 from .profiles import LoadProfile, Phase
 from .injector import HttperfInjector
-from .trace import SyntheticTrace, TraceLoad, TracePoint
+from .trace import load_trace_csv, SyntheticTrace, TraceLoad, TracePoint
 from .web_app import WebApp, exact_rate, thrashing_rate
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "SyntheticTrace",
     "TraceLoad",
     "TracePoint",
+    "load_trace_csv",
     "WebApp",
     "exact_rate",
     "thrashing_rate",

@@ -10,14 +10,21 @@ production trace is available, per the substitution rule in DESIGN.md.
 
 from __future__ import annotations
 
+import csv
 import math
+import pathlib
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..errors import WorkloadError
+from ..errors import ConfigurationError, WorkloadError
 from ..sim import PeriodicTimer
 from ..units import check_non_negative, check_positive
 from .base import Workload
+
+#: Header names recognised as the time column (case-insensitive).
+TIME_COLUMNS = ("time", "t", "seconds", "timestamp")
+#: Header names recognised as the utilisation column (case-insensitive).
+PERCENT_COLUMNS = ("percent", "utilisation", "utilization", "util", "load", "cpu", "demand")
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +37,73 @@ class TracePoint:
     def __post_init__(self) -> None:
         check_non_negative(self.start, "start")
         check_non_negative(self.percent, "percent")
+
+
+def load_trace_csv(path: str | pathlib.Path) -> list[TracePoint]:
+    """Parse a real utilisation time-series CSV into trace points.
+
+    Two layouts are accepted:
+
+    * a header row naming a time column (one of :data:`TIME_COLUMNS`) and a
+      utilisation column (one of :data:`PERCENT_COLUMNS`), matched
+      case-insensitively — extra columns are ignored;
+    * headerless rows whose first two columns are numeric
+      ``time, percent`` pairs.
+
+    Blank lines are skipped; any non-numeric data row raises a
+    :class:`~repro.errors.WorkloadError` naming the file and line.  The
+    returned points plug straight into :class:`TraceLoad` (which sorts them
+    and rejects duplicate times) or, via ``WorkloadSpec(kind="trace",
+    trace_file=...)``, into any declarative scenario.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise WorkloadError(f"cannot read trace file {path}: {error}") from None
+    rows = [
+        (number, row)
+        for number, row in enumerate(csv.reader(text.splitlines()), start=1)
+        if row and any(cell.strip() for cell in row)
+    ]
+    if not rows:
+        raise WorkloadError(f"trace file {path} holds no data rows")
+    first = [cell.strip() for cell in rows[0][1]]
+    time_col, percent_col = 0, 1
+    try:
+        float(first[0])
+    except (ValueError, IndexError):
+        header = [cell.strip().lower() for cell in first]
+        time_col = next((header.index(n) for n in TIME_COLUMNS if n in header), None)
+        percent_col = next(
+            (header.index(n) for n in PERCENT_COLUMNS if n in header), None
+        )
+        if time_col is None or percent_col is None:
+            raise WorkloadError(
+                f"trace file {path} header {first!r} names no recognised "
+                f"time ({', '.join(TIME_COLUMNS)}) and utilisation "
+                f"({', '.join(PERCENT_COLUMNS)}) columns"
+            )
+        rows = rows[1:]
+        if not rows:
+            raise WorkloadError(f"trace file {path} holds a header but no data rows")
+    points = []
+    for number, row in rows:
+        try:
+            start = float(row[time_col])
+            percent = float(row[percent_col])
+        except (ValueError, IndexError):
+            raise WorkloadError(
+                f"trace file {path} line {number}: expected numeric "
+                f"time/percent columns, got {row!r}"
+            ) from None
+        try:
+            points.append(TracePoint(start=start, percent=percent))
+        except ConfigurationError as error:
+            raise WorkloadError(
+                f"trace file {path} line {number}: {error}"
+            ) from None
+    return points
 
 
 class TraceLoad(Workload):

@@ -1,0 +1,65 @@
+"""ClusterScenarioConfig JSON round-trip (fleet cells as first-class specs)."""
+
+import pytest
+
+from repro.cluster import ClusterScenarioConfig
+from repro.cluster.scenario import run_cluster_scenario
+from repro.cpu import catalog
+from repro.errors import ConfigurationError
+from repro.sweep import SweepGrid
+from repro.sweep.metrics import fleet_metrics
+
+
+def test_to_dict_round_trips_exactly():
+    config = ClusterScenarioConfig(
+        n_machines=3, n_vms=5, policy="spread", dvfs=False, duration=150.0, seed=11
+    )
+    data = config.to_dict()
+    assert data["kind"] == "cluster"
+    assert data["processor"] == config.processor.name
+    assert ClusterScenarioConfig.from_dict(data) == config
+
+
+def test_round_tripped_config_simulates_identically():
+    config = ClusterScenarioConfig(n_machines=2, n_vms=3, duration=100.0)
+    direct = fleet_metrics(run_cluster_scenario(config))
+    loaded = fleet_metrics(
+        run_cluster_scenario(ClusterScenarioConfig.from_dict(config.to_dict()))
+    )
+    assert direct == loaded
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError, match="unknown cluster scenario field"):
+        ClusterScenarioConfig.from_dict({"kind": "cluster", "warp_factor": 9})
+
+
+def test_from_dict_rejects_wrong_kind():
+    with pytest.raises(ConfigurationError, match="kind="):
+        ClusterScenarioConfig.from_dict({"kind": "scenario"})
+
+
+def test_from_dict_rejects_unknown_processor():
+    with pytest.raises(ConfigurationError, match="unknown processor"):
+        ClusterScenarioConfig.from_dict({"processor": "Pentium III"})
+
+
+def test_processor_by_catalog_name():
+    config = ClusterScenarioConfig.from_dict(
+        {"processor": "Intel Xeon E5-2620", "n_machines": 2}
+    )
+    assert config.processor == catalog.XEON_E5_2620
+
+
+def test_grid_axes_coerce_from_json():
+    grid = SweepGrid(
+        {"policy": ["spread", "consolidate"], "processor": ["Intel Core i7-3770"]},
+        base=ClusterScenarioConfig(n_machines=2, n_vms=3, duration=50.0),
+    )
+    assert len(grid) == 2
+    assert all(cell.config.processor == catalog.CORE_I7_3770 for cell in grid)
+
+
+def test_describe_is_compact():
+    config = ClusterScenarioConfig(n_machines=4, n_vms=9, policy="spread", dvfs=True)
+    assert config.describe() == "fleet(9vm/4m:spread+dvfs)"

@@ -1,0 +1,171 @@
+"""Resumable sweeps: warm-cache determinism, interruption, force-recompute."""
+
+import pytest
+
+from repro.cluster import ClusterScenarioConfig
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioConfig
+from repro.store import ExperimentStore
+from repro.sweep import run_sweep, SweepGrid, SweepRunner
+from repro.sweep import runner as runner_module
+
+FAST = ScenarioConfig(
+    duration=200.0, v20_active=(20.0, 180.0), v70_active=(60.0, 140.0)
+)
+
+
+def small_grid() -> SweepGrid:
+    return SweepGrid(
+        {"scheduler": ["credit", "pas"], "v20_load": ["exact", "thrashing"]},
+        base=FAST,
+        vary_seed=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def cold_json() -> str:
+    """The reference export: no store, serial — the seed-era code path."""
+    return run_sweep(small_grid(), workers=1).to_json()
+
+
+def test_warm_cache_byte_identical_at_any_worker_count(tmp_path, cold_json):
+    store = ExperimentStore(tmp_path / "st")
+    cold = SweepRunner(small_grid(), workers=2, store=store)
+    assert cold.run().to_json() == cold_json
+    assert (cold.cache_hits, cold.computed) == (0, 4)
+    for workers in (1, 3):
+        warm = SweepRunner(small_grid(), workers=workers, store=store)
+        assert warm.run().to_json() == cold_json
+        assert (warm.cache_hits, warm.computed) == (4, 0)
+
+
+def test_interrupted_sweep_resumes_only_missing_cells(
+    tmp_path, cold_json, monkeypatch
+):
+    store = ExperimentStore(tmp_path / "st")
+    real = runner_module.execute_config
+    calls = {"n": 0}
+
+    def dies_after_two(config):
+        if calls["n"] >= 2:
+            raise KeyboardInterrupt("killed mid-sweep")
+        calls["n"] += 1
+        return real(config)
+
+    monkeypatch.setattr(runner_module, "execute_config", dies_after_two)
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(small_grid(), store=store)
+    # The two finished cells streamed to disk before the crash.
+    assert len(store) == 2
+    monkeypatch.setattr(runner_module, "execute_config", real)
+    resumed = SweepRunner(small_grid(), store=store)
+    results = resumed.run()
+    assert (resumed.cache_hits, resumed.computed) == (2, 2)
+    assert results.to_json() == cold_json  # byte-identical to uninterrupted
+
+
+def test_partial_grid_warms_a_superset_grid(tmp_path, cold_json):
+    # Content addressing: a different grid that enumerates some of the same
+    # (config, metrics, seed) cells shares their entries.
+    store = ExperimentStore(tmp_path / "st")
+    partial = SweepGrid(
+        {"scheduler": ["credit", "pas"], "v20_load": ["exact"]},
+        base=FAST,
+        vary_seed=True,
+    )
+    run_sweep(partial, store=store)
+    full = SweepRunner(small_grid(), store=store)
+    assert full.run().to_json() == cold_json
+    assert (full.cache_hits, full.computed) == (2, 2)
+
+
+def test_force_recomputes_and_overwrites(tmp_path):
+    store = ExperimentStore(tmp_path / "st")
+    grid_cells = 2
+    grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST, vary_seed=True)
+    first = SweepRunner(grid, store=store)
+    first.run()
+    assert first.computed == grid_cells
+    forced = SweepRunner(grid, store=store, resume=False)
+    forced.run()
+    assert (forced.cache_hits, forced.computed) == (0, grid_cells)
+    assert len(store) == grid_cells  # overwritten in place, not duplicated
+
+
+def test_corrupted_entry_recomputed_on_resume(tmp_path):
+    store = ExperimentStore(tmp_path / "st")
+    grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST, vary_seed=True)
+    reference = run_sweep(grid, store=store).to_json()
+    victim = store.keys()[0]
+    store.blob_path(victim).write_text("scribbled over by a crash")
+    again = SweepRunner(grid, store=store)
+    assert again.run().to_json() == reference
+    assert (again.cache_hits, again.computed) == (1, 1)
+    assert store.read(victim)["key"] == victim  # healed in place
+
+
+def test_store_path_accepted_directly(tmp_path):
+    grid = SweepGrid({"scheduler": ["credit"]}, base=FAST)
+    results = run_sweep(grid, store=tmp_path / "st")
+    assert (tmp_path / "st" / "index.jsonl").exists()
+    assert len(results) == 1
+
+
+def test_store_rejects_callable_metrics(tmp_path):
+    def my_metric(result):
+        return {"x": 1}
+
+    grid = SweepGrid({"scheduler": ["credit"]}, base=FAST)
+    with pytest.raises(ConfigurationError, match="named metrics"):
+        SweepRunner(grid, metrics=(my_metric,), store=tmp_path / "st")
+
+
+def test_cluster_cells_are_cacheable_too(tmp_path):
+    store = ExperimentStore(tmp_path / "st")
+    grid = SweepGrid(
+        {"policy": ["spread", "consolidate"], "dvfs": [False, True]},
+        base=ClusterScenarioConfig(n_machines=2, n_vms=3, duration=100.0),
+    )
+    cold = SweepRunner(grid, store=store)
+    reference = cold.run().to_json()
+    assert cold.computed == 4
+    warm = SweepRunner(grid, store=store)
+    assert warm.run().to_json() == reference
+    assert (warm.cache_hits, warm.computed) == (4, 0)
+
+
+def test_aborted_parallel_sweep_discards_the_pool(tmp_path):
+    from repro.sweep import WorkerPool
+
+    bad = SweepGrid(
+        {"scheduler": ["credit", "xenomorph", "pas", "sedf"]}, base=FAST
+    )
+    with pytest.raises(Exception):
+        run_sweep(bad, workers=2)
+    # The failing stream tore its pool down; queued cells aren't left
+    # running into a dead iterator, and the next sweep gets a fresh pool.
+    assert 2 not in WorkerPool._pools
+    good = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST, vary_seed=True)
+    assert run_sweep(good, workers=2).to_json() == run_sweep(good).to_json()
+
+
+def test_late_registered_metric_reaches_forked_workers():
+    # Metrics resolve in the parent, so a reducer registered *after* the
+    # pool first forked still works in a parallel sweep.
+    from repro.sweep import WorkerPool
+    from repro.sweep.metrics import energy_metrics, METRICS
+
+    grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST, vary_seed=True)
+    run_sweep(grid, workers=2)  # fork the pool before registering
+    METRICS["late_energy"] = energy_metrics
+    try:
+        results = run_sweep(grid, metrics=("late_energy",), workers=2)
+    finally:
+        del METRICS["late_energy"]
+    assert all(cell.metrics["energy_joules"] > 0 for cell in results)
+
+
+def test_unknown_metric_fails_before_any_simulation(tmp_path):
+    grid = SweepGrid({"scheduler": ["credit"]}, base=FAST)
+    with pytest.raises(ConfigurationError, match="unknown metric"):
+        SweepRunner(grid, metrics=("nope",))

@@ -1,0 +1,87 @@
+"""Replicate-aware aggregated export: one row per logical cell."""
+
+import json
+
+import pytest
+
+from repro.experiments import ScenarioConfig
+from repro.sweep import run_sweep, SweepGrid
+
+FAST = ScenarioConfig(
+    duration=100.0,
+    v20_active=(10.0, 90.0),
+    v70_active=(30.0, 70.0),
+    poisson=True,
+)
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST, replicates=3)
+    return run_sweep(grid, workers=2)
+
+
+def test_one_row_per_logical_cell(replicated):
+    records = replicated.aggregated_records()
+    assert len(replicated) == 6  # 2 schedulers x 3 replicates
+    assert len(records) == 2
+    assert [r["label"] for r in records] == ["scheduler=credit", "scheduler=pas"]
+    for record in records:
+        assert record["replicates"] == 3
+        assert "rep" not in record
+
+
+def test_mean_std_ci_columns_match_aggregate(replicated):
+    records = {r["label"]: r for r in replicated.aggregated_records()}
+    groups = replicated.aggregate("energy_joules", by="scheduler")
+    for scheduler in ("credit", "pas"):
+        row = records[f"scheduler={scheduler}"]
+        summary = groups[scheduler]
+        assert row["energy_joules_mean"] == pytest.approx(summary["mean"])
+        assert row["energy_joules_std"] == pytest.approx(summary["std"])
+        assert row["energy_joules_ci95"] == pytest.approx(summary["ci95"])
+        # Poisson arrivals + distinct replicate seeds: real spread.
+        assert row["energy_joules_std"] > 0.0
+
+
+def test_unreplicated_sweep_degrades_to_zero_spread():
+    grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST)
+    results = run_sweep(grid)
+    records = results.aggregated_records()
+    assert len(records) == 2
+    for record in records:
+        assert record["replicates"] == 1
+        assert record["energy_joules_std"] == 0.0
+        assert record["energy_joules_ci95"] == 0.0
+
+
+def test_none_metrics_are_skipped_not_fatal(replicated):
+    # Compressed timelines can leave a phase empty (metric None); the
+    # aggregate must average over the replicates that do have values.
+    records = replicated.aggregated_records()
+    for record in records:
+        for name, value in record.items():
+            if name.endswith("_mean") and value is not None:
+                assert isinstance(value, float)
+
+
+def test_csv_and_json_exports(replicated, tmp_path):
+    csv_path = replicated.export_aggregated(tmp_path / "agg.csv")
+    lines = csv_path.read_text().splitlines()
+    assert len(lines) == 1 + 2
+    header = lines[0].split(",")
+    assert header[0] == "label"
+    assert "replicates" in header
+    assert "energy_joules_mean" in header
+    assert "energy_joules_ci95" in header
+    json_path = replicated.export_aggregated(tmp_path / "agg.json")
+    payload = json.loads(json_path.read_text())
+    assert payload["meta"]["aggregated"] is True
+    assert len(payload["rows"]) == 2
+
+
+def test_aggregated_export_is_deterministic(replicated):
+    again_grid = SweepGrid({"scheduler": ["credit", "pas"]}, base=FAST, replicates=3)
+    again = run_sweep(again_grid, workers=3)
+    assert again.to_aggregated_json() == replicated.to_aggregated_json()
+    assert again.to_aggregated_csv() == replicated.to_aggregated_csv()

@@ -253,3 +253,113 @@ def test_parser_builds():
     parser = build_parser()
     args = parser.parse_args(["figure", "9"])
     assert args.number == 9
+
+
+# ------------------------------------------------------------ store surface
+
+
+def test_sweep_store_warm_rerun_is_all_hits_and_byte_identical(capsys, tmp_path):
+    store_dir = str(tmp_path / "st")
+    cold_path, warm_path = tmp_path / "cold.json", tmp_path / "warm.json"
+    base = ["sweep", "--grid", _FAST_GRID, "--store", store_dir]
+    assert main(base + ["--out", str(cold_path)]) == 0
+    assert "0 cells warm, 4 computed" in capsys.readouterr().out
+    assert main(base + ["--resume", "--out", str(warm_path)]) == 0
+    assert "4 cells warm, 0 computed" in capsys.readouterr().out
+    assert cold_path.read_bytes() == warm_path.read_bytes()
+
+
+def test_sweep_store_force_recomputes(capsys, tmp_path):
+    store_dir = str(tmp_path / "st")
+    base = ["sweep", "--grid", _FAST_GRID, "--store", store_dir]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(base + ["--force"]) == 0
+    assert "0 cells warm, 4 computed" in capsys.readouterr().out
+
+
+def test_sweep_resume_and_force_are_exclusive(capsys, tmp_path):
+    code = main(
+        ["sweep", "--store", str(tmp_path / "st"), "--resume", "--force"]
+    )
+    assert code == 2
+    assert "opposites" in capsys.readouterr().err
+
+
+def test_sweep_resume_requires_store(capsys):
+    assert main(["sweep", "--resume"]) == 2
+    assert "--store" in capsys.readouterr().err
+
+
+def test_sweep_out_aggregated(capsys, tmp_path):
+    agg = tmp_path / "agg.csv"
+    assert (
+        main(["sweep", "--grid", _FAST_GRID, "--replicates", "2", "--out-aggregated", str(agg)])
+        == 0
+    )
+    assert "aggregated rows" in capsys.readouterr().out
+    lines = agg.read_text().splitlines()
+    assert len(lines) == 1 + 4  # 4 logical cells, replicates collapsed
+    assert "energy_joules_ci95" in lines[0]
+
+
+def test_store_ls_show_gc_export(capsys, tmp_path):
+    store_dir = str(tmp_path / "st")
+    assert main(["sweep", "--grid", _FAST_GRID, "--store", store_dir]) == 0
+    capsys.readouterr()
+    assert main(["store", "ls", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out and "scheduler=pas" in out
+    assert main(["store", "show", "--store", store_dir, "scheduler=pas,v20_load=exact,duration=200.0,v20_active=[20.0,180.0],v70_active=[60.0,140.0]"]) == 0
+    out = capsys.readouterr().out
+    assert '"metrics"' in out and '"seed"' in out
+    assert main(["store", "gc", "--store", store_dir]) == 0
+    assert "kept 4 cells" in capsys.readouterr().out
+    export = tmp_path / "corpus.csv"
+    assert main(["store", "export", "--store", store_dir, "--out", str(export)]) == 0
+    capsys.readouterr()
+    assert len(export.read_text().splitlines()) == 5
+
+
+def test_store_show_unknown_cell(capsys, tmp_path):
+    store_dir = str(tmp_path / "st")
+    assert main(["sweep", "--grid", _FAST_GRID, "--store", store_dir]) == 0
+    capsys.readouterr()
+    assert main(["store", "show", "--store", store_dir, "nope"]) == 2
+    assert "no stored cell" in capsys.readouterr().err
+
+
+def test_store_on_non_store_directory(capsys, tmp_path):
+    assert main(["store", "ls", "--store", str(tmp_path / "empty")]) == 2
+    assert "not an experiment store" in capsys.readouterr().err
+
+
+def test_ablation_accepts_store(capsys, tmp_path):
+    # The cf ablation hand-builds its runs; --store must warn, not crash.
+    assert main(["ablation", "cf", "--store", str(tmp_path / "st")]) in (0, 1)
+    assert "does not support --store" in capsys.readouterr().err
+
+
+def test_run_cluster_scenario_file(capsys, tmp_path):
+    import json
+
+    from repro.cluster import ClusterScenarioConfig
+
+    spec = ClusterScenarioConfig(n_machines=2, n_vms=3, duration=100.0).to_dict()
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps(spec))
+    out_path = tmp_path / "resolved.json"
+    assert main(["run", "--scenario", str(path), "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 VMs on 2 machines" in out
+    assert "fleet energy" in out
+    assert json.loads(out_path.read_text())["kind"] == "cluster"
+
+
+def test_run_cluster_scenario_bad_field(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps({"kind": "cluster", "n_machines": 2, "warp": 1}))
+    assert main(["run", "--scenario", str(path)]) == 2
+    assert "unknown cluster scenario field" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""load_trace_csv: real utilisation time-series into declarative scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.experiments import run_scenario, ScenarioConfig
+from repro.experiments.scenario import GuestSpec, WorkloadSpec
+from repro.workloads import load_trace_csv, TraceLoad
+
+
+def write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def test_headered_csv(tmp_path):
+    path = write(tmp_path, "time,percent\n0,10\n50,35.5\n100,0\n")
+    points = load_trace_csv(path)
+    assert [(p.start, p.percent) for p in points] == [
+        (0.0, 10.0),
+        (50.0, 35.5),
+        (100.0, 0.0),
+    ]
+
+
+def test_header_aliases_and_extra_columns(tmp_path):
+    path = write(
+        tmp_path,
+        "host,seconds,mem,utilization\nweb01,0,512,12\nweb01,30,514,44\n",
+    )
+    points = load_trace_csv(path)
+    assert [(p.start, p.percent) for p in points] == [(0.0, 12.0), (30.0, 44.0)]
+
+
+def test_headerless_two_column_csv(tmp_path):
+    path = write(tmp_path, "0,25\n\n60,75\n")
+    assert [(p.start, p.percent) for p in load_trace_csv(path)] == [
+        (0.0, 25.0),
+        (60.0, 75.0),
+    ]
+
+
+def test_missing_file_is_clean(tmp_path):
+    with pytest.raises(WorkloadError, match="cannot read trace file"):
+        load_trace_csv(tmp_path / "nope.csv")
+
+
+def test_empty_and_header_only_files_rejected(tmp_path):
+    with pytest.raises(WorkloadError, match="no data rows"):
+        load_trace_csv(write(tmp_path, "\n\n"))
+    with pytest.raises(WorkloadError, match="header but no data"):
+        load_trace_csv(write(tmp_path, "time,percent\n"))
+
+
+def test_unrecognised_header_names_are_named(tmp_path):
+    with pytest.raises(WorkloadError, match="no recognised"):
+        load_trace_csv(write(tmp_path, "when,how_much\n0,10\n"))
+
+
+def test_bad_row_names_file_and_line(tmp_path):
+    with pytest.raises(WorkloadError, match="line 3"):
+        load_trace_csv(write(tmp_path, "time,percent\n0,10\n50,lots\n"))
+
+
+def test_negative_values_surface_with_line(tmp_path):
+    with pytest.raises(WorkloadError, match="line 2"):
+        load_trace_csv(write(tmp_path, "time,percent\n0,-5\n"))
+
+
+def test_points_feed_trace_load(tmp_path):
+    points = load_trace_csv(write(tmp_path, "time,percent\n0,10\n100,0\n"))
+    load = TraceLoad(points)
+    assert load.demand_at(50.0) == 10.0
+    assert load.demand_at(150.0) == 0.0
+
+
+# ----------------------------------------------------------- spec wiring
+
+
+def test_workload_spec_trace_file_round_trip(tmp_path):
+    path = str(write(tmp_path, "time,percent\n0,10\n100,0\n"))
+    spec = WorkloadSpec(kind="trace", trace_file=path)
+    assert spec.to_dict() == {"kind": "trace", "trace_file": path}
+    assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+    assert spec.describe() == "trace:trace.csv"
+
+
+def test_trace_spec_still_requires_a_source():
+    with pytest.raises(ConfigurationError, match="trace_file"):
+        WorkloadSpec(kind="trace")
+
+
+def test_scenario_runs_a_trace_file_guest(tmp_path):
+    path = str(write(tmp_path, "time,percent\n0,30\n150,30\n200,0\n"))
+    # Pin max frequency: under credit+stable the guest would be throttled
+    # below its trace demand (the paper's §3 effect), which isn't the point
+    # of this loader test.
+    config = ScenarioConfig(
+        duration=200.0,
+        governor="performance",
+        guests=(
+            GuestSpec(
+                name="T40",
+                credit=40.0,
+                workloads=(WorkloadSpec(kind="trace", trace_file=path),),
+            ),
+        ),
+    )
+    result = run_scenario(config)
+    window = result.guest_window("T40")
+    assert result.guest_mean("T40", "absolute", window) == pytest.approx(30.0, abs=3.0)
