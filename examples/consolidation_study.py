@@ -11,9 +11,15 @@ Run:  python examples/consolidation_study.py
 """
 
 from repro import TimeSeries, render_chart
-from repro.cluster import ClusterSim, consolidate_first_fit, MachineSpec, spread_round_robin
+from repro.cluster import (
+    ClusterScenarioConfig,
+    ClusterSim,
+    consolidate_first_fit,
+    make_population,
+    MachineSpec,
+    spread_round_robin,
+)
 from repro.cpu import catalog
-from repro.experiments.consolidation import _make_population
 from repro.telemetry import table_to_text
 
 
@@ -21,7 +27,7 @@ def run(policy, dvfs: bool) -> ClusterSim:
     sim = ClusterSim(
         n_machines=8,
         machine_spec=MachineSpec(processor=catalog.CORE_I7_3770, memory_mb=16384),
-        vms=_make_population(12, seed=7),
+        vms=make_population(ClusterScenarioConfig(n_vms=12, seed=7)),
         policy=policy,
         dvfs=dvfs,
     )

@@ -17,7 +17,11 @@ Examples::
     python -m repro sweep --preset stress-fleet --store results-store --resume
     python -m repro sweep --list-presets
     python -m repro store ls --store results-store
-    python -m repro store export --store results-store --out corpus.csv
+    python -m repro store ls --store results-store --where scheduler=pas
+    python -m repro store export --store results-store --out corpus.csv --where governor=stable
+    python -m repro cluster run --preset dc-diurnal-small --out-series epochs.csv
+    python -m repro cluster sweep --preset dc-diurnal --store results-store
+    python -m repro cluster compare --preset dc-diurnal --out-dir dc-series
 
 Every command prints the same paper-vs-measured report the benchmarks
 assert on, and exits non-zero when a shape criterion fails — so the CLI
@@ -231,17 +235,36 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_cluster_spec(data: dict, title: str, out: str | None) -> int:
-    """Run a fleet spec (``kind: cluster``) and print its summary."""
-    from .cluster import ClusterScenarioConfig
-    from .cluster.scenario import run_cluster_scenario
-    from .sweep.metrics import fleet_metrics
+def _write_records_csv(records: list, path: str, what: str, fields: Sequence[str]) -> None:
+    """Write flat records as CSV (a bare header when there are none)."""
+    from .telemetry.export import records_to_csv
 
-    config = ClusterScenarioConfig.from_dict(data)
+    target = pathlib.Path(path)
+    target.write_text(
+        records_to_csv(records) if records else ",".join(fields) + "\n"
+    )
+    print(f"wrote {len(records)} {what} records to {target}")
+
+
+def _run_cluster_config(
+    config,
+    title: str,
+    out: str | None = None,
+    *,
+    out_series: str | None = None,
+    out_hosts: str | None = None,
+    out_migrations: str | None = None,
+) -> int:
+    """Run a fleet config and print its placement + per-epoch summary."""
+    from .cluster.scenario import run_cluster_scenario
+    from .sweep.metrics import cluster_metrics
+    from .telemetry.series import TimeSeries
+
     sim = run_cluster_scenario(config)
     rows = [
         [
             machine.name,
+            "on" if machine.powered_on else "off",
             str(len(machine.vms)),
             f"{machine.memory_used_mb} MB",
             ", ".join(vm.name for vm in machine.vms) or "-",
@@ -250,7 +273,7 @@ def _run_cluster_spec(data: dict, title: str, out: str | None) -> int:
     ]
     print(
         table_to_text(
-            ["machine", "vms", "memory used", "placed"],
+            ["machine", "power", "vms", "memory used", "placed"],
             rows,
             title=(
                 f"{title}: {config.n_vms} VMs on {config.n_machines} machines "
@@ -259,14 +282,58 @@ def _run_cluster_spec(data: dict, title: str, out: str | None) -> int:
             ),
         )
     )
-    metrics = fleet_metrics(sim)
+    metrics = cluster_metrics(sim)
+    budget = (
+        f"   cap: {config.power_budget_w:.0f} W "
+        f"({'respected' if sim.peak_power_w <= config.power_budget_w else 'VIOLATED'})"
+        if config.power_budget_w is not None
+        else ""
+    )
     print()
     print(
-        f"fleet energy: {metrics['fleet_energy_joules'] / 1000:.1f} kJ   "
-        f"machines on (mean): {metrics['mean_machines_on']:.1f}   "
-        f"SLA: {metrics['mean_sla_fraction'] * 100:.1f}%   "
-        f"migrations: {metrics['total_migrations']}"
+        f"fleet energy: {metrics['energy_kwh'] * 1000:.2f} Wh   "
+        f"hosts on (mean): {metrics['hosts_on_mean']:.1f}   "
+        f"SLA: {metrics['sla_mean'] * 100:.1f}% "
+        f"({metrics['sla_violations']} violation epochs)   "
+        f"migrations: {metrics['migrations']}   "
+        f"peak power: {metrics['power_peak_w']:.0f} W{budget}"
     )
+    peak = sim.peak_power_w or 1.0  # an all-idle fleet charts as flat zero
+    power = TimeSeries(
+        "fleet power (% of peak)",
+        [(stat.time, 100.0 * stat.power_w / peak) for stat in sim.stats],
+    )
+    hosts = TimeSeries(
+        "hosts on (% of fleet)",
+        [(stat.time, 100.0 * stat.machines_on / config.n_machines) for stat in sim.stats],
+    )
+    print()
+    print(
+        render_chart(
+            [power, hosts],
+            title="fleet power + hosts over the day",
+            y_max=100.0,
+            labels=["power %", "hosts %"],
+        )
+    )
+    from .cluster.orchestrator import (
+        EPOCH_RECORD_FIELDS,
+        HOST_RECORD_FIELDS,
+        MIGRATION_RECORD_FIELDS,
+    )
+
+    if out_series:
+        _write_records_csv(
+            sim.epoch_records(), out_series, "per-epoch", EPOCH_RECORD_FIELDS
+        )
+    if out_hosts:
+        _write_records_csv(
+            sim.host_records(), out_hosts, "per-host", HOST_RECORD_FIELDS
+        )
+    if out_migrations:
+        _write_records_csv(
+            sim.migration_records(), out_migrations, "migration", MIGRATION_RECORD_FIELDS
+        )
     if out:
         path = pathlib.Path(out)
         path.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n")
@@ -290,12 +357,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"run: {path} must hold a JSON object (a scenario spec)", file=sys.stderr)
                 return 2
             if data.get("kind") == "cluster":
-                return _run_cluster_spec(data, f"scenario {path.name}", args.out)
+                from .cluster import ClusterScenarioConfig
+
+                return _run_cluster_config(
+                    ClusterScenarioConfig.from_dict(data),
+                    f"scenario {path.name}",
+                    args.out,
+                )
             config = ScenarioConfig.from_dict(data)
             title = f"scenario {path.name}"
         else:
             config = get_preset(args.preset).config
             title = f"preset {args.preset}"
+            from .cluster import ClusterScenarioConfig
+
+            if isinstance(config, ClusterScenarioConfig):
+                return _run_cluster_config(config, title, args.out)
         result = run_scenario(config)
     except ConfigurationError as error:
         print(f"run: {error}", file=sys.stderr)
@@ -368,13 +445,20 @@ def _list_presets() -> int:
     rows = [
         [
             preset.name,
+            f"kind:{preset.kind}",
             str(preset.cells),
             ",".join(preset.axes) or "-",
             preset.description,
         ]
         for preset in PRESETS.values()
     ]
-    print(table_to_text(["preset", "cells", "axes", "description"], rows, title="scenario presets"))
+    print(
+        table_to_text(
+            ["preset", "kind", "cells", "axes", "description"],
+            rows,
+            title="scenario presets",
+        )
+    )
     return 0
 
 
@@ -490,6 +574,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_where(clauses: Sequence[str]) -> dict[str, str]:
+    """``key=value`` clauses -> a filter mapping (raises ValueError on junk)."""
+    where: dict[str, str] = {}
+    for clause in clauses:
+        key, sep, value = clause.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(
+                f"--where takes KEY=VALUE (e.g. scheduler=pas), got {clause!r}"
+            )
+        where[key.strip()] = value.strip()
+    return where
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .store import ExperimentStore
 
@@ -498,10 +595,20 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"store: {root} is not an experiment store (no index.jsonl)", file=sys.stderr)
         return 2
     store = ExperimentStore(root)
+    try:
+        where = _parse_where(getattr(args, "where", None) or [])
+    except ValueError as error:
+        print(f"store: {error}", file=sys.stderr)
+        return 2
     if args.action == "ls":
-        payloads = store.payloads()
+        payloads = store.payloads(where=where)
         if not payloads:
-            print(f"store {root}: empty")
+            suffix = (
+                " matching " + ", ".join(f"{k}={v}" for k, v in where.items())
+                if where
+                else ""
+            )
+            print(f"store {root}: no cells{suffix}")
             return 0
         rows = [
             [
@@ -539,9 +646,13 @@ def _cmd_store(args: argparse.Namespace) -> int:
         )
         return 0
     if args.action == "export":
-        results = store.to_results()
+        results = store.to_results(where=where)
         if not len(results):
-            print(f"store: {root} holds no valid cells to export", file=sys.stderr)
+            print(
+                f"store: {root} holds no valid cells to export"
+                + (" matching the --where filter" if where else ""),
+                file=sys.stderr,
+            )
             return 2
         if args.aggregated:
             path = results.export_aggregated(args.out)
@@ -551,6 +662,346 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(f"wrote {len(results)} cells to {path}")
         return 0
     raise AssertionError(f"unhandled store action {args.action!r}")  # pragma: no cover
+
+
+def _cluster_config_from_args(args: argparse.Namespace):
+    """Resolve a cluster config + title from --preset/--scenario and overrides."""
+    from .cluster import ClusterScenarioConfig
+
+    if getattr(args, "scenario", None):
+        path = pathlib.Path(args.scenario)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as error:
+            raise ConfigurationError(f"cannot read {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"{path} is not valid JSON: {error}") from None
+        if not isinstance(data, dict) or data.get("kind") != "cluster":
+            raise ConfigurationError(
+                f"{path} is not a cluster scenario spec (needs \"kind\": \"cluster\")"
+            )
+        config = ClusterScenarioConfig.from_dict(data)
+        title = f"scenario {path.name}"
+        slug = path.stem
+    else:
+        preset = get_preset(args.preset)
+        if preset.kind != "cluster":
+            raise ConfigurationError(
+                f"preset {preset.name!r} is kind:{preset.kind}; the cluster "
+                "commands need a kind:cluster preset (see sweep --list-presets)"
+            )
+        config = preset.config
+        title = f"preset {args.preset}"
+        slug = args.preset
+    overrides = {}
+    if getattr(args, "policy", None):
+        overrides["policy"] = args.policy
+    if getattr(args, "duration", None) is not None:
+        overrides["duration"] = args.duration
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "power_budget", None) is not None:
+        overrides["power_budget_w"] = args.power_budget
+    if overrides:
+        config = config.with_changes(**overrides)
+    return config, title, slug
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    try:
+        config, title, _ = _cluster_config_from_args(args)
+        return _run_cluster_config(
+            config,
+            title,
+            args.out,
+            out_series=args.out_series,
+            out_hosts=args.out_hosts,
+            out_migrations=args.out_migrations,
+        )
+    except ConfigurationError as error:
+        print(f"cluster run: {error}", file=sys.stderr)
+        return 2
+
+
+#: Per-cell columns for the cluster sweep terminal summary.
+_CLUSTER_SUMMARY_METRICS = (
+    "energy_kwh",
+    "hosts_on_mean",
+    "migrations",
+    "sla_violations",
+    "power_peak_w",
+    "sla_mean",
+)
+
+
+def _cmd_cluster_sweep(args: argparse.Namespace) -> int:
+    from .sweep import SweepRunner
+
+    if args.resume and args.force:
+        print("cluster sweep: --resume and --force are opposites; pick one", file=sys.stderr)
+        return 2
+    if (args.resume or args.force) and not args.store:
+        print(
+            "cluster sweep: --resume/--force only make sense with --store DIR",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        preset = get_preset(args.preset)
+        if preset.kind != "cluster":
+            raise ConfigurationError(
+                f"preset {preset.name!r} is kind:{preset.kind}; cluster sweep "
+                "needs a kind:cluster preset (see sweep --list-presets)"
+            )
+        grid = preset_grid(
+            args.preset,
+            overrides=overrides,
+            replicates=args.replicates,
+            vary_seed=not args.fixed_seed,
+        )
+        runner = SweepRunner(
+            grid,
+            metrics=preset.metrics,
+            workers=args.workers,
+            store=args.store,
+            resume=not args.force,
+        )
+        results = runner.run()
+    except ConfigurationError as error:
+        print(f"cluster sweep: {error}", file=sys.stderr)
+        return 2
+    print(
+        results.summary_table(
+            [m for m in _CLUSTER_SUMMARY_METRICS if m in results.cells[0].metrics]
+            or None,
+            title=f"cluster sweep: {len(results)} cells, axes {', '.join(grid.axes)}",
+        )
+    )
+    for axis in grid.axes:
+        if len(grid.axes[axis]) < 2 or "energy_kwh" not in results.cells[0].metrics:
+            continue
+        print()
+        print(f"mean fleet energy by {axis}:")
+        for value, summary in results.aggregate("energy_kwh", by=axis).items():
+            ci = f" ± {summary['ci95'] * 1000:.2f}" if summary["count"] > 1 else ""
+            print(
+                f"  {str(value):<14} {summary['mean'] * 1000:8.2f}{ci} Wh "
+                f"over {summary['count']} cells"
+            )
+    if args.store:
+        print(
+            f"\nstore: {runner.cache_hits} cells warm, {runner.computed} computed "
+            f"({pathlib.Path(args.store)})"
+        )
+    if args.out:
+        path = results.save(args.out)
+        print(f"\nwrote {len(results)} cells to {path}")
+    if args.out_aggregated:
+        path = results.export_aggregated(args.out_aggregated)
+        print(f"wrote {len(results.aggregated_records())} aggregated rows to {path}")
+    return 0
+
+
+def _cmd_cluster_compare(args: argparse.Namespace) -> int:
+    from .cluster.scenario import orchestration_policy_names, run_cluster_scenario
+    from .sweep.metrics import cluster_metrics
+    from .telemetry.export import records_to_csv
+
+    try:
+        config, title, slug = _cluster_config_from_args(args)
+        if args.policies:
+            policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+            if "power-budget" in policies and config.power_budget_w is None:
+                raise ConfigurationError(
+                    "the power-budget policy needs a watt cap; the scenario "
+                    "sets no power_budget_w"
+                )
+        else:
+            policies = list(orchestration_policy_names())
+            if config.power_budget_w is None and "power-budget" in policies:
+                policies.remove("power-budget")
+                print(
+                    "note: skipping power-budget (the scenario sets no "
+                    "power_budget_w)",
+                    file=sys.stderr,
+                )
+        if not policies:
+            raise ConfigurationError("--policies names no policies")
+        out_dir = pathlib.Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        rows = []
+        metrics_by_policy: dict[str, dict] = {}
+        for policy in policies:
+            sim = run_cluster_scenario(config.with_changes(policy=policy))
+            metrics = cluster_metrics(sim)
+            metrics_by_policy[policy] = metrics
+            series_path = out_dir / f"{slug}.{policy}.epochs.csv"
+            series_path.write_text(records_to_csv(sim.epoch_records()))
+            rows.append(
+                [
+                    policy,
+                    f"{metrics['energy_kwh'] * 1000:8.2f}",
+                    f"{metrics['hosts_on_mean']:6.2f}",
+                    str(metrics["migrations"]),
+                    str(metrics["sla_violations"]),
+                    f"{metrics['sla_mean'] * 100:6.2f}",
+                    f"{metrics['power_peak_w']:7.1f}",
+                    series_path.name,
+                ]
+            )
+    except ConfigurationError as error:
+        print(f"cluster compare: {error}", file=sys.stderr)
+        return 2
+    print(
+        table_to_text(
+            [
+                "policy",
+                "energy Wh",
+                "hosts on",
+                "migrations",
+                "sla viol.",
+                "SLA %",
+                "peak W",
+                "series",
+            ],
+            rows,
+            title=(
+                f"{title}: {config.n_vms} VMs / {config.n_machines} machines, "
+                f"{config.duration:.0f}s per policy"
+            ),
+        )
+    )
+    checks: list[tuple[str, bool]] = []
+    if "power-budget" in metrics_by_policy and config.power_budget_w is not None:
+        checks.append(
+            (
+                f"power-budget respects the {config.power_budget_w:.0f} W cap "
+                "every epoch",
+                metrics_by_policy["power-budget"]["power_peak_w"]
+                <= config.power_budget_w,
+            )
+        )
+    if {"static", "consolidate"} <= metrics_by_policy.keys():
+        checks.append(
+            (
+                "consolidate yields lower energy than static",
+                metrics_by_policy["consolidate"]["energy_kwh"]
+                < metrics_by_policy["static"]["energy_kwh"],
+            )
+        )
+    if "static" in metrics_by_policy:
+        checks.append(
+            ("static never migrates", metrics_by_policy["static"]["migrations"] == 0)
+        )
+    print()
+    for description, passed in checks:
+        print(f"[{'PASS' if passed else 'FAIL'}] {description}")
+    return 0 if all(passed for _, passed in checks) else 1
+
+
+def _add_cluster_parser(commands) -> None:
+    cluster = commands.add_parser(
+        "cluster",
+        help="datacenter orchestration: run, sweep or compare fleet scenarios",
+        description=(
+            "Drive the epoch-driven orchestration subsystem: run one fleet "
+            "scenario with per-epoch/per-host telemetry exports, sweep a "
+            "cluster preset grid through the experiment store, or compare "
+            "every registered orchestration policy over one fleet."
+        ),
+    )
+    actions = cluster.add_subparsers(dest="action", required=True)
+
+    c_run = actions.add_parser(
+        "run", help="run one fleet scenario and print placement + telemetry"
+    )
+    source = c_run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", help="a kind:cluster preset name")
+    source.add_argument("--scenario", help="path to a cluster scenario-spec JSON file")
+    c_run.add_argument("--policy", default=None, help="override the orchestration policy")
+    c_run.add_argument("--duration", type=float, default=None)
+    c_run.add_argument("--seed", type=int, default=None)
+    c_run.add_argument(
+        "--power-budget",
+        dest="power_budget",
+        type=float,
+        default=None,
+        help="override the cluster watt cap (power-budget policy)",
+    )
+    c_run.add_argument(
+        "--out-series", default=None, help="write the per-epoch fleet series CSV to PATH"
+    )
+    c_run.add_argument(
+        "--out-hosts", default=None, help="write the per-host per-epoch series CSV to PATH"
+    )
+    c_run.add_argument(
+        "--out-migrations", default=None, help="write the migration-event CSV to PATH"
+    )
+    c_run.add_argument("--out", default=None, help="also write the resolved spec to PATH")
+    c_run.set_defaults(fn=_cmd_cluster_run)
+
+    c_sweep = actions.add_parser(
+        "sweep", help="run a cluster preset grid (store-cacheable, resumable)"
+    )
+    c_sweep.add_argument("--preset", required=True, help="a kind:cluster preset name")
+    c_sweep.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="statistical replicates per cell (per-replicate derived seeds)",
+    )
+    c_sweep.add_argument("--duration", type=float, default=None)
+    c_sweep.add_argument("--seed", type=int, default=None)
+    c_sweep.add_argument(
+        "--fixed-seed",
+        action="store_true",
+        help="give every cell the root seed instead of derived per-cell seeds",
+    )
+    c_sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
+    c_sweep.add_argument("--out", default=None, help="write results to PATH (.json or .csv)")
+    c_sweep.add_argument(
+        "--out-aggregated",
+        default=None,
+        help="write one row per logical cell with mean/std/ci95 columns to PATH",
+    )
+    c_sweep.add_argument(
+        "--store",
+        default=None,
+        help="experiment-store DIR: stream finished cells, skip computed ones",
+    )
+    c_sweep.add_argument("--resume", action="store_true", help="with --store: serve stored cells")
+    c_sweep.add_argument(
+        "--force", action="store_true", help="with --store: recompute and overwrite"
+    )
+    c_sweep.set_defaults(fn=_cmd_cluster_sweep)
+
+    c_compare = actions.add_parser(
+        "compare",
+        help="run every orchestration policy over one fleet and summarise",
+    )
+    compare_source = c_compare.add_mutually_exclusive_group(required=True)
+    compare_source.add_argument("--preset", help="a kind:cluster preset name")
+    compare_source.add_argument(
+        "--scenario", help="path to a cluster scenario-spec JSON file"
+    )
+    c_compare.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy subset (default: the whole registry)",
+    )
+    c_compare.add_argument("--duration", type=float, default=None)
+    c_compare.add_argument("--seed", type=int, default=None)
+    c_compare.add_argument(
+        "--out-dir",
+        default="cluster-series",
+        help="directory for the per-policy per-epoch series CSVs",
+    )
+    c_compare.set_defaults(fn=_cmd_cluster_compare)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -742,9 +1193,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the per-logical-cell mean/std/ci95 aggregate instead of raw cells",
     )
+    for sub in (store_ls, store_export):
+        sub.add_argument(
+            "--where",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="only cells whose param/config field KEY equals VALUE "
+            "(repeatable; clauses AND together), e.g. --where scheduler=pas",
+        )
     for sub in (store_ls, store_show, store_gc, store_export):
         sub.add_argument("--store", required=True, help="experiment-store DIR")
         sub.set_defaults(fn=_cmd_store)
+
+    _add_cluster_parser(commands)
 
     return parser
 

@@ -1,10 +1,14 @@
-"""Hosting-center consolidation substrate (the paper's §2.3 argument).
+"""Datacenter orchestration substrate (grown from the §2.3 argument).
 
 §2.3 claims — without measuring — that server consolidation cannot replace
-DVFS because **memory bounds packing**: "Any VM, even idle, needs physical
-memory, which limits the number of VMs that can be executed on a host ...
-Consequently, DVFS is complementary to consolidation."  This package makes
-the claim quantitative.
+DVFS because **memory bounds packing**.  This package makes the claim
+quantitative, and then takes it to production scale: an epoch-driven
+:class:`~repro.cluster.orchestrator.Orchestrator` re-evaluates the fleet
+every epoch, live-migrates VMs under a configurable cost model, and steers
+per-host frequency bounds — so cluster-level policies (static
+credit-provisioning, hysteretic consolidation, load balancing, and the
+multi-host-PAS ``power-budget`` watt cap) can be compared on energy, SLA,
+churn and cap compliance.
 
 It is a *fleet-scale, epoch-fluid* model (demand and capacity as rates per
 epoch), deliberately coarser than the slice-level single-host simulator in
@@ -16,23 +20,49 @@ selection is exactly Listing 1.1.
 Pieces:
 
 * :class:`~repro.cluster.machine.MachineSpec` / ``Machine`` — a host with a
-  processor and finite memory;
+  processor, finite memory and policy-clampable frequency;
 * :class:`~repro.cluster.vm.ClusterVM` — a VM with booked credit, a memory
   footprint and a demand trace;
-* placement policies (:mod:`~repro.cluster.placement`) — spread vs
+* :mod:`~repro.cluster.policies` — the orchestration policy registry
+  (``static``, ``consolidate``, ``load-balance``, ``power-budget``);
+* :mod:`~repro.cluster.migration` — downtime + dirty-page-copy pricing of
+  one live migration;
+* legacy placement callables (:mod:`~repro.cluster.placement`) — spread vs
   memory-bound first-fit consolidation;
-* :class:`~repro.cluster.simulator.ClusterSim` — epoch loop producing
-  energy, machines-on and SLA-delivery series.
+* :class:`~repro.cluster.orchestrator.Orchestrator` (alias ``ClusterSim``)
+  — the epoch loop, producing fleet *and* per-host telemetry series;
+* :class:`~repro.cluster.scenario.ClusterScenarioConfig` — the declarative,
+  sweepable fleet spec (day-shape populations, migration pricing, watt
+  caps).
 """
 
 from .machine import Machine, MachineSpec
 from .vm import ClusterVM
+from .migration import (
+    DEFAULT_MIGRATION,
+    FREE_MIGRATION,
+    MigrationEvent,
+    MigrationModel,
+)
 from .placement import consolidate_first_fit, PlacementError, spread_round_robin
-from .simulator import ClusterSim, EpochStats
+from .policies import (
+    ConsolidatePolicy,
+    current_assignment,
+    EpochPlan,
+    LoadBalancePolicy,
+    make_policy,
+    OrchestrationPolicy,
+    POLICY_REGISTRY,
+    policy_names,
+    PowerBudgetPolicy,
+    StaticPolicy,
+)
+from .orchestrator import ClusterSim, EpochStats, Orchestrator
 from .scenario import (
     build_cluster,
     ClusterScenarioConfig,
     make_population,
+    POLICIES,
     run_cluster_scenario,
 )
 
@@ -40,10 +70,26 @@ __all__ = [
     "Machine",
     "MachineSpec",
     "ClusterVM",
+    "MigrationModel",
+    "MigrationEvent",
+    "DEFAULT_MIGRATION",
+    "FREE_MIGRATION",
     "consolidate_first_fit",
     "spread_round_robin",
     "PlacementError",
+    "OrchestrationPolicy",
+    "EpochPlan",
+    "StaticPolicy",
+    "ConsolidatePolicy",
+    "LoadBalancePolicy",
+    "PowerBudgetPolicy",
+    "POLICY_REGISTRY",
+    "POLICIES",
+    "policy_names",
+    "make_policy",
+    "current_assignment",
     "ClusterSim",
+    "Orchestrator",
     "EpochStats",
     "ClusterScenarioConfig",
     "build_cluster",

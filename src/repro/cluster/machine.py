@@ -44,6 +44,13 @@ class Machine:
         self.powered_on = True
         self.energy_joules = 0.0
         self.freq_mhz = self._table.max_state.freq_mhz
+        self.last_util = 0.0
+        self.last_power_w = 0.0
+
+    @property
+    def table(self):
+        """The processor's P-state table (policies steer against it)."""
+        return self._table
 
     # ------------------------------------------------------------ placement
 
@@ -92,12 +99,28 @@ class Machine:
 
     # ----------------------------------------------------------------- epoch
 
-    def run_epoch(self, time: float, dt: float, *, dvfs: bool) -> tuple[float, float]:
+    def run_epoch(
+        self,
+        time: float,
+        dt: float,
+        *,
+        dvfs: bool,
+        extra_demand_percent: float = 0.0,
+        freq_floor_mhz: int | None = None,
+        freq_ceiling_mhz: int | None = None,
+    ) -> tuple[float, float]:
         """Serve one epoch; returns ``(demand, served)`` in absolute percent.
 
         With *dvfs* the machine picks the lowest absorbing P-state for the
         aggregate demand (Listing 1.1); without, it stays at maximum.  An
         empty, powered-off machine consumes no energy.
+
+        ``extra_demand_percent`` is non-VM work charged to the host this
+        epoch (migration dirty-page copies); it joins the frequency choice
+        and the utilisation integral but competes with — rather than counts
+        as — served VM demand.  ``freq_floor_mhz``/``freq_ceiling_mhz``
+        clamp the chosen frequency to the orchestration policy's bounds
+        (snapped to table states; the ceiling wins when they conflict).
         """
         check_non_negative(dt, "dt")
         if not self.powered_on:
@@ -106,20 +129,36 @@ class Machine:
                     f"machine {self.name!r} is off but hosts {len(self._vms)} VMs"
                 )
             self.freq_mhz = self._table.min_state.freq_mhz
+            self.last_util = 0.0
+            self.last_power_w = 0.0
             return 0.0, 0.0
+        check_non_negative(extra_demand_percent, "extra_demand_percent")
         demand = sum(vm.demand_at(time) for vm in self._vms.values())
-        total = demand + (self.spec.overhead_percent if self._vms else 0.0)
+        overhead = self.spec.overhead_percent if self._vms else 0.0
+        total = demand + overhead + extra_demand_percent
         if dvfs:
             self.freq_mhz = laws.compute_new_frequency(self._table, total)
         else:
             self.freq_mhz = self._table.max_state.freq_mhz
+        if freq_floor_mhz is not None and self.freq_mhz < freq_floor_mhz:
+            self.freq_mhz = self._table.clamp(freq_floor_mhz).freq_mhz
+        if freq_ceiling_mhz is not None and self.freq_mhz > freq_ceiling_mhz:
+            self.freq_mhz = self._table.clamp_down(freq_ceiling_mhz).freq_mhz
         state = self._table.state_for(self.freq_mhz)
         capacity = state.capacity_fraction(self._table.max_state.freq_mhz) * 100.0
-        served = min(demand, max(0.0, capacity - self.spec.overhead_percent))
-        utilization = min(1.0, (served + (self.spec.overhead_percent if self._vms else 0.0)) / capacity) if capacity > 0 else 0.0
-        self.energy_joules += self.spec.processor.power.energy(
-            state, self._table, utilization, dt
+        served = min(
+            demand,
+            max(0.0, capacity - self.spec.overhead_percent - extra_demand_percent),
         )
+        utilization = (
+            min(1.0, (served + overhead + extra_demand_percent) / capacity)
+            if capacity > 0
+            else 0.0
+        )
+        power = self.spec.processor.power.power(state, self._table, utilization)
+        self.energy_joules += power * dt
+        self.last_util = utilization
+        self.last_power_w = power
         return demand, served
 
     def power_off_if_empty(self) -> bool:

@@ -1,0 +1,396 @@
+"""The epoch-driven datacenter orchestrator.
+
+Each epoch the :class:`Orchestrator` (1) asks its policy for an
+:class:`~repro.cluster.policies.EpochPlan`, (2) executes the plan's
+migrations — charging the configured
+:class:`~repro.cluster.migration.MigrationModel` costs: dirty-page copy CPU
+to the source *and* destination hosts, a service blackout to the migrating
+VM — (3) serves every machine's demand at its (DVFS-chosen, policy-clamped)
+P-state, integrating energy, and (4) records fleet **and** per-host
+telemetry: :class:`EpochStats` per epoch, one utilisation/frequency/power
+record per host per epoch, and one record per migration event.  The record
+lists flow straight through :func:`repro.telemetry.export.records_to_csv`,
+so a fleet run exports per-epoch series exactly like a single-host run
+exports time series.
+
+Legacy placement callables (``(machines, vms) -> int``, the PR-0 API) are
+still accepted: they are invoked every ``repack_every`` epochs exactly as
+before, with migrations counted — and, when a migration model is set,
+priced — from the assignment diff.
+
+``ClusterSim`` remains the public name (``Orchestrator`` is its alias):
+every existing construction site keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..units import check_positive
+from .machine import Machine, MachineSpec
+from .migration import MigrationEvent, MigrationModel
+from .policies import current_assignment, EpochPlan, make_policy, OrchestrationPolicy
+from .vm import ClusterVM
+
+#: A legacy placement policy: (machines, vms) -> machines powered on.
+Policy = Callable[[Sequence[Machine], Sequence[ClusterVM]], int]
+
+#: Served shortfalls below this (absolute percent) are float noise, not
+#: SLA violations.
+_SLA_EPSILON = 1e-9
+
+#: Column order of :meth:`Orchestrator.epoch_records` (CSV header source).
+EPOCH_RECORD_FIELDS = (
+    "epoch",
+    "time",
+    "machines_on",
+    "demand_percent",
+    "served_percent",
+    "sla_fraction",
+    "energy_joules",
+    "power_w",
+    "migrations",
+)
+
+#: Column order of :meth:`Orchestrator.host_records`.
+HOST_RECORD_FIELDS = (
+    "time",
+    "machine",
+    "powered_on",
+    "vms",
+    "freq_mhz",
+    "util",
+    "power_w",
+)
+
+#: Column order of :meth:`Orchestrator.migration_records`.
+MIGRATION_RECORD_FIELDS = ("time", "vm", "source", "dest")
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Fleet statistics for one epoch."""
+
+    time: float
+    machines_on: int
+    demand_percent: float
+    served_percent: float
+    energy_joules: float
+    migrations: int
+    power_w: float = 0.0
+
+    @property
+    def sla_fraction(self) -> float:
+        """Served / demanded (1.0 when the fleet kept every promise)."""
+        if self.demand_percent <= 0.0:
+            return 1.0
+        return self.served_percent / self.demand_percent
+
+    @property
+    def sla_violated(self) -> bool:
+        """True when some demanded capacity went unserved this epoch."""
+        return self.demand_percent - self.served_percent > _SLA_EPSILON
+
+
+class Orchestrator:
+    """A fleet of machines + a VM population + an orchestration policy.
+
+    Parameters
+    ----------
+    n_machines:
+        Fleet size.
+    machine_spec:
+        Hardware of every machine (homogeneous fleet, like the paper's
+        Grid'5000 clusters).
+    vms:
+        The VM population.
+    policy:
+        An :class:`~repro.cluster.policies.OrchestrationPolicy`, a registry
+        name (``"static"``, ``"consolidate"``, ``"load-balance"``,
+        ``"power-budget"``), or a legacy placement callable
+        (:mod:`repro.cluster.placement`).
+    dvfs:
+        Whether machines scale frequency to their load (Listing 1.1) or pin
+        the maximum.
+    epoch:
+        Seconds per epoch (placement + frequency decisions cadence).
+    repack_every:
+        Legacy callables only: re-run the policy every N epochs
+        (orchestration policies are consulted every epoch and self-limit).
+    migration:
+        Cost model priced per executed migration; ``None`` = free moves
+        (the pre-orchestration behaviour).
+    power_budget_w:
+        Cluster watt cap, handed to the ``"power-budget"`` policy when the
+        policy is given by name.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_machines: int,
+        vms: Sequence[ClusterVM],
+        policy: OrchestrationPolicy | Policy | str,
+        dvfs: bool,
+        machine_spec: MachineSpec | None = None,
+        epoch: float = 10.0,
+        repack_every: int = 1,
+        migration: MigrationModel | None = None,
+        power_budget_w: float | None = None,
+    ) -> None:
+        if n_machines < 1:
+            raise ConfigurationError(f"need at least one machine, got {n_machines}")
+        if repack_every < 1:
+            raise ConfigurationError(f"repack_every must be >= 1, got {repack_every}")
+        names = {vm.name for vm in vms}
+        if len(names) != len(vms):
+            raise ConfigurationError("duplicate VM names in the population")
+        if isinstance(policy, str):
+            policy = make_policy(policy, power_budget_w=power_budget_w)
+        if not isinstance(policy, OrchestrationPolicy) and not callable(policy):
+            raise ConfigurationError(
+                f"policy must be an OrchestrationPolicy, a registry name or a "
+                f"placement callable, got {type(policy).__name__}"
+            )
+        self.machines = [
+            Machine(f"m{i:03d}", machine_spec or MachineSpec()) for i in range(n_machines)
+        ]
+        self.vms = list(vms)
+        self.policy = policy
+        self.dvfs = dvfs
+        self.epoch = check_positive(epoch, "epoch")
+        self.repack_every = repack_every
+        self.migration_model = migration
+        self.power_budget_w = power_budget_w
+        self.stats: list[EpochStats] = []
+        self.events: list[MigrationEvent] = []
+        self._host_stats: list[dict[str, Any]] = []
+        self._time = 0.0
+        self._epoch_index = 0
+        self.total_migrations = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, duration: float) -> list[EpochStats]:
+        """Advance the fleet *duration* seconds; returns the epoch stats."""
+        check_positive(duration, "duration")
+        epochs = int(round(duration / self.epoch))
+        for _ in range(epochs):
+            self._run_one_epoch()
+        return self.stats
+
+    def _plan_epoch(self) -> tuple[EpochPlan, list[MigrationEvent]]:
+        """Consult the policy and execute its placement decision."""
+        if isinstance(self.policy, OrchestrationPolicy):
+            plan = self.policy.plan(
+                self.machines,
+                self.vms,
+                time=self._time,
+                epoch_index=self._epoch_index,
+                epoch_s=self.epoch,
+                dvfs=self.dvfs,
+            )
+            events = (
+                [] if plan.assignment is None else self._apply_assignment(plan.assignment)
+            )
+            # Machines the plan leaves empty power down *before* serving:
+            # an orchestration decision takes effect this epoch, not after
+            # one epoch of idle burn.  Hosts party to one of this epoch's
+            # migrations stay on through it — a drained source still burns
+            # CPU sending dirty pages — and power off next epoch.  (Legacy
+            # callables keep the old post-epoch shutdown so their fleets
+            # behave bit-identically.)
+            migrating = {event.source for event in events} | {
+                event.dest for event in events
+            }
+            for machine in self.machines:
+                if machine.name not in migrating:
+                    machine.power_off_if_empty()
+            return plan, events
+        # Legacy callable: clear-and-replace every repack interval, with
+        # migrations recovered from the assignment diff (as before).
+        if self._epoch_index % self.repack_every != 0:
+            return EpochPlan(), []
+        before = current_assignment(self.machines)
+        self.policy(self.machines, self.vms)
+        after = current_assignment(self.machines)
+        events = [
+            MigrationEvent(time=self._time, vm=name, source=before[name], dest=machine)
+            for name, machine in sorted(after.items())
+            if name in before and before[name] != machine
+        ]
+        return EpochPlan(), events
+
+    def _apply_assignment(self, desired: Mapping[str, str]) -> list[MigrationEvent]:
+        """Move the fleet to *desired*; returns the executed migrations.
+
+        Placements of brand-new VMs are not migrations (nothing moved);
+        only previously-placed VMs changing hosts are counted and priced.
+        """
+        machines = {machine.name: machine for machine in self.machines}
+        vms = {vm.name: vm for vm in self.vms}
+        unknown_vms = sorted(set(desired) - set(vms))
+        if unknown_vms:
+            raise ConfigurationError(
+                f"policy assigned unknown VM(s): {', '.join(unknown_vms)}"
+            )
+        missing = sorted(set(vms) - set(desired))
+        if missing:
+            raise ConfigurationError(
+                f"policy assignment leaves VM(s) unplaced: {', '.join(missing)}"
+            )
+        unknown_machines = sorted(set(desired.values()) - set(machines))
+        if unknown_machines:
+            raise ConfigurationError(
+                f"policy assigned unknown machine(s): {', '.join(unknown_machines)}"
+            )
+        before = current_assignment(self.machines)
+        moves = [
+            (name, desired[name])
+            for name in sorted(desired)
+            if before.get(name) != desired[name]
+        ]
+        # Evict every mover first so swaps never transiently overflow memory.
+        for name, _ in moves:
+            source = before.get(name)
+            if source is not None:
+                machines[source].evict(vms[name])
+        for name, dest in moves:
+            machines[dest].place(vms[name])
+        return [
+            MigrationEvent(time=self._time, vm=name, source=before[name], dest=dest)
+            for name, dest in moves
+            if name in before
+        ]
+
+    def _run_one_epoch(self) -> None:
+        plan, events = self._plan_epoch()
+        self.events.extend(events)
+        self.total_migrations += len(events)
+        extra: dict[str, float] = {}
+        downtime_loss = 0.0
+        if self.migration_model is not None and events:
+            overhead = self.migration_model.host_overhead_percent(self.epoch)
+            blackout = self.migration_model.downtime_fraction(self.epoch)
+            vms = {vm.name: vm for vm in self.vms}
+            for event in events:
+                extra[event.source] = extra.get(event.source, 0.0) + overhead
+                extra[event.dest] = extra.get(event.dest, 0.0) + overhead
+                downtime_loss += vms[event.vm].demand_at(self._time) * blackout
+        energy_before = self.fleet_energy_joules
+        demand_total = 0.0
+        served_total = 0.0
+        for machine in self.machines:
+            demand, served = machine.run_epoch(
+                self._time,
+                self.epoch,
+                dvfs=self.dvfs,
+                extra_demand_percent=extra.get(machine.name, 0.0),
+                freq_floor_mhz=plan.freq_floors.get(machine.name),
+                freq_ceiling_mhz=plan.freq_ceilings.get(machine.name),
+            )
+            demand_total += demand
+            served_total += served
+            machine.power_off_if_empty()
+        served_total = max(0.0, served_total - downtime_loss)
+        epoch_energy = self.fleet_energy_joules - energy_before
+        self._time += self.epoch
+        self._epoch_index += 1
+        for machine in self.machines:
+            self._host_stats.append(
+                {
+                    "time": self._time,
+                    "machine": machine.name,
+                    "powered_on": machine.powered_on,
+                    "vms": len(machine.vms),
+                    "freq_mhz": machine.freq_mhz,
+                    "util": machine.last_util,
+                    "power_w": machine.last_power_w,
+                }
+            )
+        self.stats.append(
+            EpochStats(
+                time=self._time,
+                machines_on=sum(1 for machine in self.machines if machine.powered_on),
+                demand_percent=demand_total,
+                served_percent=served_total,
+                energy_joules=epoch_energy,
+                migrations=len(events),
+                power_w=epoch_energy / self.epoch,
+            )
+        )
+
+    def _assignment(self) -> dict[str, str]:
+        return current_assignment(self.machines)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def fleet_energy_joules(self) -> float:
+        """Total energy across the fleet so far."""
+        return sum(machine.energy_joules for machine in self.machines)
+
+    @property
+    def energy_kwh(self) -> float:
+        """Total fleet energy in kWh (the datacenter-scale unit)."""
+        return self.fleet_energy_joules / 3.6e6
+
+    @property
+    def mean_sla_fraction(self) -> float:
+        """Mean per-epoch SLA delivery over the run."""
+        self._require_run()
+        return sum(stat.sla_fraction for stat in self.stats) / len(self.stats)
+
+    @property
+    def mean_machines_on(self) -> float:
+        """Mean number of powered-on machines over the run."""
+        self._require_run()
+        return sum(stat.machines_on for stat in self.stats) / len(self.stats)
+
+    @property
+    def sla_violations(self) -> int:
+        """Epochs in which some demanded capacity went unserved."""
+        return sum(1 for stat in self.stats if stat.sla_violated)
+
+    @property
+    def peak_power_w(self) -> float:
+        """The highest per-epoch mean fleet power of the run."""
+        self._require_run()
+        return max(stat.power_w for stat in self.stats)
+
+    def _require_run(self) -> None:
+        if not self.stats:
+            raise ConfigurationError("run() the simulation first")
+
+    # ---------------------------------------------------------- telemetry
+
+    def epoch_records(self) -> list[dict[str, Any]]:
+        """One flat dict per epoch, for ``records_to_csv`` / JSON export."""
+        return [
+            {
+                "epoch": index,
+                "time": stat.time,
+                "machines_on": stat.machines_on,
+                "demand_percent": stat.demand_percent,
+                "served_percent": stat.served_percent,
+                "sla_fraction": stat.sla_fraction,
+                "energy_joules": stat.energy_joules,
+                "power_w": stat.power_w,
+                "migrations": stat.migrations,
+            }
+            for index, stat in enumerate(self.stats)
+        ]
+
+    def host_records(self) -> list[dict[str, Any]]:
+        """One flat dict per (epoch, host): utilisation, frequency, power."""
+        return [dict(record) for record in self._host_stats]
+
+    def migration_records(self) -> list[dict[str, Any]]:
+        """One flat dict per executed migration, in execution order."""
+        return [event.record() for event in self.events]
+
+
+#: The historical public name; every existing call site keeps working.
+ClusterSim = Orchestrator

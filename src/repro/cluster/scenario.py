@@ -7,39 +7,61 @@ sweep subsystem (:mod:`repro.sweep`) exactly like single-host
 :class:`~repro.experiments.scenario.ScenarioConfig` runs: every field is an
 axis a grid can vary, and :func:`run_cluster_scenario` is the one-shot
 executor a worker process can call.
+
+Since the orchestration subsystem landed, a config also names its
+orchestration policy (:mod:`repro.cluster.policies` registry, plus the
+legacy ``"spread"``/``"consolidate-ffd"`` placement callables), prices live
+migration through a :class:`~repro.cluster.migration.MigrationModel`,
+optionally caps the fleet under a cluster-wide watt budget
+(``power_budget_w``, the ``power-budget`` policy's input), and can draw its
+VM demand from the day-shape catalog
+(:mod:`repro.workloads.dayshapes`) — ``dayshapes=("diurnal-office",
+"flash-crowd", ...)`` deals shapes round-robin across the population for
+heterogeneous fleets.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from ..cpu import catalog
 from ..cpu.processor import ProcessorSpec
 from ..errors import ConfigurationError
 from ..sim import RngStreams
 from ..workloads import SyntheticTrace, TraceLoad
+from ..workloads.dayshapes import dayshape_points, require_dayshape
 from .machine import MachineSpec
+from .migration import DEFAULT_MIGRATION, MigrationModel
+from .orchestrator import Orchestrator
 from .placement import consolidate_first_fit, spread_round_robin
-from .simulator import ClusterSim
+from .policies import make_policy, POLICY_REGISTRY, policy_names
 from .vm import ClusterVM
 
-#: Placement policies addressable by name from a config/grid.
-POLICIES = {
+#: Legacy placement callables still addressable by name (clear-and-replace
+#: repacking, no frequency steering).  ``"consolidate"`` now names the
+#: hysteretic orchestration policy; the old every-epoch FFD packer stays
+#: reachable as ``"consolidate-ffd"``.
+LEGACY_POLICIES: dict[str, Callable] = {
     "spread": spread_round_robin,
-    "consolidate": consolidate_first_fit,
+    "consolidate-ffd": consolidate_first_fit,
 }
+
+#: Every policy name a config may carry (orchestration registry + legacy).
+POLICIES = {**{name: cls for name, cls in POLICY_REGISTRY.items()}, **LEGACY_POLICIES}
 
 
 @dataclass(frozen=True)
 class ClusterScenarioConfig:
     """Parameters of a fleet run (homogeneous machines, synthetic traces).
 
-    ``policy`` is a name from :data:`POLICIES` (``"spread"`` or
-    ``"consolidate"``) so configs stay picklable and JSON-describable.
-    The trace fields parameterize the per-VM
-    :class:`~repro.workloads.trace.SyntheticTrace` demand.
+    ``policy`` is a name from :data:`POLICIES` (the orchestration registry
+    — ``static``, ``consolidate``, ``load-balance``, ``power-budget`` — or
+    a legacy placement callable) so configs stay picklable and
+    JSON-describable.  The trace fields parameterize the per-VM
+    :class:`~repro.workloads.trace.SyntheticTrace` demand; ``dayshapes``
+    replaces them with named catalog shapes dealt round-robin across VMs.
     """
 
     n_machines: int = 8
@@ -52,7 +74,7 @@ class ClusterScenarioConfig:
     machine_memory_mb: int = 16384
     vm_credit: float = 30.0
     vm_memory_mb: int = 5120
-    epoch: float = 10.0
+    epoch_s: float = 10.0
     base_percent: float = 14.0
     swing_percent: float = 8.0
     noise_percent: float = 2.0
@@ -60,6 +82,20 @@ class ClusterScenarioConfig:
     bursts: int = 1
     day_length: float = 600.0
     trace_step: float = 10.0
+    dayshapes: tuple[str, ...] = ()
+    dayshape_scale: float = 1.0
+    migration: MigrationModel = field(default=DEFAULT_MIGRATION)
+    power_budget_w: float | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.migration, Mapping):
+            object.__setattr__(
+                self, "migration", MigrationModel.from_dict(self.migration)
+            )
+        if not isinstance(self.dayshapes, tuple):
+            object.__setattr__(self, "dayshapes", tuple(self.dayshapes))
+        for shape in self.dayshapes:
+            require_dayshape(shape)
 
     def with_changes(self, **changes) -> "ClusterScenarioConfig":
         """A copy with the given fields replaced."""
@@ -68,17 +104,23 @@ class ClusterScenarioConfig:
     def describe(self) -> str:
         """Compact human-readable label (grid cell labelling)."""
         dvfs = "+dvfs" if self.dvfs else ""
-        return f"fleet({self.n_vms}vm/{self.n_machines}m:{self.policy}{dvfs})"
+        budget = (
+            f"@{self.power_budget_w:g}W" if self.power_budget_w is not None else ""
+        )
+        return f"fleet({self.n_vms}vm/{self.n_machines}m:{self.policy}{dvfs}{budget})"
 
     @classmethod
     def coerce_field(cls, name: str, value: Any) -> Any:
         """Coerce a JSON-ish axis value for field *name* to its spec type.
 
         Sweep grids call this so fleet axes can come straight from JSON
-        (the processor by catalog name, list values as tuples).
+        (the processor by catalog name, the migration model as a mapping,
+        list values as tuples).
         """
         if name == "processor" and isinstance(value, str):
             return catalog.processor_from_name(value)
+        if name == "migration" and isinstance(value, Mapping):
+            return MigrationModel.from_dict(value)
         if isinstance(value, list):
             return tuple(value)
         return value
@@ -97,6 +139,10 @@ class ClusterScenarioConfig:
             value = getattr(self, spec_field.name)
             if spec_field.name == "processor":
                 value = value.name
+            elif spec_field.name == "migration":
+                value = value.to_dict()
+            elif spec_field.name == "dayshapes":
+                value = list(value)
             out[spec_field.name] = value
         return out
 
@@ -105,7 +151,9 @@ class ClusterScenarioConfig:
         """Rebuild a config from :meth:`to_dict` output or a scenario file.
 
         Unknown keys raise a :class:`ConfigurationError` naming the valid
-        fields; the processor may be given as a catalog name.
+        fields; the processor may be given as a catalog name, the migration
+        model as a mapping, and ``epoch`` is accepted as a legacy alias of
+        ``epoch_s``.
         """
         kwargs = dict(data)
         kind = kwargs.pop("kind", "cluster")
@@ -113,6 +161,8 @@ class ClusterScenarioConfig:
             raise ConfigurationError(
                 f"not a cluster scenario spec: kind={kind!r} (expected 'cluster')"
             )
+        if "epoch" in kwargs and "epoch_s" not in kwargs:
+            kwargs["epoch_s"] = kwargs.pop("epoch")
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(kwargs) - known)
         if unknown:
@@ -127,19 +177,37 @@ class ClusterScenarioConfig:
 
 
 def make_population(config: ClusterScenarioConfig) -> list[ClusterVM]:
-    """The VM population: diurnal CPU traces, memory-bound footprints."""
+    """The VM population: diurnal CPU traces, memory-bound footprints.
+
+    With ``dayshapes`` set, VM *i* draws the shape ``dayshapes[i % len]``
+    from the catalog (a heterogeneous fleet); otherwise every VM replays
+    the config's :class:`~repro.workloads.trace.SyntheticTrace` parameters.
+    Either way each VM has its own named RNG stream, so populations are
+    deterministic per seed and adding VMs never perturbs existing ones.
+    """
     streams = RngStreams(config.seed)
     vms = []
     for index in range(config.n_vms):
-        points = SyntheticTrace(
-            base_percent=config.base_percent,
-            swing_percent=config.swing_percent,
-            noise_percent=config.noise_percent,
-            burst_percent=config.burst_percent,
-            bursts=config.bursts,
-            day_length=config.day_length,
-            step=config.trace_step,
-        ).generate(streams.stream(f"vm{index}"))
+        rng = streams.stream(f"vm{index}")
+        if config.dayshapes:
+            shape = config.dayshapes[index % len(config.dayshapes)]
+            points = dayshape_points(
+                shape,
+                rng,
+                day_length=config.day_length,
+                step=config.trace_step,
+                scale=config.dayshape_scale,
+            )
+        else:
+            points = SyntheticTrace(
+                base_percent=config.base_percent,
+                swing_percent=config.swing_percent,
+                noise_percent=config.noise_percent,
+                burst_percent=config.burst_percent,
+                bursts=config.bursts,
+                day_length=config.day_length,
+                step=config.trace_step,
+            ).generate(rng)
         trace = TraceLoad(points, repeat=True)
         vms.append(
             ClusterVM(
@@ -152,16 +220,18 @@ def make_population(config: ClusterScenarioConfig) -> list[ClusterVM]:
     return vms
 
 
-def build_cluster(config: ClusterScenarioConfig) -> ClusterSim:
+def build_cluster(config: ClusterScenarioConfig) -> Orchestrator:
     """Construct (but do not run) the fleet described by *config*."""
-    try:
-        policy = POLICIES[config.policy]
-    except KeyError:
+    if config.policy in LEGACY_POLICIES:
+        policy = LEGACY_POLICIES[config.policy]
+    elif config.policy in POLICY_REGISTRY:
+        policy = make_policy(config.policy, power_budget_w=config.power_budget_w)
+    else:
         raise ConfigurationError(
             f"unknown placement policy {config.policy!r}; "
             f"use one of: {', '.join(sorted(POLICIES))}"
-        ) from None
-    return ClusterSim(
+        )
+    return Orchestrator(
         n_machines=config.n_machines,
         machine_spec=MachineSpec(
             processor=config.processor, memory_mb=config.machine_memory_mb
@@ -169,12 +239,19 @@ def build_cluster(config: ClusterScenarioConfig) -> ClusterSim:
         vms=make_population(config),
         policy=policy,
         dvfs=config.dvfs,
-        epoch=config.epoch,
+        epoch=config.epoch_s,
+        migration=config.migration,
+        power_budget_w=config.power_budget_w,
     )
 
 
-def run_cluster_scenario(config: ClusterScenarioConfig) -> ClusterSim:
+def run_cluster_scenario(config: ClusterScenarioConfig) -> Orchestrator:
     """Build and run the fleet to its configured duration."""
     sim = build_cluster(config)
     sim.run(config.duration)
     return sim
+
+
+def orchestration_policy_names() -> tuple[str, ...]:
+    """Policy names ``cluster compare`` iterates (the orchestration registry)."""
+    return policy_names()

@@ -1,163 +1,14 @@
-"""Epoch-driven cluster simulation.
+"""Compatibility shim: the epoch loop now lives in
+:mod:`repro.cluster.orchestrator`.
 
-Each epoch: (re)place VMs per the policy, serve every machine's demand at
-its (DVFS-chosen or pinned) P-state, integrate energy, and record fleet
-statistics.  Re-packing between epochs counts migrations, so policies can
-be compared on churn as well as energy.
+``ClusterSim`` grew into the epoch-driven :class:`Orchestrator` (pluggable
+policies, live migration with a cost model, per-host telemetry); this
+module keeps the historical import path alive for callers that still do
+``from repro.cluster.simulator import ClusterSim, EpochStats``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from .orchestrator import ClusterSim, EpochStats, Orchestrator, Policy
 
-from ..errors import ConfigurationError
-from ..units import check_positive
-from .machine import Machine, MachineSpec
-from .vm import ClusterVM
-
-#: A placement policy: (machines, vms) -> machines powered on.
-Policy = Callable[[Sequence[Machine], Sequence[ClusterVM]], int]
-
-
-@dataclass(frozen=True)
-class EpochStats:
-    """Fleet statistics for one epoch."""
-
-    time: float
-    machines_on: int
-    demand_percent: float
-    served_percent: float
-    energy_joules: float
-    migrations: int
-
-    @property
-    def sla_fraction(self) -> float:
-        """Served / demanded (1.0 when the fleet kept every promise)."""
-        if self.demand_percent <= 0.0:
-            return 1.0
-        return self.served_percent / self.demand_percent
-
-
-class ClusterSim:
-    """A fleet of machines + a VM population + a placement policy.
-
-    Parameters
-    ----------
-    n_machines:
-        Fleet size.
-    machine_spec:
-        Hardware of every machine (homogeneous fleet, like the paper's
-        Grid'5000 clusters).
-    vms:
-        The VM population.
-    policy:
-        Placement policy (see :mod:`repro.cluster.placement`).
-    dvfs:
-        Whether machines scale frequency to their load (Listing 1.1) or pin
-        the maximum.
-    epoch:
-        Seconds per epoch (placement + frequency decisions cadence).
-    repack_every:
-        Re-run the policy every N epochs (1 = every epoch).
-    """
-
-    def __init__(
-        self,
-        *,
-        n_machines: int,
-        vms: Sequence[ClusterVM],
-        policy: Policy,
-        dvfs: bool,
-        machine_spec: MachineSpec | None = None,
-        epoch: float = 10.0,
-        repack_every: int = 1,
-    ) -> None:
-        if n_machines < 1:
-            raise ConfigurationError(f"need at least one machine, got {n_machines}")
-        if repack_every < 1:
-            raise ConfigurationError(f"repack_every must be >= 1, got {repack_every}")
-        names = {vm.name for vm in vms}
-        if len(names) != len(vms):
-            raise ConfigurationError("duplicate VM names in the population")
-        self.machines = [
-            Machine(f"m{i:03d}", machine_spec or MachineSpec()) for i in range(n_machines)
-        ]
-        self.vms = list(vms)
-        self.policy = policy
-        self.dvfs = dvfs
-        self.epoch = check_positive(epoch, "epoch")
-        self.repack_every = repack_every
-        self.stats: list[EpochStats] = []
-        self._time = 0.0
-        self._epoch_index = 0
-        self.total_migrations = 0
-
-    # ------------------------------------------------------------------ run
-
-    def run(self, duration: float) -> list[EpochStats]:
-        """Advance the fleet *duration* seconds; returns the epoch stats."""
-        check_positive(duration, "duration")
-        epochs = int(round(duration / self.epoch))
-        for _ in range(epochs):
-            self._run_one_epoch()
-        return self.stats
-
-    def _run_one_epoch(self) -> None:
-        migrations = 0
-        if self._epoch_index % self.repack_every == 0:
-            before = self._assignment()
-            self.policy(self.machines, self.vms)
-            after = self._assignment()
-            migrations = sum(
-                1
-                for name, machine in after.items()
-                if before.get(name) is not None and before[name] != machine
-            )
-            self.total_migrations += migrations
-        energy_before = self.fleet_energy_joules
-        demand_total = 0.0
-        served_total = 0.0
-        for machine in self.machines:
-            demand, served = machine.run_epoch(self._time, self.epoch, dvfs=self.dvfs)
-            demand_total += demand
-            served_total += served
-            machine.power_off_if_empty()
-        self._time += self.epoch
-        self._epoch_index += 1
-        self.stats.append(
-            EpochStats(
-                time=self._time,
-                machines_on=sum(1 for machine in self.machines if machine.powered_on),
-                demand_percent=demand_total,
-                served_percent=served_total,
-                energy_joules=self.fleet_energy_joules - energy_before,
-                migrations=migrations,
-            )
-        )
-
-    def _assignment(self) -> dict[str, str]:
-        return {
-            vm.name: machine.name for machine in self.machines for vm in machine.vms
-        }
-
-    # -------------------------------------------------------------- queries
-
-    @property
-    def fleet_energy_joules(self) -> float:
-        """Total energy across the fleet so far."""
-        return sum(machine.energy_joules for machine in self.machines)
-
-    @property
-    def mean_sla_fraction(self) -> float:
-        """Mean per-epoch SLA delivery over the run."""
-        if not self.stats:
-            raise ConfigurationError("run() the simulation first")
-        return sum(stat.sla_fraction for stat in self.stats) / len(self.stats)
-
-    @property
-    def mean_machines_on(self) -> float:
-        """Mean number of powered-on machines over the run."""
-        if not self.stats:
-            raise ConfigurationError("run() the simulation first")
-        return sum(stat.machines_on for stat in self.stats) / len(self.stats)
+__all__ = ["ClusterSim", "EpochStats", "Orchestrator", "Policy"]

@@ -35,6 +35,20 @@ Registry
 ``stress-fleet``
     An 8-guest packing stress: small-credit web guests with staggered
     active windows, credit vs pas — the N-guest scalability check.
+
+Cluster presets (``kind: cluster`` — fleet specs for ``python -m repro
+cluster run/sweep/compare``):
+
+``dc-diurnal``
+    The flagship datacenter scenario: 24 VMs mixing all five day shapes
+    on 10 machines, swept over every orchestration policy, with a 200 W
+    fleet budget for ``power-budget``.
+``dc-diurnal-small``
+    The same mix shrunk to 4 machines / 8 VMs on a short timeline — the
+    CI smoke fleet.
+``dc-fleet-medium`` / ``dc-fleet-large``
+    Fleet-size scaling points (16 machines / 40 VMs and 32 machines /
+    96 VMs) of the same day-shape mix.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..cluster import ClusterScenarioConfig
 from ..errors import ConfigurationError
 from .scenario import GuestSpec, ScenarioConfig, WorkloadSpec
 
@@ -52,7 +67,7 @@ class Preset:
 
     name: str
     description: str
-    config: ScenarioConfig
+    config: ScenarioConfig | ClusterScenarioConfig
     #: Sweep axes (field name -> values); empty = a single-cell preset.
     axes: Mapping[str, tuple] = field(default_factory=dict)
     #: Metric-set names for :func:`repro.sweep.run_sweep` (None = defaults).
@@ -65,6 +80,13 @@ class Preset:
         for values in self.axes.values():
             total *= len(values)
         return total
+
+    @property
+    def kind(self) -> str:
+        """``"cluster"`` for fleet specs, ``"scenario"`` for single-host."""
+        return (
+            "cluster" if isinstance(self.config, ClusterScenarioConfig) else "scenario"
+        )
 
 
 def _paper_53() -> Preset:
@@ -229,6 +251,94 @@ def _stress_fleet() -> Preset:
     )
 
 
+#: The heterogeneous day mix every datacenter preset deals across its VMs.
+_DC_DAYSHAPES = (
+    "diurnal-office",
+    "flash-crowd",
+    "batch-overnight",
+    "noisy-neighbor",
+    "weekend",
+)
+
+#: Policy axis shared by the datacenter presets (the orchestration registry).
+_DC_POLICIES = ("static", "consolidate", "load-balance", "power-budget")
+
+
+def _dc_config(**changes) -> ClusterScenarioConfig:
+    """The common datacenter base: day-shape mix, CPU-bound packing.
+
+    ``vm_memory_mb`` is small enough (8 VMs per 16 GB host) that *CPU
+    demand*, not memory, binds the packing — the regime where orchestration
+    policies actually differ.  ``dayshape_scale=0.45`` puts mean host
+    demand in the paper's "below 30 %" hosting-center band.
+    """
+    base = ClusterScenarioConfig(
+        policy="consolidate",
+        duration=400.0,
+        seed=11,
+        vm_credit=30.0,
+        vm_memory_mb=2048,
+        epoch_s=10.0,
+        day_length=400.0,
+        trace_step=5.0,
+        dayshapes=_DC_DAYSHAPES,
+        dayshape_scale=0.45,
+    )
+    return base.with_changes(**changes)
+
+
+def _dc_diurnal() -> Preset:
+    return Preset(
+        name="dc-diurnal",
+        description="24-VM day-shape mix on 10 machines, all policies, 200W cap",
+        config=_dc_config(n_machines=10, n_vms=24, power_budget_w=200.0),
+        axes={"policy": _DC_POLICIES},
+        metrics=("fleet", "cluster"),
+    )
+
+
+def _dc_diurnal_small() -> Preset:
+    return Preset(
+        name="dc-diurnal-small",
+        description="CI smoke fleet: the day-shape mix on 4 machines / 8 VMs",
+        config=_dc_config(
+            n_machines=4,
+            n_vms=8,
+            duration=200.0,
+            day_length=200.0,
+            power_budget_w=80.0,
+        ),
+        axes={"policy": _DC_POLICIES},
+        metrics=("fleet", "cluster"),
+    )
+
+
+def _dc_fleet_medium() -> Preset:
+    return Preset(
+        name="dc-fleet-medium",
+        description="fleet-size point: 16 machines / 40 VMs, day-shape mix",
+        config=_dc_config(
+            n_machines=16, n_vms=40, duration=300.0, day_length=300.0,
+            power_budget_w=330.0,
+        ),
+        axes={"policy": _DC_POLICIES},
+        metrics=("fleet", "cluster"),
+    )
+
+
+def _dc_fleet_large() -> Preset:
+    return Preset(
+        name="dc-fleet-large",
+        description="fleet-size point: 32 machines / 96 VMs, day-shape mix",
+        config=_dc_config(
+            n_machines=32, n_vms=96, duration=200.0, day_length=200.0,
+            power_budget_w=800.0,
+        ),
+        axes={"policy": _DC_POLICIES},
+        metrics=("fleet", "cluster"),
+    )
+
+
 #: All presets, keyed by name, in documentation order.
 PRESETS: dict[str, Preset] = {
     preset.name: preset
@@ -239,6 +349,10 @@ PRESETS: dict[str, Preset] = {
         _pi_batch(),
         _mixed_guests(),
         _stress_fleet(),
+        _dc_diurnal(),
+        _dc_diurnal_small(),
+        _dc_fleet_medium(),
+        _dc_fleet_large(),
     )
 }
 

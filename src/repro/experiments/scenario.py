@@ -140,6 +140,10 @@ class WorkloadSpec:
     #: trace: path to a real utilisation time-series CSV
     #: (:func:`~repro.workloads.trace.load_trace_csv` format).
     trace_file: str | None = None
+    #: trace: a named day from the catalog
+    #: (:data:`repro.workloads.dayshapes.DAYSHAPES`), generated on the
+    #: guest's seeded stream.
+    dayshape: str | None = None
     #: trace: loop the trace past its last point.
     repeat: bool = False
 
@@ -170,11 +174,16 @@ class WorkloadSpec:
             and not self.trace
             and self.diurnal is None
             and self.trace_file is None
+            and self.dayshape is None
         ):
             raise ConfigurationError(
                 "a trace workload needs explicit 'trace' points, 'diurnal' "
-                "parameters, or a 'trace_file' CSV path"
+                "parameters, a 'trace_file' CSV path, or a catalog 'dayshape'"
             )
+        if self.dayshape is not None:
+            from ..workloads.dayshapes import require_dayshape
+
+            require_dayshape(self.dayshape)
         if self.active and self.kind not in ("web", "constant"):
             raise ConfigurationError(
                 f"'active' windows apply to web/constant workloads, not {self.kind!r} "
@@ -198,6 +207,8 @@ class WorkloadSpec:
             return "trace:diurnal"
         if self.trace_file is not None:
             return f"trace:{pathlib.PurePath(self.trace_file).name}"
+        if self.dayshape is not None:
+            return f"trace:{self.dayshape}"
         return f"trace:{len(self.trace)}pt"
 
     def to_dict(self) -> dict[str, Any]:
@@ -226,6 +237,8 @@ class WorkloadSpec:
                 out["diurnal"] = dict(self.diurnal)
             if self.trace_file is not None:
                 out["trace_file"] = self.trace_file
+            if self.dayshape is not None:
+                out["dayshape"] = self.dayshape
             if self.repeat:
                 out["repeat"] = self.repeat
         return out
@@ -517,6 +530,11 @@ def _build_workload(spec: WorkloadSpec, guest: GuestSpec, config: ScenarioConfig
             points = [TracePoint(start=t, percent=p) for t, p in spec.trace]
         elif spec.trace_file is not None:
             points = load_trace_csv(spec.trace_file)
+        elif spec.dayshape is not None:
+            from ..workloads.dayshapes import dayshape_points
+
+            rng = host.rng.stream(f"trace.{guest.name}")
+            points = dayshape_points(spec.dayshape, rng)
         else:
             rng = host.rng.stream(f"trace.{guest.name}")
             points = SyntheticTrace(**spec.diurnal).generate(rng)

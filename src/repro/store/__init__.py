@@ -40,10 +40,11 @@ from .keys import (
     metric_names,
     STORE_SCHEMA_VERSION,
 )
-from .store import decode_blob, encode_blob, ExperimentStore
+from .store import decode_blob, encode_blob, ExperimentStore, payload_matches
 
 __all__ = [
     "ExperimentStore",
+    "payload_matches",
     "cell_key",
     "config_payload",
     "metric_names",

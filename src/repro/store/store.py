@@ -71,6 +71,58 @@ def decode_blob(text: str) -> dict[str, Any]:
     return payload
 
 
+def _filter_value_text(value: Any) -> str:
+    """The text a stored value is compared against in ``--where`` clauses."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return str(value)
+    return canonical_json(value)
+
+
+def payload_matches(
+    payload: Mapping[str, Any], where: Mapping[str, str] | None
+) -> bool:
+    """True when *payload* satisfies every ``key=value`` clause of *where*.
+
+    Each clause is looked up in the payload itself, its sweep ``params``
+    and its config ``spec``; the clause matches when *any* of those
+    scopes carries the key with a value comparing equal to the expected
+    text (with a numeric fallback so ``seed=7`` matches the integer 7).
+    """
+    for key, expected in (where or {}).items():
+        scopes = (
+            payload,
+            payload.get("params") or {},
+            (payload.get("config") or {}).get("spec") or {},
+        )
+        candidates = [
+            scope[key]
+            for scope in scopes
+            if isinstance(scope, Mapping) and key in scope
+        ]
+        if not candidates:
+            return False
+        matched = False
+        for candidate in candidates:
+            if _filter_value_text(candidate) == expected:
+                matched = True
+                break
+            try:
+                if float(candidate) == float(expected):
+                    matched = True
+                    break
+            except (TypeError, ValueError):
+                pass
+        if not matched:
+            return False
+    return True
+
+
 class ExperimentStore:
     """A content-addressed, durable store of reduced sweep cells."""
 
@@ -223,21 +275,31 @@ class ExperimentStore:
             )
         return self.read(matches[0])
 
-    def payloads(self) -> list[dict[str, Any]]:
-        """Every *valid* stored payload, ordered by (label, key)."""
+    def payloads(
+        self, *, where: Mapping[str, str] | None = None
+    ) -> list[dict[str, Any]]:
+        """Every *valid* stored payload, ordered by (label, key).
+
+        *where* is a ``{key: value}`` filter ANDed over clauses: a payload
+        matches a clause when its sweep param, its config-spec field, or a
+        top-level payload field named *key* equals *value* (values compared
+        as text, with a numeric fallback so ``seed=7`` matches the integer
+        ``7``).  The ``store ls --where scheduler=pas`` query path.
+        """
         out = []
         for key in self.keys():
             payload = self.lookup(key)
-            if payload is not None:
+            if payload is not None and payload_matches(payload, where):
                 out.append(payload)
         out.sort(key=lambda p: (p.get("label") or "", p.get("key") or ""))
         return out
 
-    def to_results(self):
+    def to_results(self, *, where: Mapping[str, str] | None = None):
         """All valid cells as a :class:`~repro.sweep.store.SweepResults`.
 
         Cells are ordered by (label, key) — deterministic whatever order
-        sweeps streamed them in — and re-indexed sequentially.
+        sweeps streamed them in — and re-indexed sequentially.  *where*
+        filters exactly as in :meth:`payloads`.
         """
         from ..sweep.store import CellResult, SweepResults
 
@@ -249,9 +311,12 @@ class ExperimentStore:
                 seed=payload.get("seed"),
                 metrics=payload.get("metrics", {}),
             )
-            for index, payload in enumerate(self.payloads())
+            for index, payload in enumerate(self.payloads(where=where))
         ]
-        return SweepResults(cells, meta={"store": "export", "cells": len(cells)})
+        meta: dict[str, Any] = {"store": "export", "cells": len(cells)}
+        if where:
+            meta["where"] = dict(where)
+        return SweepResults(cells, meta=meta)
 
     # ------------------------------------------------------------------- gc
 

@@ -211,6 +211,24 @@ def fleet_metrics(sim) -> dict:
     }
 
 
+def cluster_metrics(sim) -> dict:
+    """Datacenter-scale orchestration statistics (cluster cells).
+
+    The policy-comparison vocabulary: kWh instead of joules, migration
+    churn, the count of epochs with unserved demand, mean powered-on host
+    count, and the peak per-epoch fleet power (the number a
+    ``power_budget_w`` cap is judged against).
+    """
+    return {
+        "energy_kwh": sim.energy_kwh,
+        "migrations": sim.total_migrations,
+        "sla_violations": sim.sla_violations,
+        "hosts_on_mean": sim.mean_machines_on,
+        "power_peak_w": sim.peak_power_w,
+        "sla_mean": sim.mean_sla_fraction,
+    }
+
+
 #: Named reducers addressable from a grid spec / the CLI.
 METRICS: dict[str, Callable] = {
     "loads": load_metrics,
@@ -222,11 +240,12 @@ METRICS: dict[str, Callable] = {
     "reaction": reaction_metrics,
     "sla": sla_error_metrics,
     "fleet": fleet_metrics,
+    "cluster": cluster_metrics,
 }
 
 #: Defaults per cell kind (see :func:`repro.sweep.runner.execute_config`).
 DEFAULT_SCENARIO_METRICS: tuple[str, ...] = ("loads", "frequency", "energy")
-DEFAULT_CLUSTER_METRICS: tuple[str, ...] = ("fleet",)
+DEFAULT_CLUSTER_METRICS: tuple[str, ...] = ("fleet", "cluster")
 
 
 def resolve_metrics(metrics: Sequence[str | Callable]) -> tuple[Callable, ...]:

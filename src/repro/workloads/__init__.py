@@ -10,11 +10,22 @@
 * :class:`ConstantLoad` — a duty-cycle source (Dom0 housekeeping, tests);
 * :class:`LoadProfile` — piecewise-constant request-rate schedules;
 * :class:`HttperfInjector` — the rate generator (deterministic fluid by
-  default, optional Poisson arrivals).
+  default, optional Poisson arrivals);
+* the day-shape catalog (:mod:`~repro.workloads.dayshapes`) — named,
+  seeded utilisation-day generators (``diurnal-office``, ``flash-crowd``,
+  ``batch-overnight``, ``noisy-neighbor``, ``weekend``) for heterogeneous
+  fleets.
 """
 
 from .base import Workload
 from .constant import ConstantLoad
+from .dayshapes import (
+    DAYSHAPES,
+    dayshape_csv,
+    dayshape_names,
+    dayshape_points,
+    DayShape,
+)
 from .latency import LatencyTracker
 from .pi_app import PiApp
 from .profiles import LoadProfile, Phase
@@ -23,6 +34,11 @@ from .trace import load_trace_csv, SyntheticTrace, TraceLoad, TracePoint
 from .web_app import WebApp, exact_rate, thrashing_rate
 
 __all__ = [
+    "DAYSHAPES",
+    "DayShape",
+    "dayshape_csv",
+    "dayshape_names",
+    "dayshape_points",
     "Workload",
     "ConstantLoad",
     "LatencyTracker",

@@ -1,0 +1,216 @@
+"""Orchestration policies: registry, placement behaviour, cap compliance."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterScenarioConfig,
+    ClusterSim,
+    ClusterVM,
+    ConsolidatePolicy,
+    current_assignment,
+    make_policy,
+    policy_names,
+    PowerBudgetPolicy,
+    run_cluster_scenario,
+    StaticPolicy,
+)
+from repro.errors import ConfigurationError
+
+#: A heterogeneous diurnal fleet where packing decisions actually differ.
+BASE = ClusterScenarioConfig(
+    n_machines=6,
+    n_vms=15,
+    duration=200.0,
+    day_length=200.0,
+    trace_step=5.0,
+    vm_credit=30.0,
+    vm_memory_mb=2048,
+    dayshapes=(
+        "diurnal-office",
+        "flash-crowd",
+        "batch-overnight",
+        "noisy-neighbor",
+        "weekend",
+    ),
+    dayshape_scale=0.45,
+    seed=11,
+)
+
+
+def test_registry_names_are_stable():
+    assert policy_names() == ("static", "consolidate", "load-balance", "power-budget")
+
+
+def test_unknown_policy_lists_the_registry():
+    with pytest.raises(ConfigurationError, match="static"):
+        make_policy("bin-pack-9000")
+
+
+def test_unknown_config_policy_lists_all_names():
+    with pytest.raises(ConfigurationError, match="spread"):
+        run_cluster_scenario(BASE.with_changes(policy="warp"))
+
+
+def test_power_budget_requires_a_cap():
+    with pytest.raises(ConfigurationError, match="power_budget_w"):
+        make_policy("power-budget")
+
+
+def test_static_never_migrates_and_reserves_by_credit():
+    sim = run_cluster_scenario(BASE.with_changes(policy="static"))
+    assert sim.total_migrations == 0
+    assert sim.sla_violations == 0
+    # Booked credit is reserved: per host, credits + overhead fit capacity.
+    for machine in sim.machines:
+        booked = sum(vm.credit for vm in machine.vms)
+        assert booked + machine.spec.overhead_percent <= 100.0
+    # 15 VMs x 30% credit at 95% usable => 3 per host, 5 hosts, constant.
+    assert {stat.machines_on for stat in sim.stats} == {5}
+
+
+def test_consolidate_uses_fewer_hosts_than_static():
+    static = run_cluster_scenario(BASE.with_changes(policy="static"))
+    packed = run_cluster_scenario(BASE.with_changes(policy="consolidate"))
+    assert packed.mean_machines_on < static.mean_machines_on
+    assert packed.fleet_energy_joules < static.fleet_energy_joules
+    assert packed.mean_sla_fraction > 0.99
+
+
+def test_consolidate_hysteresis_delays_the_drain():
+    demands = {"vm0": 40.0, "vm1": 40.0}
+
+    def demand(name):
+        # Both VMs hot for 3 epochs, then one goes idle for good.
+        return lambda t: demands[name] if t < 30.0 else (4.0 if name == "vm1" else 40.0)
+
+    vms = [
+        ClusterVM(name, credit=50.0, memory_mb=2048, demand=demand(name))
+        for name in ("vm0", "vm1")
+    ]
+    sim = ClusterSim(
+        n_machines=2,
+        vms=vms,
+        policy=ConsolidatePolicy(target_percent=75.0, hysteresis_epochs=3),
+        dvfs=True,
+        epoch=10.0,
+    )
+    sim.run(100.0)
+    on_counts = [stat.machines_on for stat in sim.stats]
+    # Two hosts while both are hot; the drain lands only after the packing
+    # has wanted fewer hosts for 3 consecutive epochs.
+    assert on_counts[:3] == [2, 2, 2]
+    assert on_counts[-1] == 1
+    first_single = on_counts.index(1)
+    assert first_single >= 5  # t>=30 demand drop + 3-epoch streak
+    assert sim.total_migrations == 1
+
+
+def test_consolidate_spills_overloaded_hosts_immediately():
+    demands = {"vm0": 20.0, "vm1": 20.0, "vm2": 20.0}
+
+    def demand(name):
+        return lambda t: demands[name] if t < 30.0 else 45.0
+
+    vms = [
+        ClusterVM(name, credit=60.0, memory_mb=2048, demand=demand(name))
+        for name in ("vm0", "vm1", "vm2")
+    ]
+    sim = ClusterSim(
+        n_machines=3,
+        vms=vms,
+        policy=ConsolidatePolicy(target_percent=75.0, spill_percent=88.0),
+        dvfs=True,
+        epoch=10.0,
+    )
+    sim.run(100.0)
+    # 3x20+5 = 65% packs on one host; 3x45+5 = 140% must spill onto more.
+    assert sim.stats[0].machines_on == 1
+    assert sim.stats[-1].machines_on > 1
+    assert sim.total_migrations >= 1
+
+
+def _final_demand_spread(sim):
+    last = sim.stats[-1].time - sim.epoch
+    loads = [
+        sum(vm.demand_at(last) for vm in machine.vms) for machine in sim.machines
+    ]
+    return max(loads) - min(loads)
+
+
+def test_load_balance_keeps_hosts_even():
+    balanced = run_cluster_scenario(BASE.with_changes(policy="load-balance"))
+    packed = run_cluster_scenario(BASE.with_changes(policy="consolidate"))
+    # The whole fleet stays on, and demand spreads far flatter than a
+    # consolidating policy leaves it (which idles some hosts entirely).
+    final = balanced.host_records()[-BASE.n_machines :]
+    assert all(record["powered_on"] for record in final)
+    assert _final_demand_spread(balanced) < _final_demand_spread(packed)
+
+
+def test_power_budget_respects_the_cap_every_epoch():
+    budget = 150.0
+    sim = run_cluster_scenario(
+        BASE.with_changes(policy="power-budget", power_budget_w=budget)
+    )
+    assert sim.peak_power_w <= budget
+    assert all(stat.power_w <= budget + 1e-9 for stat in sim.stats)
+
+
+def test_power_budget_cap_trades_sla_for_watts():
+    loose = run_cluster_scenario(
+        BASE.with_changes(policy="power-budget", power_budget_w=1000.0)
+    )
+    tight = run_cluster_scenario(
+        BASE.with_changes(policy="power-budget", power_budget_w=110.0)
+    )
+    assert tight.peak_power_w <= 110.0
+    assert tight.fleet_energy_joules < loose.fleet_energy_joules
+    assert tight.mean_sla_fraction < loose.mean_sla_fraction
+
+
+def test_power_budget_beats_static_on_energy():
+    static = run_cluster_scenario(BASE.with_changes(policy="static"))
+    capped = run_cluster_scenario(
+        BASE.with_changes(policy="power-budget", power_budget_w=150.0)
+    )
+    assert capped.fleet_energy_joules < static.fleet_energy_joules
+
+
+def test_policies_pin_frequencies_under_power_budget():
+    sim = run_cluster_scenario(
+        BASE.with_changes(policy="power-budget", power_budget_w=120.0)
+    )
+    # The cap binds: some host must have been steered below the frequency
+    # plain demand-driven DVFS picks.
+    free = run_cluster_scenario(BASE.with_changes(policy="consolidate"))
+    assert sim.fleet_energy_joules < free.fleet_energy_joules
+
+
+def test_legacy_callables_still_run_through_the_orchestrator():
+    for policy in ("spread", "consolidate-ffd"):
+        sim = run_cluster_scenario(
+            BASE.with_changes(policy=policy, n_vms=6, vm_memory_mb=5120)
+        )
+        assert len(sim.stats) == 20
+
+
+def test_static_policy_is_reusable_object():
+    policy = StaticPolicy()
+    vms = [
+        ClusterVM(f"vm{i}", credit=30.0, memory_mb=4096, demand=lambda t: 10.0)
+        for i in range(4)
+    ]
+    sim = ClusterSim(n_machines=2, vms=vms, policy=policy, dvfs=True, epoch=10.0)
+    sim.run(50.0)
+    assert current_assignment(sim.machines) == {
+        "vm0": "m000",
+        "vm1": "m000",
+        "vm2": "m000",
+        "vm3": "m001",
+    }
+
+
+def test_power_budget_policy_carries_consolidate_knobs():
+    policy = PowerBudgetPolicy(budget_w=200.0, target_percent=60.0)
+    assert policy.target_percent == 60.0
+    assert policy.budget_w == 200.0

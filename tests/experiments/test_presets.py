@@ -122,3 +122,58 @@ def test_pi_batch_preset_stops_when_batch_done():
         for workload in domain.workloads:
             if hasattr(workload, "done"):
                 assert workload.done
+
+
+# --------------------------------------------------------- cluster presets
+
+CLUSTER_PRESETS = {
+    "dc-diurnal",
+    "dc-diurnal-small",
+    "dc-fleet-medium",
+    "dc-fleet-large",
+}
+
+
+def test_cluster_presets_are_registered_with_kind():
+    assert CLUSTER_PRESETS <= set(PRESETS)
+    for name in CLUSTER_PRESETS:
+        preset = get_preset(name)
+        assert preset.kind == "cluster"
+        assert preset.axes == {
+            "policy": ("static", "consolidate", "load-balance", "power-budget")
+        }
+        assert preset.metrics == ("fleet", "cluster")
+    for name in REQUIRED:
+        assert get_preset(name).kind == "scenario"
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTER_PRESETS))
+def test_cluster_presets_round_trip_through_json(name):
+    import json
+
+    from repro.cluster import ClusterScenarioConfig
+
+    config = preset_config(name)
+    text = json.dumps(config.to_dict())
+    assert ClusterScenarioConfig.from_dict(json.loads(text)) == config
+
+
+def test_cluster_preset_grid_expands_policy_axis():
+    grid = preset_grid("dc-diurnal-small")
+    assert len(grid) == 4
+    policies = [cell.config.policy for cell in grid]
+    assert policies == ["static", "consolidate", "load-balance", "power-budget"]
+
+
+def test_cluster_preset_budgets_are_feasible_and_binding():
+    # The power-budget acceptance shape on the CI fleet: the cap holds
+    # every epoch and consolidation undercuts static provisioning.
+    from repro.cluster.scenario import run_cluster_scenario
+
+    config = preset_config("dc-diurnal-small")
+    static = run_cluster_scenario(config.with_changes(policy="static"))
+    packed = run_cluster_scenario(config.with_changes(policy="consolidate"))
+    capped = run_cluster_scenario(config.with_changes(policy="power-budget"))
+    assert capped.peak_power_w <= config.power_budget_w
+    assert packed.fleet_energy_joules < static.fleet_energy_joules
+    assert capped.fleet_energy_joules < static.fleet_energy_joules

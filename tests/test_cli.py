@@ -363,3 +363,176 @@ def test_run_cluster_scenario_bad_field(capsys, tmp_path):
     path.write_text(json.dumps({"kind": "cluster", "n_machines": 2, "warp": 1}))
     assert main(["run", "--scenario", str(path)]) == 2
     assert "unknown cluster scenario field" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------- cluster CLI
+
+
+def test_cluster_run_preset(capsys, tmp_path):
+    series = tmp_path / "epochs.csv"
+    assert (
+        main(
+            [
+                "cluster",
+                "run",
+                "--preset",
+                "dc-diurnal-small",
+                "--out-series",
+                str(series),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "8 VMs on 4 machines" in out
+    assert "peak power" in out
+    lines = series.read_text().splitlines()
+    assert lines[0].startswith("epoch,time,machines_on,")
+    assert len(lines) == 21  # header + 20 epochs
+
+
+def test_cluster_run_rejects_scenario_presets(capsys):
+    assert main(["cluster", "run", "--preset", "governors"]) == 2
+    assert "kind:cluster" in capsys.readouterr().err
+
+
+def test_cluster_run_policy_override(capsys):
+    assert (
+        main(
+            ["cluster", "run", "--preset", "dc-diurnal-small", "--policy", "static"]
+        )
+        == 0
+    )
+    assert "policy=static" in capsys.readouterr().out
+
+
+def test_cluster_compare_writes_series_and_passes_checks(capsys, tmp_path):
+    out_dir = tmp_path / "series"
+    assert (
+        main(
+            [
+                "cluster",
+                "compare",
+                "--preset",
+                "dc-diurnal-small",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "[PASS] power-budget respects the 80 W cap every epoch" in out
+    assert "[PASS] consolidate yields lower energy than static" in out
+    assert "[FAIL]" not in out
+    for policy in ("static", "consolidate", "load-balance", "power-budget"):
+        path = out_dir / f"dc-diurnal-small.{policy}.epochs.csv"
+        assert path.exists()
+        assert path.read_text().startswith("epoch,time,machines_on,")
+
+
+def test_cluster_sweep_store_resumes_warm(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    assert main(["cluster", "sweep", "--preset", "dc-diurnal-small", "--store", store]) == 0
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "cluster",
+                "sweep",
+                "--preset",
+                "dc-diurnal-small",
+                "--store",
+                store,
+                "--resume",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "4 cells warm, 0 computed" in out
+    assert "energy_kwh" in out
+
+
+def test_run_routes_cluster_presets(capsys):
+    assert main(["run", "--preset", "dc-diurnal-small"]) == 0
+    assert "fleet energy" in capsys.readouterr().out
+
+
+def test_list_presets_tags_cluster_presets(capsys):
+    assert main(["sweep", "--list-presets"]) == 0
+    out = capsys.readouterr().out
+    assert "kind:cluster" in out
+    assert "dc-diurnal" in out
+
+
+# ------------------------------------------------------------ store --where
+
+
+def _populate_mixed_store(tmp_path):
+    store = str(tmp_path / "store")
+    grid = (
+        '{"scheduler": ["credit", "pas"], "duration": [60.0], '
+        '"v20_active": [[10.0, 50.0]], "v70_active": [[20.0, 40.0]]}'
+    )
+    assert main(["sweep", "--grid", grid, "--store", store]) == 0
+    assert main(["cluster", "sweep", "--preset", "dc-diurnal-small", "--store", store]) == 0
+    return store
+
+
+def test_store_ls_where_filters_cells(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["store", "ls", "--store", store, "--where", "scheduler=pas"]) == 0
+    out = capsys.readouterr().out
+    assert "1 cells" in out
+    assert "scheduler=pas" in out
+    assert main(["store", "ls", "--store", store, "--where", "policy=static"]) == 0
+    out = capsys.readouterr().out
+    assert "policy=static" in out and "scheduler" not in out
+
+
+def test_store_ls_where_no_match(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["store", "ls", "--store", store, "--where", "scheduler=sedf"]) == 0
+    assert "no cells matching scheduler=sedf" in capsys.readouterr().out
+
+
+def test_store_export_where_is_filtered(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    out_path = tmp_path / "pas.csv"
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "store",
+                "export",
+                "--store",
+                store,
+                "--out",
+                str(out_path),
+                "--where",
+                "scheduler=pas",
+            ]
+        )
+        == 0
+    )
+    lines = out_path.read_text().splitlines()
+    assert len(lines) == 2  # header + the one pas cell
+    assert "pas" in lines[1]
+
+
+def test_store_where_rejects_malformed_clause(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["store", "ls", "--store", store, "--where", "scheduler"]) == 2
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_store_where_numeric_values_match(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["store", "ls", "--store", store, "--where", "n_machines=4"]) == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out  # the four dc-diurnal-small policy cells
