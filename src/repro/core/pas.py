@@ -27,15 +27,11 @@ Xen's governors.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..schedulers.credit import CreditScheduler
 from ..units import check_non_negative, check_positive
 from . import laws
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..hypervisor.host import Host
 
 
 class PasScheduler(CreditScheduler):

@@ -73,6 +73,26 @@ class Processor:
         self._busy_seconds = 0.0
         self._elapsed_seconds = 0.0
         self._time_in_state: dict[int, float] = {f: 0.0 for f in self._table.frequencies}
+        # Per-state caches for the dispatch hot path.  All three are pure
+        # functions of the (immutable) state, so serving them from a cache
+        # is bit-identical to recomputing them on every slice boundary.
+        max_freq = self._table.max_state.freq_mhz
+        self._capacity_cache: dict[int, float] = {
+            state.freq_mhz: state.capacity_fraction(max_freq)
+            for state in self._table.states
+        }
+        self._power_cache: dict[tuple[int, float], float] = {
+            (state.freq_mhz, util): spec.power.power(state, self._table, util)
+            for state in self._table.states
+            for util in (0.0, 1.0)
+        }
+        self._refresh_state_cache()
+
+    def _refresh_state_cache(self) -> None:
+        state = self._state
+        self._capacity = self._capacity_cache[state.freq_mhz]
+        self._power_idle = self._power_cache[(state.freq_mhz, 0.0)]
+        self._power_busy = self._power_cache[(state.freq_mhz, 1.0)]
 
     # ------------------------------------------------------------- identity
 
@@ -116,17 +136,17 @@ class Processor:
     @property
     def capacity_fraction(self) -> float:
         """Delivered speed as a fraction of maximum speed (``ratio * cf``)."""
-        return self._state.capacity_fraction(self.max_frequency_mhz)
+        return self._capacity
 
     def work_available(self, dt: float) -> float:
         """Absolute seconds of work deliverable in *dt* wall seconds."""
         check_non_negative(dt, "dt")
-        return dt * self.capacity_fraction
+        return dt * self._capacity
 
     def wall_time_for(self, work: float) -> float:
         """Wall seconds needed to deliver *work* absolute seconds now."""
         check_non_negative(work, "work")
-        return work / self.capacity_fraction
+        return work / self._capacity
 
     # ------------------------------------------------------------ transitions
 
@@ -141,6 +161,7 @@ class Processor:
         if new_state is self._state:
             return False
         self._state = new_state
+        self._refresh_state_cache()
         self._transitions += 1
         self._transition_time_total += self._spec.transition_latency
         return True
@@ -166,14 +187,25 @@ class Processor:
         caller can attribute it (the host charges it to the running
         domain for per-VM energy accounting).
         """
-        check_non_negative(dt, "dt")
         if dt == 0.0:
+            check_non_negative(dt, "dt")
             return 0.0
-        check_fraction(busy_fraction, "busy_fraction")
+        if dt < 0.0:
+            check_non_negative(dt, "dt")
         self._elapsed_seconds += dt
         self._busy_seconds += dt * busy_fraction
         self._time_in_state[self._state.freq_mhz] += dt
-        energy = self._spec.power.energy(self._state, self._table, busy_fraction, dt)
+        # The power model is a pure function of (state, utilisation); the
+        # two utilisations the dispatch loop ever bills (fully busy slices,
+        # fully idle gaps) are served from the per-state cache.  Energy is
+        # ``power * dt`` either way, so the cached path is bit-identical.
+        if busy_fraction == 1.0:
+            energy = self._power_busy * dt
+        elif busy_fraction == 0.0:
+            energy = self._power_idle * dt
+        else:
+            check_fraction(busy_fraction, "busy_fraction")
+            energy = self._spec.power.energy(self._state, self._table, busy_fraction, dt)
         self._energy_joules += energy
         return energy
 

@@ -48,7 +48,7 @@ from __future__ import annotations
 import dataclasses
 import pathlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from ..cpu import catalog
 from ..cpu.processor import ProcessorSpec

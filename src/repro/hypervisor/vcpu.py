@@ -5,6 +5,11 @@ in absolute seconds (max-frequency CPU-seconds).  Workloads push work in;
 the host drains it while the vCPU is dispatched, at the processor's current
 ``ratio * cf`` rate.  A vCPU with no pending work is *blocked* — exactly the
 distinction the paper draws between active and lazy VMs.
+
+The class is slotted and keeps its hot fields (state, pending work, the
+owning domain's name) as plain attributes: the dispatch loop touches every
+one of them on every slice boundary, so property indirection here is pure
+overhead.  The public read API is unchanged.
 """
 
 from __future__ import annotations
@@ -39,9 +44,24 @@ class VCpu:
     :meth:`mark_runnable` / :meth:`mark_blocked`; schedulers only read it.
     """
 
+    __slots__ = (
+        "_domain",
+        "name",
+        "_state",
+        "runnable",
+        "_pending_work",
+        "_cpu_seconds",
+        "_work_done",
+        "_dispatch_count",
+    )
+
     def __init__(self, domain: "Domain") -> None:
         self._domain = domain
+        #: The owning domain's name (vCPUs are 1:1 with domains here).
+        self.name: str = domain.name
         self._state = VCpuState.BLOCKED
+        #: True when the vCPU could be dispatched (RUNNABLE or RUNNING).
+        self.runnable: bool = False
         self._pending_work = 0.0
         self._cpu_seconds = 0.0
         self._work_done = 0.0
@@ -54,22 +74,12 @@ class VCpu:
         """The owning domain."""
         return self._domain
 
-    @property
-    def name(self) -> str:
-        """The owning domain's name (vCPUs are 1:1 with domains here)."""
-        return self._domain.name
-
     # ---------------------------------------------------------------- state
 
     @property
     def state(self) -> VCpuState:
         """Current lifecycle state."""
         return self._state
-
-    @property
-    def runnable(self) -> bool:
-        """True when the vCPU could be dispatched (RUNNABLE or RUNNING)."""
-        return self._state is not VCpuState.BLOCKED
 
     def mark_running(self) -> None:
         """Host: the vCPU was just dispatched."""
@@ -81,10 +91,12 @@ class VCpu:
     def mark_runnable(self) -> None:
         """Host: the vCPU has demand and waits for the processor."""
         self._state = VCpuState.RUNNABLE
+        self.runnable = True
 
     def mark_blocked(self) -> None:
         """Host: the vCPU drained its demand queue."""
         self._state = VCpuState.BLOCKED
+        self.runnable = False
 
     # ----------------------------------------------------------------- work
 
@@ -109,11 +121,12 @@ class VCpu:
         Clamps the residual at zero — the host computes slice lengths from
         pending work, so any negative residual is float fuzz by construction.
         """
-        check_non_negative(work, "work")
-        check_non_negative(wall_dt, "wall_dt")
-        self._pending_work -= work
-        if self._pending_work < WORK_EPSILON:
-            self._pending_work = 0.0
+        if work < 0.0:
+            check_non_negative(work, "work")
+        if wall_dt < 0.0:
+            check_non_negative(wall_dt, "wall_dt")
+        pending = self._pending_work - work
+        self._pending_work = pending if pending >= WORK_EPSILON else 0.0
         self._work_done += work
         self._cpu_seconds += wall_dt
 

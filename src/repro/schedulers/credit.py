@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 MIN_BUDGET = 1e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class _Account:
     """Per-vCPU scheduler state."""
 
@@ -60,7 +60,13 @@ class _Account:
         return self.credits > 0.0
 
     def cap_budget(self, period: float) -> float:
-        """Remaining CPU seconds allowed in the current accounting period."""
+        """Remaining CPU seconds allowed in the current accounting period.
+
+        Canonical definition of the cap rule.  ``pick_next`` / ``slice_for``
+        / ``charge`` inline this exact expression (uncapped test included)
+        to stay call-free on the dispatch hot path — change it here and in
+        those three copies together.
+        """
         if self.cap <= 0.0:
             return float("inf")
         return self.cap / 100.0 * period - self.usage_in_period
@@ -103,6 +109,9 @@ class CreditScheduler(Scheduler):
         self.credit_clamp = credit_clamp_periods * self.accounting_period
         self._accounts: dict[str, _Account] = {}
         self._queues: dict[int, list[_Account]] = {}
+        #: Queues in ascending priority-class order (rebuilt on membership
+        #: changes) so pick_next never re-sorts the class keys.
+        self._queue_scan: list[list[_Account]] = []
         self._tick_count = 0
 
     # ------------------------------------------------------------ membership
@@ -119,6 +128,7 @@ class CreditScheduler(Scheduler):
         )
         self._accounts[vcpu.name] = account
         self._queues.setdefault(account.priority_class, [])
+        self._queue_scan = [self._queues[cls] for cls in sorted(self._queues)]
 
     def remove_vcpu(self, vcpu: "VCpu") -> None:
         account = self._account_of(vcpu)
@@ -135,13 +145,17 @@ class CreditScheduler(Scheduler):
     # ---------------------------------------------------------- state change
 
     def wake(self, vcpu: "VCpu") -> None:
-        account = self._account_of(vcpu)
+        account = self._accounts.get(vcpu.name)
+        if account is None:
+            account = self._account_of(vcpu)
         if not account.queued:
             self._queues[account.priority_class].append(account)
             account.queued = True
 
     def sleep(self, vcpu: "VCpu") -> None:
-        account = self._account_of(vcpu)
+        account = self._accounts.get(vcpu.name)
+        if account is None:
+            account = self._account_of(vcpu)
         if account.queued:
             self._queues[account.priority_class].remove(account)
             account.queued = False
@@ -149,24 +163,41 @@ class CreditScheduler(Scheduler):
     # --------------------------------------------------------------- policy
 
     def pick_next(self, now: float) -> "VCpu | None":
+        # Allocation-free scan: one pass per class queue finds the first
+        # UNDER account (which wins outright) and the first merely-eligible
+        # fallback, while collecting stale entries — vCPUs that blocked
+        # without a sleep() (defensive; the host always calls sleep, but
+        # stale entries must not run).  Semantics are identical to the
+        # build-three-lists original, including dropping stale entries in
+        # every class scanned before the pick.
         self.stats.decisions += 1
-        for priority_class in sorted(self._queues):
-            queue = self._queues[priority_class]
-            # Drop entries whose vCPU blocked without a sleep() (defensive;
-            # the host always calls sleep, but stale entries must not run).
-            stale = [account for account in queue if not account.vcpu.runnable]
-            for account in stale:
-                queue.remove(account)
-                account.queued = False
-            eligible = [
-                account
-                for account in queue
-                if not account.parked and account.cap_budget(self.accounting_period) > MIN_BUDGET
-            ]
-            if not eligible:
+        period = self.accounting_period
+        for queue in self._queue_scan:
+            under = None
+            fallback = None
+            stale = None
+            for account in queue:
+                if not account.vcpu.runnable:
+                    if stale is None:
+                        stale = [account]
+                    else:
+                        stale.append(account)
+                    continue
+                if under is None and not account.parked:
+                    # Inline of _Account.cap_budget (keep in sync with it).
+                    cap = account.cap
+                    if cap <= 0.0 or cap / 100.0 * period - account.usage_in_period > MIN_BUDGET:
+                        if account.credits > 0.0:
+                            under = account
+                        elif fallback is None:
+                            fallback = account
+            if stale is not None:
+                for account in stale:
+                    queue.remove(account)
+                    account.queued = False
+            chosen = under if under is not None else fallback
+            if chosen is None:
                 continue
-            under = [account for account in eligible if account.under]
-            chosen = (under or eligible)[0]
             queue.remove(chosen)
             chosen.queued = False
             return chosen.vcpu
@@ -174,17 +205,31 @@ class CreditScheduler(Scheduler):
         return None
 
     def slice_for(self, vcpu: "VCpu", now: float) -> float:
-        account = self._account_of(vcpu)
-        budget = account.cap_budget(self.accounting_period)
-        return min(self.quantum, budget)
+        account = self._accounts.get(vcpu.name)
+        if account is None:
+            account = self._account_of(vcpu)
+        cap = account.cap
+        if cap <= 0.0:
+            return self.quantum
+        # Inline of _Account.cap_budget (keep in sync with it).
+        budget = cap / 100.0 * self.accounting_period - account.usage_in_period
+        return budget if budget < self.quantum else self.quantum
 
     def charge(self, vcpu: "VCpu", wall_dt: float, now: float) -> None:
-        account = self._account_of(vcpu)
+        name = vcpu.name
+        account = self._accounts.get(name)
+        if account is None:
+            account = self._account_of(vcpu)
         account.credits -= wall_dt
         account.usage_in_period += wall_dt
-        if account.cap_budget(self.accounting_period) <= MIN_BUDGET:
+        # Inline of _Account.cap_budget (keep in sync with it).
+        cap = account.cap
+        if cap > 0.0 and cap / 100.0 * self.accounting_period - account.usage_in_period <= MIN_BUDGET:
             account.parked = True
-        self.stats.charge(vcpu.name, wall_dt)
+        stats = self.stats
+        stats.charged_seconds += wall_dt
+        by_domain = stats.charged_by_domain
+        by_domain[name] = by_domain.get(name, 0.0) + wall_dt
 
     def should_preempt(self, current: "VCpu", waking: "VCpu") -> bool:
         current_account = self._account_of(current)
@@ -207,7 +252,10 @@ class CreditScheduler(Scheduler):
         if self._tick_count % self.ticks_per_accounting != 0:
             return False
         self._run_accounting()
-        return any(account.queued for account in self._accounts.values())
+        for account in self._accounts.values():
+            if account.queued:
+                return True
+        return False
 
     def _run_accounting(self) -> None:
         active = [

@@ -7,7 +7,13 @@ tie-break is what makes whole-system runs bit-reproducible.
 
 The engine deliberately has no notion of processes or coroutines: the
 hypervisor, governors and workloads are all callback-driven, which keeps the
-hot loop small (a single heap pop per event) and the control flow explicit.
+hot loop small and the control flow explicit.  The heap holds
+``(time, sequence, handle)`` tuples rather than handle objects, so event
+ordering is a C-level tuple comparison (``sequence`` is unique, so the
+handle itself is never compared), and the :meth:`run_until` loop pops and
+dispatches without any per-event Python-level indirection beyond the
+callback itself — at 10^5-10^6 events per simulated scenario this loop is
+the floor under every sweep's wall time.
 """
 
 from __future__ import annotations
@@ -32,10 +38,12 @@ class Engine:
     [1.5]
     """
 
+    __slots__ = ("_now", "_sequence", "_heap", "_events_fired", "_running")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._sequence = 0
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._events_fired = 0
         self._running = False
 
@@ -54,7 +62,7 @@ class Engine:
     @property
     def pending_count(self) -> int:
         """Number of not-yet-fired, not-cancelled events in the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for _, _, handle in self._heap if not handle._cancelled)
 
     # ------------------------------------------------------------ scheduling
 
@@ -66,7 +74,12 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {label or callback!r} {-delay:.9f}s in the past")
-        return self.schedule_at(self._now + delay, callback, label=label)
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        handle = EventHandle(time, sequence, callback, label)
+        heapq.heappush(self._heap, (time, sequence, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
         """Schedule *callback* at absolute simulated *time*."""
@@ -74,22 +87,24 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule {label or callback!r} at t={time:.9f}, now is t={self._now:.9f}"
             )
-        handle = EventHandle(time=time, sequence=self._sequence, callback=callback, label=label)
-        self._sequence += 1
-        heapq.heappush(self._heap, handle)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        handle = EventHandle(time, sequence, callback, label)
+        heapq.heappush(self._heap, (time, sequence, handle))
         return handle
 
     # --------------------------------------------------------------- running
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            _, _, handle = heapq.heappop(heap)
+            if handle._cancelled:
                 continue
-            self._now = event.time
-            callback = event.callback
-            event._mark_fired()
+            self._now = handle.time
+            callback = handle.callback
+            handle.callback = None
             self._events_fired += 1
             callback()
             return True
@@ -106,16 +121,23 @@ class Engine:
         if self._running:
             raise SimulationError("re-entrant run_until() — the engine is already running")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if head.time > time:
+            while heap:
+                due = heap[0][0]
+                if due > time:
                     break
-                self.step()
-            self._now = max(self._now, time)
+                _, _, handle = pop(heap)
+                if handle._cancelled:
+                    continue
+                self._now = due
+                callback = handle.callback
+                handle.callback = None
+                self._events_fired += 1
+                callback()
+            if time > self._now:
+                self._now = time
         finally:
             self._running = False
 
@@ -131,7 +153,7 @@ class Engine:
 
     def pending_events(self) -> Iterator[EventHandle]:
         """Yield pending events in an unspecified order (debugging aid)."""
-        return (event for event in self._heap if not event.cancelled)
+        return (handle for _, _, handle in self._heap if not handle._cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Engine(now={self._now:.6f}, pending={self.pending_count}, fired={self._events_fired})"

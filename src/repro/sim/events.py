@@ -4,15 +4,18 @@ An :class:`EventHandle` is what :meth:`Engine.schedule` returns.  Handles can
 be cancelled (O(1) — the heap entry is tombstoned and skipped on pop) and
 inspected for their due time, which the hypervisor uses to preempt pending
 end-of-slice events when a higher-priority vCPU wakes.
+
+The handle is deliberately *not* the heap entry: the engine's heap holds
+``(time, sequence, handle)`` tuples so ordering is resolved by C-level
+tuple comparison on ``(time, sequence)`` alone — the hot loop never calls
+back into Python to compare two events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True)
 class EventHandle:
     """A pending callback in the engine's event heap.
 
@@ -20,12 +23,21 @@ class EventHandle:
     in the order they were scheduled, which keeps runs deterministic.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    #: Human-readable tag for debugging and engine introspection.
-    label: str = field(default="", compare=False)
-    _cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "label", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        #: Human-readable tag for debugging and engine introspection.
+        self.label = label
+        self._cancelled = False
 
     def cancel(self) -> None:
         """Tombstone this event; the engine will skip it when popped."""
@@ -38,11 +50,12 @@ class EventHandle:
 
     @property
     def pending(self) -> bool:
-        """True while the event is neither cancelled nor fired."""
-        return not self._cancelled and self.callback is not None
+        """True while the event is neither cancelled nor fired.
 
-    def _mark_fired(self) -> None:
-        self.callback = None  # type: ignore[assignment]
+        Firing is represented by ``callback`` being cleared to None (the
+        engine and timers do this inline when they dispatch the event).
+        """
+        return not self._cancelled and self.callback is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else "pending"

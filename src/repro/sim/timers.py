@@ -9,6 +9,7 @@ stray event behind (the pending handle is cancelled on stop).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable
 
 from ..errors import SimulationError
@@ -82,10 +83,29 @@ class PeriodicTimer:
 
     def _fire(self) -> None:
         # Re-arm first: the callback may call stop(), which must cancel the
-        # handle we create here, not an already-fired one.
-        self._handle = self._engine.schedule(self._period, self._fire, label=self._label)
+        # handle we create here, not an already-fired one.  The re-arm is an
+        # inlined Engine.schedule — periodic timers account for most of the
+        # events in a run, and the period is validated positive once at
+        # construction, so the per-fire delay check and call layer are pure
+        # overhead.
+        engine = self._engine
+        time = engine._now + self._period
+        sequence = engine._sequence
+        engine._sequence = sequence + 1
+        handle = self._handle
+        if handle is not None and handle.callback is None and not handle._cancelled:
+            # Reuse the just-fired handle: nothing else references it once
+            # the engine popped it, so re-stamping beats re-allocating at
+            # one event per period for the lifetime of the run.
+            handle.time = time
+            handle.sequence = sequence
+            handle.callback = self._fire
+        else:
+            handle = EventHandle(time, sequence, self._fire, self._label)
+            self._handle = handle
+        heappush(engine._heap, (time, sequence, handle))
         self._fire_count += 1
-        self._callback(self._engine.now)
+        self._callback(engine._now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "running" if self._started else "stopped"

@@ -39,6 +39,7 @@ class ConstantLoad(Workload):
         self.start_at = start_at
         self.stop_at = stop_at
         self._timer: PeriodicTimer | None = None
+        self._work_per_period = self.percent / 100.0 * self.injection_period
         self.injected_work = 0.0
 
     def start(self) -> None:
@@ -66,6 +67,8 @@ class ConstantLoad(Workload):
         if self.stop_at is not None and now >= self.stop_at:
             self.stop()
             return
-        work = self.percent / 100.0 * self.injection_period
+        # Same expression every fire; hoisting it would still re-derive the
+        # identical float, so compute once and reuse.
+        work = self._work_per_period
         self.injected_work += work
         self.domain.add_work(work)

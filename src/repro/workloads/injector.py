@@ -61,6 +61,27 @@ class HttperfInjector:
         )
         self._carry = 0.0
         self.requests_sent = 0.0
+        # O(1) amortised rate lookup: _fire times are monotone, so a phase
+        # cursor replaces LoadProfile.rate_at's per-call scan.  Identical
+        # rates by construction (same phase tuple, same boundaries).
+        phases = profile.phases
+        self._phase_starts = tuple(phase.start for phase in phases)
+        self._phase_rates = tuple(phase.rate_rps for phase in phases)
+        self._phase_cursor = 0
+        self._retire_at = profile.end_of_activity
+        self._retired = False
+
+    @property
+    def retired(self) -> bool:
+        """True once the injector stopped itself at the profile's end.
+
+        After :attr:`~repro.workloads.profiles.LoadProfile.end_of_activity`
+        the rate is zero forever and a fire's only effect would be resetting
+        an already-zero carry, so the timer retires instead of stepping
+        no-op events through the dead tail of the run (skip-ahead: the heap
+        simply never sees them).
+        """
+        return self._retired
 
     def start(self) -> None:
         """Begin injecting."""
@@ -76,9 +97,18 @@ class HttperfInjector:
         return self._profile
 
     def _fire(self, now: float) -> None:
-        rate = self._profile.rate_at(now)
+        starts = self._phase_starts
+        cursor = self._phase_cursor
+        last = len(starts) - 1
+        while cursor < last and starts[cursor + 1] <= now:
+            cursor += 1
+        self._phase_cursor = cursor
+        rate = self._phase_rates[cursor] if now >= starts[cursor] else 0.0
         if rate <= 0.0:
             self._carry = 0.0
+            if now >= self._retire_at:
+                self._retired = True
+                self._timer.stop()
             return
         expected = rate * self.injection_period
         if self._poisson:

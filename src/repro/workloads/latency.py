@@ -54,9 +54,9 @@ class LatencyTracker:
 
     def on_arrival(self, now: float, work: float, requests: float) -> None:
         """Record a batch of *requests* arriving at *now* costing *work*."""
-        check_non_negative(work, "work")
-        check_non_negative(requests, "requests")
         if work <= 0.0 or requests <= 0.0:
+            check_non_negative(work, "work")
+            check_non_negative(requests, "requests")
             return
         self._fifo.append(_Chunk(arrival=now, remaining_work=work, requests=requests))
 
@@ -65,7 +65,8 @@ class LatencyTracker:
 
         Chunks that fully drain record a response-time sample at *now*.
         """
-        check_non_negative(work_done, "work_done")
+        if work_done < 0.0:
+            check_non_negative(work_done, "work_done")
         budget = work_done
         while budget > _WORK_EPSILON and self._fifo:
             head = self._fifo[0]

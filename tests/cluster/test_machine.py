@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster import ClusterVM, Machine, MachineSpec
-from repro.cpu import catalog
 from repro.errors import ConfigurationError
 
 

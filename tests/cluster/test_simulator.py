@@ -6,7 +6,6 @@ from repro.cluster import (
     ClusterSim,
     ClusterVM,
     consolidate_first_fit,
-    MachineSpec,
     spread_round_robin,
 )
 from repro.errors import ConfigurationError

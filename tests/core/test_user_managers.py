@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Host, StableGovernor, UserCreditManager, UserFullManager
+from repro import StableGovernor, UserCreditManager, UserFullManager
 from repro.errors import ConfigurationError
 from repro.workloads import ConstantLoad
 

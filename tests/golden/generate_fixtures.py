@@ -1,0 +1,29 @@
+"""Regenerate the golden-trace fixtures under ``tests/golden/fixtures/``.
+
+Run from the repo root::
+
+    python -m tests.golden.generate_fixtures
+
+Only regenerate when a change *intends* to alter simulation physics — the
+whole point of the fixtures is that pure performance work must not move a
+single output bit.  Review the diff of every fixture this touches.
+"""
+
+from __future__ import annotations
+
+from . import cases
+
+
+def main() -> int:
+    cases.FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for stem, (render, suffix) in cases.all_cases().items():
+        path = cases.FIXTURE_DIR / f"{stem}{suffix}"
+        text = render(stem)
+        changed = not path.exists() or path.read_text() != text
+        path.write_text(text)
+        print(f"{'wrote' if changed else 'unchanged'} {path} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

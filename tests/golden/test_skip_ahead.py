@@ -1,0 +1,120 @@
+"""Property tests for the injector skip-ahead (timer retirement).
+
+The optimised :class:`HttperfInjector` retires its timer once the load
+profile is permanently over, and replaces the per-fire
+:meth:`LoadProfile.rate_at` scan with a monotone phase cursor.  Neither
+may change a single observable: the batch sequence must equal the dense
+reference (fire at every grid instant, scan the profile each time), the
+injector must never retire inside or before an activity window, and a
+full host run must keep every governor sample and monitor sample —
+skip-ahead must never cross an activity-window or sample-tick boundary.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Engine
+from repro.workloads import LoadProfile
+from repro.workloads.injector import HttperfInjector
+from repro.workloads.profiles import Phase
+
+
+def random_profile(rng: random.Random) -> LoadProfile:
+    """A random piecewise-constant profile, usually ending at rate zero."""
+    phases = [Phase(0.0, 0.0)] if rng.random() < 0.5 else []
+    t = 0.0
+    for _ in range(rng.randint(1, 5)):
+        t += rng.uniform(0.3, 30.0)
+        rate = rng.choice([0.0, rng.uniform(0.5, 80.0)])
+        phases.append(Phase(round(t, 3), rate))
+    if rng.random() < 0.8:
+        t += rng.uniform(0.3, 30.0)
+        phases.append(Phase(round(t, 3), 0.0))
+    if not phases:
+        phases = [Phase(0.0, 10.0)]
+    return LoadProfile(phases)
+
+
+def reference_batches(
+    profile: LoadProfile, period: float, horizon: float
+) -> list[tuple[float, float]]:
+    """The dense-stepping reference: what the seed injector emitted.
+
+    Replays the original algorithm exactly — fire at every grid instant,
+    look the rate up with :meth:`LoadProfile.rate_at`, keep the fluid
+    carry — including its float arithmetic (``now`` accumulates the same
+    way the periodic timer accumulates it).
+    """
+    batches: list[tuple[float, float]] = []
+    carry = 0.0
+    now = 0.0
+    while now <= horizon:
+        rate = profile.rate_at(now)
+        if rate <= 0.0:
+            carry = 0.0
+        else:
+            total = rate * period + carry
+            carry = 0.0
+            if total > 0:
+                batches.append((now, total))
+        now = now + period
+    return batches
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_skip_ahead_matches_dense_reference(seed):
+    rng = random.Random(seed)
+    profile = random_profile(rng)
+    period = rng.choice([0.05, 0.1, 0.25])
+    horizon = profile.phases[-1].start + rng.uniform(5.0, 40.0)
+
+    engine = Engine()
+    batches: list[tuple[float, float]] = []
+    injector = HttperfInjector(
+        engine, profile, lambda n, now: batches.append((now, n)), injection_period=period
+    )
+    injector.start()
+    engine.run_until(horizon)
+
+    assert batches == reference_batches(profile, period, horizon)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_retirement_never_crosses_an_activity_window(seed):
+    rng = random.Random(seed)
+    profile = random_profile(rng)
+    period = rng.choice([0.05, 0.1, 0.25])
+    horizon = profile.phases[-1].start + rng.uniform(5.0, 40.0)
+
+    engine = Engine()
+    injector = HttperfInjector(engine, profile, lambda n, now: None, injection_period=period)
+    injector.start()
+    engine.run_until(horizon)
+
+    if injector.retired:
+        # Retiring is only legal once the rate is zero forever.
+        assert profile.end_of_activity <= horizon
+        assert profile.rate_at(horizon) == 0.0
+    elif profile.end_of_activity <= horizon - period:
+        # Conversely the dead tail must actually retire (the skip-ahead
+        # exists); one grace period covers a horizon between grid points.
+        assert injector.retired or engine.pending_count == 0
+
+
+def test_full_run_keeps_every_sample_tick():
+    """Retirement must not swallow governor or monitor sample events."""
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    config = ScenarioConfig(duration=120.0, v20_active=(5.0, 40.0), v70_active=(10.0, 30.0))
+    result = run_scenario(config)
+    host = result.host
+    # The load monitor samples every second of the whole run, activity or
+    # not — 120 samples per series, none skipped after the windows close.
+    series = host.recorder.series("host.global_load")
+    assert len(series) == 120
+    assert series.times[-1] == pytest.approx(120.0)
+    # The governor kept sampling to the end as well (stable governor: 1 s).
+    sampler = host.cpufreq._timer
+    assert sampler is not None and sampler.running
+    assert sampler.fire_count >= 119

@@ -4,7 +4,7 @@ import pytest
 
 from repro import DomainConfig
 from repro.errors import ConfigurationError
-from repro.hypervisor.domain import DOM0_CLASS, GUEST_CLASS
+from repro.hypervisor.domain import DOM0_CLASS
 from repro.workloads import ConstantLoad
 
 from ..conftest import make_host

@@ -1,7 +1,5 @@
 """Integration tests for the public API surface."""
 
-import pytest
-
 import repro
 from repro import Host, catalog
 from repro.workloads import exact_rate, LoadProfile, WebApp

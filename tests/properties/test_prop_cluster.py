@@ -1,7 +1,5 @@
 """Property-based tests for cluster placement and fleet accounting."""
 
-import pytest
-
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import (

@@ -423,12 +423,53 @@ def test_cluster_compare_writes_series_and_passes_checks(capsys, tmp_path):
     )
     out = capsys.readouterr().out
     assert "[PASS] power-budget respects the 80 W cap every epoch" in out
-    assert "[PASS] consolidate yields lower energy than static" in out
+    assert "[PASS] consolidate yields lower mean energy than static" in out
     assert "[FAIL]" not in out
     for policy in ("static", "consolidate", "load-balance", "power-budget"):
         path = out_dir / f"dc-diurnal-small.{policy}.epochs.csv"
         assert path.exists()
         assert path.read_text().startswith("epoch,time,machines_on,")
+
+
+def test_cluster_compare_replicates_reports_ci(capsys, tmp_path):
+    out_dir = tmp_path / "series"
+    main(
+        [
+            "cluster",
+            "compare",
+            "--preset",
+            "dc-diurnal-small",
+            "--policies",
+            "static,consolidate",
+            "--replicates",
+            "3",
+            "--out-dir",
+            str(out_dir),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "3 replicates (mean ±ci95)" in out
+    assert "±" in out  # at least one metric spreads across seeds
+    assert "[PASS] consolidate yields lower mean energy than static" in out
+    # Replicate runs still write one epochs CSV per policy (first replicate).
+    assert (out_dir / "dc-diurnal-small.static.epochs.csv").exists()
+
+
+def test_cluster_compare_rejects_bad_replicates(capsys):
+    assert (
+        main(
+            [
+                "cluster",
+                "compare",
+                "--preset",
+                "dc-diurnal-small",
+                "--replicates",
+                "0",
+            ]
+        )
+        == 2
+    )
+    assert "--replicates must be >= 1" in capsys.readouterr().err
 
 
 def test_cluster_sweep_store_resumes_warm(capsys, tmp_path):
