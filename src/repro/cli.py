@@ -484,6 +484,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .lint import lint_paths, render_json, render_text, rule_catalog
+
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['code']}  {entry['name']}: {entry['summary']}")
+        return 0
+    try:
+        findings = lint_paths(
+            args.paths or ["src", "tests", "benchmarks"],
+            select=args.select,
+            ignore=args.ignore,
+        )
+    except ConfigurationError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         if args.scenario:
@@ -1480,6 +1502,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare raw wall times (skip the calibration-machine rescale)",
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the RPL invariant checker (exits non-zero on findings)",
+        description=(
+            "Statically check the determinism, spec round-trip, registry, "
+            "slots, error-hygiene, and float-purity invariants the golden "
+            "fixtures and store keys depend on (docs/invariants.md is the "
+            "rule catalogue). Suppress a single line with "
+            "'# repro-lint: disable=RPL###'; unused suppressions are "
+            "themselves findings."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RPL###[,RPL###]",
+        help="run only these rule codes (repeatable, comma-separable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RPL###[,RPL###]",
+        help="skip these rule codes (repeatable, comma-separable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    lint.set_defaults(fn=_cmd_lint)
 
     _add_cluster_parser(commands)
 

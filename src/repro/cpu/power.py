@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigurationError
 from ..units import check_fraction, check_positive
 from .freq_table import FrequencyTable
 from .pstate import PState
@@ -42,7 +43,7 @@ class PowerModel:
         check_positive(self.idle_watts, "idle_watts")
         check_positive(self.busy_watts, "busy_watts")
         if self.busy_watts < self.idle_watts:
-            raise ValueError(
+            raise ConfigurationError(
                 f"busy_watts ({self.busy_watts}) must be >= idle_watts ({self.idle_watts})"
             )
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..errors import FrequencyError
+from ..errors import ConfigurationError, FrequencyError
 from ..units import check_fraction, check_non_negative
 from .freq_table import FrequencyTable
 from .power import PowerModel
@@ -259,7 +259,7 @@ def make_states(
     else:
         cfs = [float(value) for value in cf]
         if len(cfs) != len(freqs):
-            raise ValueError(f"got {len(cfs)} cf values for {len(freqs)} frequencies")
+            raise ConfigurationError(f"got {len(cfs)} cf values for {len(freqs)} frequencies")
     if voltages is None:
         if len(freqs) == 1:
             volts = [1.2]
@@ -270,7 +270,7 @@ def make_states(
     else:
         volts = [float(value) for value in voltages]
         if len(volts) != len(freqs):
-            raise ValueError(f"got {len(volts)} voltages for {len(freqs)} frequencies")
+            raise ConfigurationError(f"got {len(volts)} voltages for {len(freqs)} frequencies")
     return tuple(
         PState(freq_mhz=f, voltage=v, cf=c) for f, v, c in zip(freqs, volts, cfs)
     )

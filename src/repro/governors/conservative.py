@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
 from ..units import check_percent, check_positive
 from .base import Governor
 
@@ -26,7 +27,7 @@ class ConservativeGovernor(Governor):
         check_percent(up_threshold, "up_threshold", allow_zero=False)
         check_percent(down_threshold, "down_threshold")
         if down_threshold >= up_threshold:
-            raise ValueError(
+            raise ConfigurationError(
                 f"down_threshold ({down_threshold}) must be below up_threshold ({up_threshold})"
             )
         self.up_threshold = up_threshold

@@ -14,6 +14,7 @@ thresholds and the governor bounces between P-states.
 
 from __future__ import annotations
 
+from ..errors import ConfigurationError
 from ..units import check_percent, check_positive
 from .base import Governor
 
@@ -56,11 +57,11 @@ class OndemandGovernor(Governor):
         check_percent(up_threshold, "up_threshold", allow_zero=False)
         check_percent(down_threshold, "down_threshold")
         if down_threshold >= up_threshold:
-            raise ValueError(
+            raise ConfigurationError(
                 f"down_threshold ({down_threshold}) must be below up_threshold ({up_threshold})"
             )
         if sampling_down_factor < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"sampling_down_factor must be >= 1, got {sampling_down_factor}"
             )
         self.up_threshold = up_threshold

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..errors import ConfigurationError
 from ..units import check_non_negative, check_percent, check_positive
 from .base import Governor
 
@@ -62,7 +63,7 @@ class StableGovernor(Governor):
     ) -> None:
         super().__init__()
         if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
+            raise ConfigurationError(f"window must be >= 1, got {window}")
         self.window = window
         self.up_threshold = check_percent(up_threshold, "up_threshold", allow_zero=False)
         self.margin_percent = check_non_negative(margin_percent, "margin_percent")

@@ -276,8 +276,18 @@ class Host:
         now = self.engine.now
         event = self._slice_end_event
         if event is not None:
-            event._cancelled = True
             self._slice_end_event = None
+            if event.callback is None:
+                # Natural slice end: the engine popped and fired this handle
+                # and only we still reference it — pool it for the next
+                # slice.  One dispatch per slice makes this the hottest
+                # allocation in a run after the timer handles PR 5 already
+                # recycles.
+                self.engine.release(event)
+            else:
+                # Preempted: the handle is still in the heap, so it can only
+                # be tombstoned — the pop loop discards it.
+                event._cancelled = True
         self._current = None
         elapsed = now - self._slice_start
         scheduler = self.scheduler

@@ -1,0 +1,48 @@
+"""``repro lint`` — the AST-based invariant checker.
+
+Everything this reproduction guarantees — sha256 content-addressed store
+keys, byte-identical ``tests/golden/`` fixtures, bit-stable exports of the
+paper's Eq. 1-3 accounting — rests on source-level invariants: seeded
+randomness only, no wall-clock reads, deterministic iteration order, config
+``to_dict``/``from_dict`` fidelity, slotted hot-path classes, library
+errors from :mod:`repro.errors`.  Runtime tests catch violations *after*
+they corrupt a fixture; this package proves the invariants statically, so
+aggressive refactors (and outside contributions) fail fast instead.
+
+Architecture
+------------
+
+* :mod:`repro.lint.source` — one parsed file (:class:`SourceModule`: AST,
+  lines, ``# repro-lint: disable=RPL###`` suppressions) and the
+  :class:`Project` that groups them with cross-file lookups (class table,
+  test-string corpus).
+* :mod:`repro.lint.rules` — the rule registry.  Every rule carries a
+  stable ``RPL###`` code; families are grouped by hundreds (see
+  ``docs/invariants.md`` for the catalogue).
+* :mod:`repro.lint.runner` — collection, rule dispatch, suppression
+  accounting (a suppression that silences nothing is itself a finding).
+* :mod:`repro.lint.report` — text and JSON renderers.
+
+Entry points: ``python -m repro lint [paths]`` (the CLI), or
+:func:`lint_paths` / :func:`lint_project` from code and tests.
+"""
+
+from __future__ import annotations
+
+from .finding import Finding
+from .runner import lint_paths, lint_project
+from .source import Project, SourceModule
+from .report import render_json, render_text
+from .rules import RULES, rule_catalog
+
+__all__ = [
+    "Finding",
+    "Project",
+    "RULES",
+    "SourceModule",
+    "lint_paths",
+    "lint_project",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+]

@@ -1,0 +1,39 @@
+"""The unit of lint output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a file and line.
+
+    ``path`` is repo-relative POSIX (``src/repro/sim/engine.py``) so output
+    is stable across checkouts and machines — the JSON report is diffable.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic report order: location first, then code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """The one-line text form (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-able form; field names are the report schema."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,46 @@
+"""Text and JSON renderers for lint findings.
+
+Both renderers return strings — printing is the CLI's job (rule RPL502
+applies to this package too).  The JSON form is the stable machine schema:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "count": 2,
+      "findings": [
+        {"path": "...", "line": 3, "col": 1, "code": "RPL101",
+         "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .finding import Finding
+
+#: Bump when the JSON shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding, plus a tally."""
+    if not findings:
+        return "repro lint: clean"
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"repro lint: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The machine-readable report (sorted, schema-versioned, diffable)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,244 @@
+"""RPL1xx — determinism: no wall clocks, no entropy, no unordered order.
+
+Simulated time is the only time (`Engine._now`); every random draw flows
+through a seeded :class:`repro.sim.rng.RngStreams` stream; iteration that
+feeds the event heap or an export must be order-stable.  Any violation
+desynchronises reruns, which shows up as a golden-fixture diff or a store
+key that no longer matches its cell.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..source import SourceModule
+
+# Deferred import would be circular at module load; the package imports us.
+from . import Rule, in_library, in_order_sensitive
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain of plain names, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _canonical(module: SourceModule, node: ast.expr) -> str | None:
+    """The dotted call name with import aliases resolved.
+
+    ``_wall.time`` under ``import time as _wall`` canonicalises to
+    ``time.time``; a bare ``urandom`` under ``from os import urandom`` to
+    ``os.urandom`` — so aliasing an import never evades a ban list.
+    """
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    head, sep, rest = dotted.partition(".")
+    prefix = module.import_aliases().get(head, head)
+    return f"{prefix}.{rest}" if rest else prefix
+
+
+#: Wall-clock reads.  Simulated seconds come from ``Engine.now`` only.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+#: OS / hardware entropy.  Store keys must be pure functions of the spec.
+_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+        "random.SystemRandom",
+    }
+)
+
+#: Module-level functions of :mod:`random` — they draw from the shared,
+#: process-global generator, whose state no scenario seed controls.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+class WallClockRule(Rule):
+    code = "RPL101"
+    name = "no-wall-clock"
+    summary = (
+        "library code must not read host time (time.time, datetime.now, ...); "
+        "simulated time comes from Engine.now"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_library(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _canonical(module, node.func)
+            if dotted in _WALL_CLOCK:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read `{dotted}()` in library code; simulated "
+                    "time must come from Engine.now",
+                )
+
+
+class EntropySourceRule(Rule):
+    code = "RPL102"
+    name = "no-entropy"
+    summary = (
+        "library code must not draw OS entropy (os.urandom, uuid4, secrets); "
+        "store keys are pure functions of the spec"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_library(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _canonical(module, node.func)
+            if dotted in _ENTROPY:
+                yield self.finding(
+                    module,
+                    node,
+                    f"entropy source `{dotted}` in library code; all randomness "
+                    "must flow through a seeded RngStreams stream",
+                )
+
+
+class UnseededRandomRule(Rule):
+    code = "RPL103"
+    name = "no-global-random"
+    summary = (
+        "library code must not call module-level random.* functions or "
+        "construct random.Random() without a seed"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_library(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _canonical(module, node.func)
+            if dotted is None or not dotted.startswith("random."):
+                continue
+            attr = dotted[len("random.") :]
+            if attr in _GLOBAL_RANDOM:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`random.{attr}()` uses the process-global "
+                    "generator; draw from a seeded RngStreams stream",
+                )
+            elif attr == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "`random.Random()` without a seed falls back to OS "
+                    "entropy; pass an explicit seed",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Expressions that statically *are* sets (literal, comp, set()/frozenset)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    # set arithmetic (a | b, a & b, a - b) over set operands
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    code = "RPL104"
+    name = "no-unordered-iteration"
+    summary = (
+        "order-sensitive modules (sim/, sweep/, telemetry/export) must not "
+        "iterate sets; set order varies across interpreter runs"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_order_sensitive(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            iterable: ast.expr | None = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterable = node.iter
+            elif isinstance(node, ast.comprehension):
+                iterable = node.iter
+            if iterable is None or not _is_set_expr(iterable):
+                continue
+            # ``sorted(<set>)`` is the sanctioned escape; the parent call
+            # shows up as the iterable, so only raw set expressions reach
+            # this point — no parent check needed for comprehensions, but a
+            # ``for`` wrapped as ``for x in sorted({...})`` never matches.
+            yield self.finding(
+                module,
+                node if isinstance(node, (ast.For, ast.AsyncFor)) else iterable,
+                "iteration over a set in an order-sensitive module; wrap in "
+                "sorted(...) so replay order is stable across runs",
+            )

@@ -1,0 +1,87 @@
+"""RPL6xx — float purity: accounting sums must have a fixed operand order.
+
+Float addition is not associative: ``sum`` over a set (or ``+=`` inside a
+``for`` over a set) yields hash-order-dependent last-ulp results, which is
+exactly the class of drift the golden fixtures and the Eq. 1-3 accounting
+comparisons are built to catch.  In accounting paths the operand order must
+be a property of the data, never of the hash seed — iterate lists/tuples,
+or ``sorted(...)`` the set first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..source import SourceModule
+
+from . import Rule, in_accounting
+from .determinism import _is_set_expr
+
+
+class SetSumRule(Rule):
+    code = "RPL601"
+    name = "no-set-sum"
+    summary = (
+        "accounting paths must not sum() over sets; float addition order "
+        "would depend on the hash seed"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_accounting(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            is_sum = (isinstance(func, ast.Name) and func.id == "sum") or (
+                isinstance(func, ast.Attribute) and func.attr == "fsum"
+            )
+            if not is_sum:
+                continue
+            argument = node.args[0]
+            # sum over a generator whose source is a set counts too.
+            if isinstance(argument, ast.GeneratorExp):
+                if any(_is_set_expr(gen.iter) for gen in argument.generators):
+                    yield self.finding(
+                        module,
+                        node,
+                        "sum() over a set-sourced generator in an accounting "
+                        "path; iterate a sorted(...) or sequence instead",
+                    )
+            elif _is_set_expr(argument):
+                yield self.finding(
+                    module,
+                    node,
+                    "sum() over a set in an accounting path; float addition "
+                    "order would follow the hash seed — sort first",
+                )
+
+
+class SetAccumulationRule(Rule):
+    code = "RPL602"
+    name = "no-set-accumulation"
+    summary = (
+        "accounting paths must not accumulate with += inside a loop over "
+        "a set; operand order would depend on the hash seed"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_accounting(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.For) or not _is_set_expr(node.iter):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.AugAssign) and isinstance(
+                    inner.op, (ast.Add, ast.Sub, ast.Mult)
+                ):
+                    yield self.finding(
+                        module,
+                        inner,
+                        "augmented accumulation inside a loop over a set in "
+                        "an accounting path; sort the set before iterating",
+                    )

@@ -1,0 +1,99 @@
+"""RPL5xx — error hygiene: library failures speak :mod:`repro.errors`.
+
+Callers (the CLI, the sweep workers, the store) catch ``ReproError`` to
+distinguish "bad spec / bad state" from genuine bugs; a library module that
+raises ``ValueError`` punches through that net, and one that ``print``s
+corrupts machine-read stdout (the CSV/JSON exports and the bench runner's
+captured output).  ``cli.py`` and ``__main__.py`` are the presentation
+boundary and are exempt — talking to a terminal is their whole job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..source import SourceModule
+
+from . import Rule, in_library_core
+
+#: Builtin exception types a library module must not raise.  Absent on
+#: purpose: ``NotImplementedError`` (abstract hooks), ``StopIteration`` /
+#: ``StopAsyncIteration`` (iterator protocol), ``KeyboardInterrupt``.
+_BUILTIN_RAISES = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "Exception",
+        "IndexError",
+        "IOError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+class NonLibraryRaiseRule(Rule):
+    code = "RPL501"
+    name = "raise-repro-errors"
+    summary = (
+        "library code must raise repro.errors types, not builtin exceptions "
+        "(ValueError, RuntimeError, ...) that escape the ReproError net"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_library_core(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name in _BUILTIN_RAISES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"library raise of builtin `{name}`; raise a "
+                    "repro.errors type so callers catching ReproError see it",
+                )
+
+
+class PrintRule(Rule):
+    code = "RPL502"
+    name = "no-library-print"
+    summary = (
+        "library code must not print; stdout belongs to the CLI and to "
+        "machine-read export/bench output"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_library_core(module.path)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code; return the text or raise — "
+                    "stdout belongs to the CLI",
+                )

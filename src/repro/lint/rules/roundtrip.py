@@ -1,0 +1,153 @@
+"""RPL2xx — spec round-trip: to_dict/from_dict must cover every field.
+
+Scenario specs are hashed (sha256 of canonical JSON) into store keys and
+written into sweep manifests.  A dataclass field that ``to_dict`` silently
+drops aliases distinct configs onto one store cell; a field ``from_dict``
+silently ignores resurrects stale defaults on reload.  Both are invisible
+at runtime until a sweep resumes wrong.
+
+The rules check every ``*Config``/``*Spec`` dataclass in library code (plus
+any dataclass that defines both methods, e.g. ``MigrationModel``).  Two
+implementation styles count as full coverage without per-field evidence:
+
+* a loop / comprehension over ``dataclasses.fields(self)`` in ``to_dict``
+* a ``cls(**kwargs)`` splat in ``from_dict``
+
+Otherwise each field name must literally appear as a string constant or a
+keyword argument inside the method body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..source import ClassInfo, Project
+
+from . import Rule, in_library
+
+
+def _is_dataclass(info: ClassInfo) -> bool:
+    for decorator in info.node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _field_names(info: ClassInfo) -> list[str]:
+    """Declared dataclass fields: annotated class-body names, no ClassVar."""
+    names = []
+    for stmt in info.node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        if not stmt.target.id.startswith("_"):
+            names.append(stmt.target.id)
+    return names
+
+
+def _uses_dataclass_fields(func: ast.FunctionDef) -> bool:
+    """True when the body walks ``dataclasses.fields(...)`` / ``fields(...)``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Name) and target.id == "fields":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "fields":
+                return True
+    return False
+
+
+def _splats_into_cls(func: ast.FunctionDef) -> bool:
+    """True when the body calls ``cls(**anything)``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "cls" and any(
+                kw.arg is None for kw in node.keywords
+            ):
+                return True
+    return False
+
+
+def _mentioned_names(func: ast.FunctionDef) -> set[str]:
+    """String constants and keyword-argument names in the body."""
+    mentioned: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mentioned.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            mentioned.add(node.arg)
+        elif isinstance(node, ast.Attribute):
+            # getattr-style access (``self.field`` / ``data.field``) also
+            # proves the field is handled.
+            mentioned.add(node.attr)
+    return mentioned
+
+
+def _roundtrip_classes(project: Project) -> Iterator[ClassInfo]:
+    for name in sorted(project.classes):
+        for info in project.classes[name]:
+            if not in_library(info.module.path):
+                continue
+            if not _is_dataclass(info):
+                continue
+            suffix_match = name.endswith(("Config", "Spec"))
+            both_methods = "to_dict" in info.methods and "from_dict" in info.methods
+            if suffix_match or both_methods:
+                yield info
+
+
+class ToDictRule(Rule):
+    code = "RPL201"
+    name = "roundtrip-to-dict"
+    summary = (
+        "every field of a *Config/*Spec dataclass must be written by its "
+        "to_dict (silent drops alias distinct specs onto one store key)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info in _roundtrip_classes(project):
+            func = info.methods.get("to_dict")
+            if func is None or _uses_dataclass_fields(func):
+                continue
+            mentioned = _mentioned_names(func)
+            for field in _field_names(info):
+                if field not in mentioned:
+                    yield self.finding(
+                        info.module,
+                        func,
+                        f"{info.name}.to_dict does not serialise field "
+                        f"`{field}`; the store key would not see it",
+                    )
+
+
+class FromDictRule(Rule):
+    code = "RPL202"
+    name = "roundtrip-from-dict"
+    summary = (
+        "every field of a *Config/*Spec dataclass must be accepted by its "
+        "from_dict (ignored keys resurrect stale defaults on reload)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info in _roundtrip_classes(project):
+            func = info.methods.get("from_dict")
+            if func is None or _splats_into_cls(func):
+                continue
+            mentioned = _mentioned_names(func)
+            for field in _field_names(info):
+                if field not in mentioned:
+                    yield self.finding(
+                        info.module,
+                        func,
+                        f"{info.name}.from_dict does not accept field "
+                        f"`{field}`; reloading would reset it to the default",
+                    )

@@ -1,0 +1,139 @@
+"""Rule dispatch, suppression accounting, and the lint entry points.
+
+:func:`lint_project` is the core: it runs every selected rule over a
+:class:`~repro.lint.source.Project`, drops findings silenced by a
+``# repro-lint: disable=RPL###`` on their line, and then audits the
+suppressions themselves — one that silenced nothing becomes an ``RPL001``
+finding, an unknown code an ``RPL002``.  A suppression can therefore never
+rot silently: deleting the code it excused resurfaces the comment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .finding import Finding
+from .rules import FRAMEWORK_CODES, RULES, all_codes
+from .source import CODE_RE, Project, load_project
+
+
+def _resolve_codes(raw: Iterable[str] | None, option: str) -> frozenset[str] | None:
+    """Validate a ``--select``/``--ignore`` code list against the registry."""
+    if raw is None:
+        return None
+    codes: set[str] = set()
+    for chunk in raw:
+        for code in chunk.split(","):
+            code = code.strip()
+            if not code:
+                continue
+            if code not in all_codes():
+                known = ", ".join(sorted(all_codes()))
+                raise ConfigurationError(
+                    f"{option}: unknown rule code {code!r}; known codes: {known}"
+                )
+            codes.add(code)
+    return frozenset(codes) if codes else None
+
+
+def lint_project(
+    project: Project,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """All findings for *project*, sorted, suppressions applied and audited."""
+    selected = _resolve_codes(select, "--select")
+    ignored = _resolve_codes(ignore, "--ignore") or frozenset()
+
+    def active(code: str) -> bool:
+        if code in ignored:
+            return False
+        return selected is None or code in selected
+
+    raw: list[Finding] = []
+    for rule in RULES:
+        if not active(rule.code):
+            continue
+        for module in project.modules:
+            if rule.applies_to(module):
+                raw.extend(rule.check(module))
+        raw.extend(rule.check_project(project))
+
+    findings: list[Finding] = []
+    used: set[tuple[str, int, str]] = set()
+    for finding in raw:
+        module = project.module_at(finding.path)
+        if module is not None and finding.code in module.suppressed_codes(
+            finding.line
+        ):
+            used.add((finding.path, finding.line, finding.code))
+        else:
+            findings.append(finding)
+
+    # Audit the suppressions themselves.
+    for module in project.modules:
+        for suppression in module.suppressions:
+            if not CODE_RE.match(suppression.code):
+                if active("RPL002"):
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=suppression.line,
+                            col=1,
+                            code="RPL002",
+                            message=(
+                                f"malformed rule code {suppression.code!r} in "
+                                "suppression (expected RPL###)"
+                            ),
+                        )
+                    )
+                continue
+            if suppression.code not in all_codes():
+                if active("RPL002"):
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=suppression.line,
+                            col=1,
+                            code="RPL002",
+                            message=(
+                                f"unknown rule code {suppression.code} in "
+                                "suppression; see `repro lint --list-rules`"
+                            ),
+                        )
+                    )
+                continue
+            if not active(suppression.code):
+                # The suppressed rule was deselected this run: we cannot
+                # judge whether the comment is earning its keep.
+                continue
+            key = (module.path, suppression.line, suppression.code)
+            if key not in used and active("RPL001"):
+                findings.append(
+                    Finding(
+                        path=module.path,
+                        line=suppression.line,
+                        col=1,
+                        code="RPL001",
+                        message=(
+                            f"unused suppression of {suppression.code}: "
+                            "nothing on this line triggers it — delete the "
+                            "comment"
+                        ),
+                    )
+                )
+
+    findings.sort(key=lambda finding: finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories from disk (the CLI's entry point)."""
+    return lint_project(load_project(paths), select=select, ignore=ignore)

@@ -38,7 +38,7 @@ class Engine:
     [1.5]
     """
 
-    __slots__ = ("_now", "_sequence", "_heap", "_events_fired", "_running")
+    __slots__ = ("_now", "_sequence", "_heap", "_events_fired", "_running", "_free")
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -46,6 +46,7 @@ class Engine:
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._events_fired = 0
         self._running = False
+        self._free: list[EventHandle] = []
 
     # ------------------------------------------------------------------ time
 
@@ -77,7 +78,15 @@ class Engine:
         time = self._now + delay
         sequence = self._sequence
         self._sequence = sequence + 1
-        handle = EventHandle(time, sequence, callback, label)
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.sequence = sequence
+            handle.callback = callback
+            handle.label = label
+        else:
+            handle = EventHandle(time, sequence, callback, label)
         heapq.heappush(self._heap, (time, sequence, handle))
         return handle
 
@@ -89,9 +98,38 @@ class Engine:
             )
         sequence = self._sequence
         self._sequence = sequence + 1
-        handle = EventHandle(time, sequence, callback, label)
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.sequence = sequence
+            handle.callback = callback
+            handle.label = label
+        else:
+            handle = EventHandle(time, sequence, callback, label)
         heapq.heappush(self._heap, (time, sequence, handle))
         return handle
+
+    def release(self, handle: EventHandle) -> None:
+        """Return a fired handle to the allocation free list.
+
+        Caller contract: the engine has already fired the handle
+        (``callback is None`` — which also proves it is out of the heap) and
+        the caller holds the *only* remaining reference.  Owners of
+        short-lived, high-frequency events (the host's per-slice end events)
+        release them so the next ``schedule`` re-stamps the same object
+        instead of allocating — the same trick
+        :meth:`~repro.sim.timers.PeriodicTimer._fire` plays with its own
+        handle, generalised through a pool.  Handles still pending in the
+        heap must never be released: re-stamping one would leave a stale
+        heap entry firing the new callback at the old time.
+        """
+        if handle.callback is not None:
+            raise SimulationError(
+                f"cannot release pending event {handle.label!r}: it is still in the heap"
+            )
+        handle._cancelled = False
+        self._free.append(handle)
 
     # --------------------------------------------------------------- running
 

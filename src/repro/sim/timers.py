@@ -25,6 +25,17 @@ class PeriodicTimer:
     ``fire_immediately`` is set, in which case it also fires at start time.
     """
 
+    __slots__ = (
+        "_engine",
+        "_period",
+        "_callback",
+        "_label",
+        "_fire_immediately",
+        "_handle",
+        "_fire_count",
+        "_started",
+    )
+
     def __init__(
         self,
         engine: Engine,

@@ -27,7 +27,7 @@ import atexit
 import multiprocessing
 import multiprocessing.pool
 import pathlib
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Callable, ClassVar, Iterator, Sequence
 
 from ..errors import ConfigurationError
 from ..store import cell_key, config_payload, ExperimentStore, metric_names
@@ -94,7 +94,7 @@ class WorkerPool:
     down atexit; :meth:`shutdown` exists for tests and long-lived hosts.
     """
 
-    _pools: dict[int, multiprocessing.pool.Pool] = {}
+    _pools: ClassVar[dict[int, multiprocessing.pool.Pool]] = {}
 
     @classmethod
     def get(cls, workers: int) -> multiprocessing.pool.Pool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..errors import ConfigurationError
 from ..sim import Engine, PeriodicTimer
 from ..units import check_positive
 from .profiles import LoadProfile
@@ -55,7 +56,7 @@ class HttperfInjector:
         self._poisson = poisson
         self._rng = rng
         if poisson and rng is None:
-            raise ValueError("poisson mode needs an rng stream")
+            raise ConfigurationError("poisson mode needs an rng stream")
         self._timer = PeriodicTimer(
             engine, self.injection_period, self._fire, label="httperf", fire_immediately=True
         )

@@ -42,10 +42,11 @@ class LatencyTracker:
 
     def __init__(self) -> None:
         self._fifo: deque[_Chunk] = deque()
-        #: Sorted response-time samples with weights, kept separately so
-        #: percentile queries are a binary search over cumulative weight.
-        self._latencies: list[float] = []
-        self._weights: list[float] = []
+        #: Sorted ``(latency, weight)`` samples.  One list + C-level
+        #: ``bisect.insort`` instead of parallel lists with two Python-level
+        #: ``insert`` calls; ties sort by weight, which cannot change any
+        #: query (tied entries share the latency value that queries return).
+        self._samples: list[tuple[float, float]] = []
         self._total_weight = 0.0
         self._weighted_sum = 0.0
         self._max_latency = 0.0
@@ -80,9 +81,7 @@ class LatencyTracker:
 
     def _record(self, latency: float, weight: float) -> None:
         latency = max(latency, 0.0)
-        index = bisect.bisect_left(self._latencies, latency)
-        self._latencies.insert(index, latency)
-        self._weights.insert(index, weight)
+        bisect.insort(self._samples, (latency, weight))
         self._total_weight += weight
         self._weighted_sum += latency * weight
         self._max_latency = max(self._max_latency, latency)
@@ -121,11 +120,11 @@ class LatencyTracker:
             raise WorkloadError("no completed requests to summarise")
         target = self._total_weight * p / 100.0
         cumulative = 0.0
-        for latency, weight in zip(self._latencies, self._weights):
+        for latency, weight in self._samples:
             cumulative += weight
             if cumulative >= target:
                 return latency
-        return self._latencies[-1]
+        return self._samples[-1][0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -83,10 +83,12 @@ def load_trace_csv(path: str | pathlib.Path) -> list[TracePoint]:
                 f"trace file {path} header {first!r} names no recognised "
                 f"time ({', '.join(TIME_COLUMNS)}) and utilisation "
                 f"({', '.join(PERCENT_COLUMNS)}) columns"
-            )
+            ) from None
         rows = rows[1:]
         if not rows:
-            raise WorkloadError(f"trace file {path} holds a header but no data rows")
+            raise WorkloadError(
+                f"trace file {path} holds a header but no data rows"
+            ) from None
     points = []
     for number, row in rows:
         try:

@@ -117,9 +117,9 @@ def test_compensated_caps_at_max_are_original_credits():
 
 
 def test_invalid_inputs_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         laws.load_at_frequency(-1.0, 0.5)
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         laws.compensated_credit(20.0, 0.0)
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         laws.execution_time_at_credit(10.0, 0.0, 20.0)

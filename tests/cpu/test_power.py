@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro import FrequencyTable, PowerModel, PState
 
 
@@ -46,19 +47,19 @@ def test_energy_is_power_times_time(model, table):
 
 
 def test_invalid_utilization_rejected(model, table):
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         model.power(table.max_state, table, 1.5)
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         model.power(table.max_state, table, -0.1)
 
 
 def test_busy_below_idle_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         PowerModel(idle_watts=50.0, busy_watts=40.0)
 
 
 def test_nonpositive_watts_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         PowerModel(idle_watts=0.0, busy_watts=10.0)
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Processor
 from repro.cpu.processor import make_states, ProcessorSpec
-from repro.errors import FrequencyError
+from repro.errors import ConfigurationError, FrequencyError
 
 
 @pytest.fixture
@@ -136,7 +136,7 @@ def test_make_states_voltage_ramp():
 
 
 def test_make_states_cf_list_length_mismatch():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         make_states([1000, 2000], cf=[0.9])
 
 

@@ -3,6 +3,8 @@
 import pytest
 
 from repro import PState
+from dataclasses import FrozenInstanceError
+
 from repro.errors import ConfigurationError
 
 
@@ -57,7 +59,7 @@ def test_bad_voltage_rejected():
 
 def test_frozen():
     state = PState(1600)
-    with pytest.raises(Exception):
+    with pytest.raises(FrozenInstanceError):
         state.freq_mhz = 2000
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro import ConservativeGovernor
 
 
@@ -41,7 +42,7 @@ def test_climbs_full_range_one_step_per_sample(harness):
 
 
 def test_invalid_thresholds_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         ConservativeGovernor(up_threshold=10.0, down_threshold=10.0)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro import OndemandGovernor
 
 
@@ -42,7 +43,7 @@ def test_midband_accounts_for_current_frequency(harness):
 
 
 def test_invalid_thresholds_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         OndemandGovernor(up_threshold=20.0, down_threshold=30.0)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro import OndemandGovernor
 
 
@@ -50,5 +51,5 @@ def test_down_factor_reduces_transitions_under_flapping_load(harness):
 
 
 def test_invalid_factor_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         OndemandGovernor(sampling_down_factor=0)

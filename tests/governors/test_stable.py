@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro import StableGovernor
 
 
@@ -88,7 +89,7 @@ def test_default_parameters_match_paper():
 
 
 def test_invalid_window_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         StableGovernor(window=0)
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import DomainConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.hypervisor.domain import DOM0_CLASS
 from repro.workloads import ConstantLoad
 
@@ -94,7 +94,7 @@ def test_workload_bound_to_single_domain():
     b = host.create_domain("b", credit=10)
     workload = ConstantLoad(10)
     a.attach_workload(workload)
-    with pytest.raises(Exception):
+    with pytest.raises(WorkloadError):
         b.attach_workload(workload)
 
 

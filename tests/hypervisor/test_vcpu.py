@@ -3,7 +3,7 @@
 import pytest
 
 from repro import VCpuState
-from repro.errors import SchedulerError
+from repro.errors import ConfigurationError, SchedulerError
 
 from ..conftest import make_host
 
@@ -34,7 +34,7 @@ def test_add_work_accumulates(vcpu):
 
 
 def test_negative_work_rejected(vcpu):
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         vcpu.add_work(-1.0)
 
 

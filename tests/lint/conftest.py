@@ -1,0 +1,37 @@
+"""Shared helpers for the linter's own tests.
+
+Rules are path-scoped (``src/repro/sim/...`` and friends), so fixtures are
+in-memory sources mounted at *virtual* repo paths — no file with a live
+violation ever exists on disk, which keeps the meta-test (``repro lint src
+tests benchmarks`` is clean at HEAD) honest.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Project, SourceModule, lint_project
+
+
+@pytest.fixture
+def lint_sources():
+    """lint_sources({path: source}, ...) -> sorted findings."""
+
+    def run(sources, **kwargs):
+        modules = [
+            SourceModule(path, textwrap.dedent(source))
+            for path, source in sources.items()
+        ]
+        return lint_project(Project(modules), **kwargs)
+
+    return run
+
+
+@pytest.fixture
+def codes_of(lint_sources):
+    """codes_of({path: source}) -> list of finding codes, report order."""
+
+    def run(sources, **kwargs):
+        return [finding.code for finding in lint_sources(sources, **kwargs)]
+
+    return run

@@ -1,0 +1,188 @@
+"""Framework behaviour: suppression audit, select/ignore, reporters, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import render_json, render_text, rule_catalog
+from repro.lint.rules import RULES, all_codes
+
+LIB = "src/repro/sim/fake.py"
+
+VIOLATION = """
+    import time
+    def stamp():
+        return time.time()
+    """
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_unknown_code_in_suppression_fires_rpl002(codes_of):
+    assert codes_of({LIB: """
+        def f(engine):
+            return engine.now  # repro-lint: disable=RPL999
+        """}) == ["RPL002"]
+
+
+def test_malformed_code_in_suppression_fires_rpl002(codes_of):
+    assert codes_of({LIB: """
+        def f(engine):
+            return engine.now  # repro-lint: disable=nonsense
+        """}) == ["RPL002"]
+
+
+def test_multi_code_suppression(codes_of):
+    assert codes_of({LIB: """
+        import time, os
+        def f():
+            return time.time(), os.urandom(4)  # repro-lint: disable=RPL101,RPL102
+        """}) == []
+
+
+def test_docstring_mentioning_syntax_is_not_a_suppression(codes_of):
+    assert codes_of({LIB: '''
+        def f():
+            """Use `# repro-lint: disable=RPL101` to silence a line."""
+            return None
+        '''}) == []
+
+
+# ----------------------------------------------------------- select/ignore
+
+
+def test_select_narrows_to_one_rule(codes_of):
+    sources = {LIB: """
+        import time
+        def f():
+            print(time.time())
+        """}
+    # Same line: findings sort by column, so the outer print() comes first.
+    assert codes_of(sources) == ["RPL502", "RPL101"]
+    assert codes_of(sources, select=["RPL502"]) == ["RPL502"]
+
+
+def test_ignore_drops_a_rule(codes_of):
+    sources = {LIB: """
+        import time
+        def f():
+            print(time.time())
+        """}
+    assert codes_of(sources, ignore=["RPL101"]) == ["RPL502"]
+
+
+def test_unknown_select_code_rejected(codes_of):
+    with pytest.raises(ConfigurationError):
+        codes_of({LIB: "x = 1\n"}, select=["RPL999"])
+
+
+def test_suppression_of_deselected_rule_not_reported_unused(codes_of):
+    # With RPL101 deselected we cannot judge the suppression — stay quiet.
+    assert codes_of({LIB: """
+        import time
+        def f():
+            return time.time()  # repro-lint: disable=RPL101
+        """, }, select=["RPL502"]) == []
+
+
+# -------------------------------------------------------------- reporters
+
+
+def test_text_report_shape(lint_sources):
+    findings = lint_sources({LIB: VIOLATION})
+    text = render_text(findings)
+    assert f"{LIB}:4:12: RPL101" in text
+    assert text.endswith("repro lint: 1 finding")
+    assert render_text([]) == "repro lint: clean"
+
+
+def test_json_report_schema(lint_sources):
+    findings = lint_sources({LIB: VIOLATION})
+    payload = json.loads(render_json(findings))
+    assert payload["version"] == 1
+    assert payload["count"] == 1
+    (entry,) = payload["findings"]
+    assert set(entry) == {"path", "line", "col", "code", "message"}
+    assert entry["path"] == LIB
+    assert entry["line"] == 4
+    assert entry["code"] == "RPL101"
+    assert isinstance(entry["col"], int)
+    assert isinstance(entry["message"], str)
+
+
+def test_json_report_is_deterministic(lint_sources):
+    findings = lint_sources({LIB: VIOLATION})
+    assert render_json(findings) == render_json(list(findings))
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_rule_codes_unique_and_well_formed():
+    codes = [rule.code for rule in RULES]
+    assert len(codes) == len(set(codes))
+    for code in all_codes():
+        assert code.startswith("RPL") and len(code) == 6 and code[3:].isdigit()
+
+
+def test_catalog_covers_every_code():
+    assert {entry["code"] for entry in rule_catalog()} == set(all_codes())
+    for entry in rule_catalog():
+        assert entry["summary"], entry["code"]
+
+
+def test_all_six_rule_families_registered():
+    families = {rule.code[3] for rule in RULES}
+    assert families == {"1", "2", "3", "4", "5", "6"}
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_clean_run_exits_zero(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "src/repro/lint"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "src/repro/lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"version": 1, "count": 0, "findings": []}
+
+
+def test_cli_findings_exit_nonzero(tmp_path, capsys, monkeypatch):
+    # A violating file inside a fake repo root: pyproject.toml marks the
+    # root so the path is reported repo-relative.
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    bad = pkg / "clocky.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    from repro.cli import main
+
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/sim/clocky.py:4" in out
+    assert "RPL101" in out
+
+
+def test_cli_bad_path_exits_two(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "no/such/dir"]) == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in sorted(all_codes()):
+        assert code in out

@@ -1,0 +1,65 @@
+"""Meta-tests: the repo itself is lint-clean, and stays honest.
+
+These are the acceptance gate for the whole subsystem: ``repro lint src
+tests benchmarks`` must exit 0 at HEAD with zero unused suppressions, and a
+planted wall-clock read in the engine must be caught (which is what the CI
+job relies on).
+"""
+
+import pathlib
+import shutil
+
+from repro.lint import lint_paths, render_text
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_lint_clean_at_head():
+    findings = lint_paths(
+        [str(REPO / "src"), str(REPO / "tests"), str(REPO / "benchmarks")]
+    )
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_planted_wall_clock_in_engine_is_caught(tmp_path):
+    # Copy the real repo layout (pyproject marker + the real engine source)
+    # and plant a time.time() call: the lint run must flag exactly it.
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    sim = tmp_path / "src" / "repro" / "sim"
+    sim.mkdir(parents=True)
+    engine_source = (REPO / "src" / "repro" / "sim" / "engine.py").read_text()
+    planted = engine_source.replace(
+        "import heapq",
+        "import heapq\nimport time as _wall",
+        1,
+    ).replace(
+        "self._now = 0.0",
+        "self._now = 0.0\n        self._booted = _wall.time()",
+        1,
+    )
+    assert planted != engine_source
+    (sim / "engine.py").write_text(planted)
+    findings = lint_paths([str(tmp_path / "src")])
+    # RPL101 for the wall clock; RPL401 because _booted is not a slot —
+    # the two rules that make the engine's determinism tamper-evident.
+    codes = sorted({finding.code for finding in findings})
+    assert "RPL101" in codes
+    wall = [f for f in findings if f.code == "RPL101"]
+    assert all(f.path == "src/repro/sim/engine.py" for f in wall)
+
+
+def test_no_suppressions_currently_needed():
+    # The codebase holds the invariants without exceptions today.  If this
+    # fails because a legitimate suppression was added, update the expected
+    # count alongside a comment in the suppressing module explaining why.
+    from repro.lint.source import load_project
+
+    project = load_project(
+        [str(REPO / "src"), str(REPO / "tests"), str(REPO / "benchmarks")]
+    )
+    suppressions = [
+        (module.path, suppression)
+        for module in project.modules
+        for suppression in module.suppressions
+    ]
+    assert suppressions == []

@@ -1,0 +1,479 @@
+"""Per-rule fixture cases: positive, negative, suppressed, unused-suppression.
+
+Every rule family must *fire* on a minimal violating snippet (positive),
+stay quiet on the idiomatic equivalent (negative), honour a line
+suppression, and — since suppressions are audited — flag a suppression
+that silences nothing.  Sources are mounted at virtual repo paths; see
+``conftest.py``.
+"""
+
+LIB = "src/repro/sim/fake.py"  # library + order-sensitive scope
+ACCT = "src/repro/cpu/fake.py"  # library + accounting scope
+HOT = "src/repro/sim/events.py"  # hot-path scope (virtual twin)
+
+
+# ------------------------------------------------------- RPL101 wall clock
+
+
+def test_wall_clock_fires(codes_of):
+    assert codes_of({LIB: """
+        import time
+        def stamp():
+            return time.time()
+        """}) == ["RPL101"]
+
+
+def test_wall_clock_variants_fire(codes_of):
+    codes = codes_of({LIB: """
+        import datetime, time
+        def stamps():
+            return time.perf_counter(), datetime.datetime.now()
+        """})
+    assert codes == ["RPL101", "RPL101"]
+
+
+def test_wall_clock_aliased_import_still_fires(codes_of):
+    # Aliasing the import is not an evasion: names are canonicalised.
+    codes = codes_of({LIB: """
+        import time as _wall
+        from datetime import datetime as dt
+        def stamps():
+            return _wall.time(), dt.now()
+        """})
+    assert codes == ["RPL101", "RPL101"]
+
+
+def test_from_import_entropy_still_fires(codes_of):
+    assert codes_of({LIB: """
+        from os import urandom
+        def token():
+            return urandom(8)
+        """}) == ["RPL102"]
+
+
+def test_wall_clock_quiet_on_simulated_time(codes_of):
+    assert codes_of({LIB: """
+        def stamp(engine):
+            return engine.now
+        """}) == []
+
+
+def test_wall_clock_out_of_scope_in_tests(codes_of):
+    assert codes_of({"tests/fake_test.py": """
+        import time
+        def wall():
+            return time.time()
+        """}) == []
+
+
+def test_wall_clock_suppressed(codes_of):
+    assert codes_of({LIB: """
+        import time
+        def stamp():
+            return time.time()  # repro-lint: disable=RPL101
+        """}) == []
+
+
+def test_unused_suppression_is_flagged(codes_of):
+    assert codes_of({LIB: """
+        def stamp(engine):
+            return engine.now  # repro-lint: disable=RPL101
+        """}) == ["RPL001"]
+
+
+# --------------------------------------------------------- RPL102 entropy
+
+
+def test_entropy_fires(codes_of):
+    assert codes_of({LIB: """
+        import os
+        def token():
+            return os.urandom(8)
+        """}) == ["RPL102"]
+
+
+def test_entropy_quiet_on_hashlib(codes_of):
+    assert codes_of({LIB: """
+        import hashlib
+        def key(blob):
+            return hashlib.sha256(blob).hexdigest()
+        """}) == []
+
+
+# --------------------------------------------------- RPL103 global random
+
+
+def test_global_random_fires(codes_of):
+    assert codes_of({LIB: """
+        import random
+        def draw():
+            return random.random()
+        """}) == ["RPL103"]
+
+
+def test_unseeded_random_constructor_fires(codes_of):
+    assert codes_of({LIB: """
+        import random
+        def rng():
+            return random.Random()
+        """}) == ["RPL103"]
+
+
+def test_seeded_random_is_fine(codes_of):
+    assert codes_of({LIB: """
+        import random
+        def rng(seed):
+            return random.Random(seed)
+        """}) == []
+
+
+# ------------------------------------------------ RPL104 set iteration
+
+
+def test_set_iteration_fires_in_order_sensitive_module(codes_of):
+    assert codes_of({LIB: """
+        def emit(names, out):
+            for name in set(names):
+                out.append(name)
+        """}) == ["RPL104"]
+
+
+def test_set_comprehension_iteration_fires(codes_of):
+    assert codes_of({LIB: """
+        def emit(pairs):
+            return [name for name in {a for a, _ in pairs}]
+        """}) == ["RPL104"]
+
+
+def test_sorted_set_iteration_is_fine(codes_of):
+    assert codes_of({LIB: """
+        def emit(names, out):
+            for name in sorted(set(names)):
+                out.append(name)
+        """}) == []
+
+
+def test_set_iteration_out_of_scope_elsewhere(codes_of):
+    assert codes_of({"src/repro/workloads/fake.py": """
+        def emit(names, out):
+            for name in set(names):
+                out.append(name)
+        """}) == []
+
+
+# ------------------------------------------------- RPL201/202 round-trip
+
+
+_SPEC_MISSING_TO_DICT = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class FakeSpec:
+        alpha: float
+        beta: float
+
+        def to_dict(self):
+            return {"alpha": self.alpha}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(alpha=data["alpha"], beta=data["beta"])
+    """
+
+
+def test_to_dict_field_drop_fires(codes_of):
+    codes = codes_of({"src/repro/experiments/fake.py": _SPEC_MISSING_TO_DICT})
+    assert codes == ["RPL201"]
+
+
+def test_from_dict_field_drop_fires(codes_of):
+    codes = codes_of({"src/repro/experiments/fake.py": """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class FakeSpec:
+            alpha: float
+            beta: float
+
+            def to_dict(self):
+                return {"alpha": self.alpha, "beta": self.beta}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(alpha=data["alpha"])
+        """})
+    assert codes == ["RPL202"]
+
+
+def test_dataclasses_fields_loop_counts_as_full_coverage(codes_of):
+    assert codes_of({"src/repro/experiments/fake.py": """
+        import dataclasses
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class FakeSpec:
+            alpha: float
+            beta: float
+
+            def to_dict(self):
+                return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(**data)
+        """}) == []
+
+
+def test_round_trip_suppressed_on_anchor_line(codes_of):
+    # The finding anchors on the ``def to_dict`` line; a suppression there
+    # silences it, one on any other line does not.
+    source = _SPEC_MISSING_TO_DICT.replace(
+        "def to_dict(self):",
+        "def to_dict(self):  # repro-lint: disable=RPL201",
+    )
+    assert codes_of({"src/repro/experiments/fake.py": source}) == []
+
+
+def test_round_trip_suppression_on_wrong_line_is_unused(codes_of):
+    source = _SPEC_MISSING_TO_DICT.replace(
+        'return {"alpha": self.alpha}',
+        'return {"alpha": self.alpha}  # repro-lint: disable=RPL201',
+    )
+    codes = codes_of({"src/repro/experiments/fake.py": source})
+    assert sorted(codes) == ["RPL001", "RPL201"]
+
+
+# ----------------------------------------------- RPL301/302 registries
+
+
+_REGISTRY_SOURCES = {
+    "src/repro/schedulers/base.py": """
+        import abc
+
+        class Scheduler(abc.ABC):
+            @abc.abstractmethod
+            def pick_next(self, now):
+                ...
+
+            @abc.abstractmethod
+            def charge(self, vcpu, elapsed, now):
+                ...
+        """,
+    "src/repro/schedulers/registry.py": """
+        from .base import Scheduler
+        from .fake import FakeScheduler
+
+        SCHEDULER_NAMES = ("fake",)
+
+        def make_scheduler(name, **kwargs):
+            if name == "fake":
+                return FakeScheduler(**kwargs)
+            raise ConfigurationError(name)
+        """,
+}
+
+
+def test_registry_missing_hook_fires(codes_of):
+    sources = dict(_REGISTRY_SOURCES)
+    sources["src/repro/schedulers/fake.py"] = """
+        from .base import Scheduler
+
+        class FakeScheduler(Scheduler):
+            def pick_next(self, now):
+                return None
+        """
+    sources["tests/fake_test.py"] = 'NAME = "fake"\n'
+    assert codes_of(sources) == ["RPL301"]
+
+
+def test_registry_complete_hooks_quiet(codes_of):
+    sources = dict(_REGISTRY_SOURCES)
+    sources["src/repro/schedulers/fake.py"] = """
+        from .base import Scheduler
+
+        class FakeScheduler(Scheduler):
+            def pick_next(self, now):
+                return None
+
+            def charge(self, vcpu, elapsed, now):
+                return 0.0
+        """
+    sources["tests/fake_test.py"] = 'NAME = "fake"\n'
+    assert codes_of(sources) == []
+
+
+def test_registry_untested_name_fires(codes_of):
+    sources = dict(_REGISTRY_SOURCES)
+    sources["src/repro/schedulers/fake.py"] = """
+        from .base import Scheduler
+
+        class FakeScheduler(Scheduler):
+            def pick_next(self, now):
+                return None
+
+            def charge(self, vcpu, elapsed, now):
+                return 0.0
+        """
+    sources["tests/fake_test.py"] = 'NAME = "some-other-scheduler"\n'
+    assert codes_of(sources) == ["RPL302"]
+
+
+def test_registry_untested_skipped_without_test_modules(codes_of):
+    sources = dict(_REGISTRY_SOURCES)
+    sources["src/repro/schedulers/fake.py"] = """
+        from .base import Scheduler
+
+        class FakeScheduler(Scheduler):
+            def pick_next(self, now):
+                return None
+
+            def charge(self, vcpu, elapsed, now):
+                return 0.0
+        """
+    # No tests/ module in the lint set: RPL302 must not fabricate findings.
+    assert codes_of(sources) == []
+
+
+# --------------------------------------------------- RPL401/402 slots
+
+
+def test_missing_slots_fires_on_hot_path(codes_of):
+    assert codes_of({HOT: """
+        class EventHandle:
+            def __init__(self, time):
+                self.time = time
+        """}) == ["RPL402"]
+
+
+def test_assignment_outside_slots_fires(codes_of):
+    assert codes_of({HOT: """
+        class EventHandle:
+            __slots__ = ("time",)
+
+            def __init__(self, time):
+                self.time = time
+
+            def tag(self, note):
+                self.note = note
+        """}) == ["RPL401"]
+
+
+def test_slotted_assignments_quiet(codes_of):
+    assert codes_of({HOT: """
+        class EventHandle:
+            __slots__ = ("time", "note")
+
+            def __init__(self, time):
+                self.time = time
+                self.note = None
+        """}) == []
+
+
+def test_enum_exempt_from_slots(codes_of):
+    assert codes_of({HOT: """
+        import enum
+
+        class VCpuState(enum.Enum):
+            RUNNING = "running"
+        """}) == []
+
+
+def test_slots_rule_out_of_scope_elsewhere(codes_of):
+    assert codes_of({LIB: """
+        class Sampler:
+            def __init__(self):
+                self.values = []
+        """}) == []
+
+
+# ----------------------------------------------- RPL501/502 hygiene
+
+
+def test_builtin_raise_fires(codes_of):
+    assert codes_of({LIB: """
+        def check(value):
+            if value < 0:
+                raise ValueError(f"bad {value}")
+        """}) == ["RPL501"]
+
+
+def test_repro_error_raise_quiet(codes_of):
+    assert codes_of({LIB: """
+        from ..errors import ConfigurationError
+
+        def check(value):
+            if value < 0:
+                raise ConfigurationError(f"bad {value}")
+        """}) == []
+
+
+def test_raise_in_cli_exempt(codes_of):
+    assert codes_of({"src/repro/cli.py": """
+        def parse(value):
+            raise ValueError(value)
+        """}) == []
+
+
+def test_print_fires(codes_of):
+    assert codes_of({LIB: """
+        def debug(x):
+            print(x)
+        """}) == ["RPL502"]
+
+
+def test_print_in_cli_exempt(codes_of):
+    assert codes_of({"src/repro/cli.py": """
+        def show(x):
+            print(x)
+        """}) == []
+
+
+# -------------------------------------------- RPL601/602 float purity
+
+
+def test_sum_over_set_fires_in_accounting(codes_of):
+    assert codes_of({ACCT: """
+        def total(values):
+            return sum({v for v in values})
+        """}) == ["RPL601"]
+
+
+def test_sum_over_set_generator_fires(codes_of):
+    assert codes_of({ACCT: """
+        def total(pairs):
+            return sum(v * 2 for v in set(pairs))
+        """}) == ["RPL601"]
+
+
+def test_sum_over_list_quiet(codes_of):
+    assert codes_of({ACCT: """
+        def total(values):
+            return sum(values)
+        """}) == []
+
+
+def test_augmented_accumulation_over_set_fires(codes_of):
+    assert codes_of({ACCT: """
+        def total(values):
+            acc = 0.0
+            for v in set(values):
+                acc += v
+            return acc
+        """}) == ["RPL602"]
+
+
+def test_augmented_accumulation_over_sorted_set_quiet(codes_of):
+    assert codes_of({ACCT: """
+        def total(values):
+            acc = 0.0
+            for v in sorted(set(values)):
+                acc += v
+            return acc
+        """}) == []
+
+
+def test_float_purity_out_of_scope_elsewhere(codes_of):
+    assert codes_of({"src/repro/experiments/fake.py": """
+        def total(values):
+            return sum(set(values))
+        """}) == []

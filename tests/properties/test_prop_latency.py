@@ -30,7 +30,7 @@ def test_conservation_of_requests(batches, drain_steps):
         total_requests += requests
         total_work += work
     # Drain in uneven slices; completed + queued must always equal sent.
-    for step in range(drain_steps):
+    for _ in range(drain_steps):
         now += 1.0
         tracker.on_progress(now, total_work / drain_steps)
         assert tracker.completed_requests + tracker.queued_requests == (
@@ -59,6 +59,95 @@ def test_latencies_nonnegative_and_ordered_percentiles(batches):
     assert p100 == tracker.max_response_time
     # 1e-9 slack: the weighted running sum accumulates float rounding.
     assert 0.0 <= tracker.mean_response_time <= p100 + 1e-9
+
+
+class _ReferenceTracker:
+    """The pre-insort model: record in completion order, sort at query time.
+
+    The production tracker keeps its samples sorted incrementally with
+    ``bisect.insort`` over ``(latency, weight)`` pairs; this reference keeps
+    the raw completion-order list and sorts (stably, by latency alone) only
+    when queried.  Every exported number must agree between the two, which
+    pins down that the insort rewrite changed neither completion ordering
+    nor percentile/mean/max outputs.
+    """
+
+    def __init__(self):
+        self.samples = []  # (latency, weight), completion order
+
+    def record(self, latency, weight):
+        self.samples.append((max(latency, 0.0), weight))
+
+    def percentile(self, p):
+        ordered = sorted(self.samples, key=lambda sample: sample[0])
+        total = sum(weight for _, weight in ordered)
+        target = total * p / 100.0
+        cumulative = 0.0
+        for latency, weight in ordered:
+            cumulative += weight
+            if cumulative >= target:
+                return latency
+        return ordered[-1][0]
+
+    @property
+    def mean(self):
+        total = sum(weight for _, weight in self.samples)
+        return sum(latency * weight for latency, weight in self.samples) / total
+
+    @property
+    def max(self):
+        return max(latency for latency, _ in self.samples)
+
+
+@given(
+    batches=events,
+    drain_steps=st.integers(min_value=1, max_value=10),
+    percentiles=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_insort_rewrite_preserves_ordering_and_percentiles(
+    batches, drain_steps, percentiles
+):
+    tracker = LatencyTracker()
+    reference = _ReferenceTracker()
+    now = 0.0
+    fifo = []  # (arrival, remaining_work, requests) — reference FIFO
+    total_work = 0.0
+    for gap, work, requests in batches:
+        now += gap
+        tracker.on_arrival(now, work, requests)
+        fifo.append([now, work, requests])
+        total_work += work
+    # Drain in uneven slices, mirroring the drain against the reference
+    # FIFO so the reference records samples in true completion order.
+    for _ in range(drain_steps):
+        now += 1.0
+        budget = total_work / drain_steps
+        tracker.on_progress(now, budget)
+        while budget > 1e-12 and fifo:
+            head = fifo[0]
+            if head[1] <= budget + 1e-12:
+                budget -= head[1]
+                fifo.pop(0)
+                reference.record(now - head[0], head[2])
+            else:
+                head[1] -= budget
+                budget = 0.0
+    tracker.on_progress(now + 1.0, total_work)  # flush any float residue
+    while fifo:
+        head = fifo.pop(0)
+        reference.record(now + 1.0 - head[0], head[2])
+    assert tracker.completed_requests == pytest.approx(
+        sum(weight for _, weight in reference.samples)
+    )
+    for p in percentiles:
+        assert tracker.percentile(p) == pytest.approx(reference.percentile(p))
+    assert tracker.mean_response_time == pytest.approx(reference.mean)
+    assert tracker.max_response_time == pytest.approx(reference.max)
 
 
 @given(batches=events)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim import PeriodicTimer
 
 
@@ -82,9 +82,9 @@ def test_reschedule_changes_period_from_next_firing(engine):
 
 
 def test_invalid_period_rejected(engine):
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         PeriodicTimer(engine, 0.0, lambda now: None)
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         PeriodicTimer(engine, -1.0, lambda now: None)
 
 

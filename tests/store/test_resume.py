@@ -140,7 +140,7 @@ def test_aborted_parallel_sweep_discards_the_pool(tmp_path):
     bad = SweepGrid(
         {"scheduler": ["credit", "xenomorph", "pas", "sedf"]}, base=FAST
     )
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         run_sweep(bad, workers=2)
     # The failing stream tore its pool down; queued cells aren't left
     # running into a dead iterator, and the next sweep gets a fresh pool.

@@ -32,7 +32,7 @@ def test_append_backwards_raises(series):
 
 
 def test_iteration_yields_pairs(series):
-    assert list(series)[0] == (0.0, 10.0)
+    assert next(iter(series)) == (0.0, 10.0)
 
 
 def test_mean_min_max_last(series):

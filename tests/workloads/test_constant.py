@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.workloads import ConstantLoad
 
 from ..conftest import make_host
@@ -55,7 +56,7 @@ def test_stop_method():
 
 
 def test_invalid_percent_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         ConstantLoad(150.0)
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         ConstantLoad(-5.0)

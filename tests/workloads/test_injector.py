@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.sim import Engine, RngStreams
 from repro.workloads import HttperfInjector, LoadProfile
 
@@ -71,7 +72,7 @@ def test_poisson_reproducible_with_seed():
 
 def test_poisson_requires_rng():
     engine = Engine()
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         HttperfInjector(engine, LoadProfile.constant(1.0), lambda n, t: None, poisson=True)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.workloads import PiApp
 
 from ..conftest import make_host
@@ -55,12 +55,12 @@ def test_execution_time_before_done_raises():
 
 
 def test_nonpositive_work_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         PiApp(0.0)
 
 
 def test_negative_start_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         PiApp(1.0, start_at=-1.0)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.workloads import LoadProfile, Phase
 
 
@@ -64,9 +64,9 @@ def test_inverted_three_phase_rejected():
 
 
 def test_negative_phase_values_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         Phase(-1.0, 10.0)
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         Phase(0.0, -10.0)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.workloads import (
     exact_rate,
     LoadProfile,
@@ -22,7 +23,7 @@ def test_thrashing_rate_formula():
 
 
 def test_thrashing_factor_must_exceed_one():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         thrashing_rate(20.0, 0.005, factor=1.0)
 
 
