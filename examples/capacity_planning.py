@@ -25,7 +25,7 @@ def planning_sheet() -> None:
     for state in table:
         caps = laws.compensated_caps(table, state.freq_mhz, SOLD)
         total = sum(caps.values())
-        power = MACHINE.power.power(state, table, utilization=min(1.0, total / 100.0))
+        power = MACHINE.power.power(state, table, utilization_fraction=min(1.0, total / 100.0))
         rows.append(
             [
                 f"{state.freq_mhz} MHz",

@@ -65,7 +65,7 @@ def main() -> None:
         "fleet demand %", [(s.time, s.demand_percent) for s in best.stats]
     )
     power = TimeSeries(
-        "fleet power (W)", [(s.time, s.energy_joules / best.epoch) for s in best.stats]
+        "fleet power (W)", [(s.time, s.energy_joules / best.epoch_s) for s in best.stats]
     )
     print()
     print(

@@ -486,7 +486,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .errors import ConfigurationError
-    from .lint import lint_paths, render_json, render_text, rule_catalog
+    from .lint import (
+        lint_paths,
+        render_github,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
 
     if args.list_rules:
         for entry in rule_catalog():
@@ -501,7 +507,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ConfigurationError as error:
         print(f"lint: {error}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    render = {"json": render_json, "github": render_github}.get(
+        args.format, render_text
+    )
     print(render(findings))
     return 1 if findings else 0
 
@@ -1523,23 +1531,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="report format (default: %(default)s)",
+        help=(
+            "report format: text, json, or github (Actions ::error "
+            "annotations) (default: %(default)s)"
+        ),
     )
     lint.add_argument(
         "--select",
         action="append",
         default=None,
-        metavar="RPL###[,RPL###]",
-        help="run only these rule codes (repeatable, comma-separable)",
+        metavar="CODE[,CODE]",
+        help=(
+            "run only these rule codes or family prefixes, e.g. RPL104 or "
+            "RPL7 (repeatable, comma-separable)"
+        ),
     )
     lint.add_argument(
         "--ignore",
         action="append",
         default=None,
-        metavar="RPL###[,RPL###]",
-        help="skip these rule codes (repeatable, comma-separable)",
+        metavar="CODE[,CODE]",
+        help=(
+            "skip these rule codes or family prefixes (repeatable, "
+            "comma-separable)"
+        ),
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"

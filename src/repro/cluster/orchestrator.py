@@ -43,7 +43,7 @@ _SLA_EPSILON = 1e-9
 
 #: Column order of :meth:`Orchestrator.epoch_records` (CSV header source).
 EPOCH_RECORD_FIELDS = (
-    "epoch",
+    "epoch_s",
     "time",
     "machines_on",
     "demand_percent",
@@ -114,7 +114,7 @@ class Orchestrator:
     dvfs:
         Whether machines scale frequency to their load (Listing 1.1) or pin
         the maximum.
-    epoch:
+    epoch_s:
         Seconds per epoch (placement + frequency decisions cadence).
     repack_every:
         Legacy callables only: re-run the policy every N epochs
@@ -135,7 +135,7 @@ class Orchestrator:
         policy: OrchestrationPolicy | Policy | str,
         dvfs: bool,
         machine_spec: MachineSpec | None = None,
-        epoch: float = 10.0,
+        epoch_s: float = 10.0,
         repack_every: int = 1,
         migration: MigrationModel | None = None,
         power_budget_w: float | None = None,
@@ -160,7 +160,7 @@ class Orchestrator:
         self.vms = list(vms)
         self.policy = policy
         self.dvfs = dvfs
-        self.epoch = check_positive(epoch, "epoch")
+        self.epoch_s = check_positive(epoch_s, "epoch_s")
         self.repack_every = repack_every
         self.migration_model = migration
         self.power_budget_w = power_budget_w
@@ -176,7 +176,7 @@ class Orchestrator:
     def run(self, duration: float) -> list[EpochStats]:
         """Advance the fleet *duration* seconds; returns the epoch stats."""
         check_positive(duration, "duration")
-        epochs = int(round(duration / self.epoch))
+        epochs = int(round(duration / self.epoch_s))
         for _ in range(epochs):
             self._run_one_epoch()
         return self.stats
@@ -189,7 +189,7 @@ class Orchestrator:
                 self.vms,
                 time=self._time,
                 epoch_index=self._epoch_index,
-                epoch_s=self.epoch,
+                epoch_s=self.epoch_s,
                 dvfs=self.dvfs,
             )
             events = (
@@ -272,8 +272,8 @@ class Orchestrator:
         extra: dict[str, float] = {}
         downtime_loss = 0.0
         if self.migration_model is not None and events:
-            overhead = self.migration_model.host_overhead_percent(self.epoch)
-            blackout = self.migration_model.downtime_fraction(self.epoch)
+            overhead = self.migration_model.host_overhead_percent(self.epoch_s)
+            blackout = self.migration_model.downtime_fraction(self.epoch_s)
             vms = {vm.name: vm for vm in self.vms}
             for event in events:
                 extra[event.source] = extra.get(event.source, 0.0) + overhead
@@ -285,7 +285,7 @@ class Orchestrator:
         for machine in self.machines:
             demand, served = machine.run_epoch(
                 self._time,
-                self.epoch,
+                self.epoch_s,
                 dvfs=self.dvfs,
                 extra_demand_percent=extra.get(machine.name, 0.0),
                 freq_floor_mhz=plan.freq_floors.get(machine.name),
@@ -296,7 +296,7 @@ class Orchestrator:
             machine.power_off_if_empty()
         served_total = max(0.0, served_total - downtime_loss)
         epoch_energy = self.fleet_energy_joules - energy_before
-        self._time += self.epoch
+        self._time += self.epoch_s
         self._epoch_index += 1
         for machine in self.machines:
             self._host_stats.append(
@@ -318,7 +318,7 @@ class Orchestrator:
                 served_percent=served_total,
                 energy_joules=epoch_energy,
                 migrations=len(events),
-                power_w=epoch_energy / self.epoch,
+                power_w=epoch_energy / self.epoch_s,
             )
         )
 

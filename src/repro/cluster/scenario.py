@@ -239,7 +239,7 @@ def build_cluster(config: ClusterScenarioConfig) -> Orchestrator:
         vms=make_population(config),
         policy=policy,
         dvfs=config.dvfs,
-        epoch=config.epoch_s,
+        epoch_s=config.epoch_s,
         migration=config.migration,
         power_budget_w=config.power_budget_w,
     )

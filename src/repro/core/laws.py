@@ -40,16 +40,16 @@ def frequency_ratio(freq_mhz: float, max_freq_mhz: float) -> float:
     return freq_mhz / max_freq_mhz
 
 
-def load_at_frequency(load_at_max: float, ratio: float, cf: float = 1.0) -> float:
+def load_at_frequency(load_at_max_percent: float, ratio: float, cf: float = 1.0) -> float:
     """Eq. 1 solved for ``L_i``: the load the same demand imposes at P-state i.
 
     The result may exceed 100 — that means the demand does not fit at this
     frequency (callers decide whether to clamp).
     """
-    check_non_negative(load_at_max, "load_at_max")
+    check_non_negative(load_at_max_percent, "load_at_max_percent")
     check_positive(ratio, "ratio")
     check_positive(cf, "cf")
-    return load_at_max / (ratio * cf)
+    return load_at_max_percent / (ratio * cf)
 
 
 def absolute_load(nominal_load: float, ratio: float, cf: float = 1.0) -> float:
@@ -63,22 +63,22 @@ def absolute_load(nominal_load: float, ratio: float, cf: float = 1.0) -> float:
     return nominal_load * ratio * cf
 
 
-def execution_time_at_frequency(time_at_max: float, ratio: float, cf: float = 1.0) -> float:
+def execution_time_at_frequency(time_at_max_s: float, ratio: float, cf: float = 1.0) -> float:
     """Eq. 2: execution time at P-state i, given the time at full speed."""
-    check_positive(time_at_max, "time_at_max")
+    check_positive(time_at_max_s, "time_at_max_s")
     check_positive(ratio, "ratio")
     check_positive(cf, "cf")
-    return time_at_max / (ratio * cf)
+    return time_at_max_s / (ratio * cf)
 
 
 def execution_time_at_credit(
-    time_at_initial_credit: float, initial_credit: float, new_credit: float
+    time_at_initial_credit_s: float, initial_credit: float, new_credit: float
 ) -> float:
     """Eq. 3: execution time after changing the credit at fixed frequency."""
-    check_positive(time_at_initial_credit, "time_at_initial_credit")
+    check_positive(time_at_initial_credit_s, "time_at_initial_credit_s")
     check_positive(initial_credit, "initial_credit")
     check_positive(new_credit, "new_credit")
-    return time_at_initial_credit * initial_credit / new_credit
+    return time_at_initial_credit_s * initial_credit / new_credit
 
 
 def compensated_credit(initial_credit: float, ratio: float, cf: float = 1.0) -> float:

@@ -34,7 +34,7 @@ class UserCreditManager:
         support caps, i.e. be the Credit family).
     poll_period:
         Seconds between polls of the current frequency.
-    reaction_latency:
+    reaction_latency_s:
         Seconds between reading the frequency and the caps taking effect
         (models the user-level round trip through hypercalls/sysfs).
     update_dom0:
@@ -48,13 +48,13 @@ class UserCreditManager:
         host: "Host",
         *,
         poll_period: float = 1.0,
-        reaction_latency: float = 0.05,
+        reaction_latency_s: float = 0.05,
         update_dom0: bool = True,
         use_cf: bool = True,
     ) -> None:
         self._host = host
         self.poll_period = check_positive(poll_period, "poll_period")
-        self.reaction_latency = check_non_negative(reaction_latency, "reaction_latency")
+        self.reaction_latency_s = check_non_negative(reaction_latency_s, "reaction_latency_s")
         self.update_dom0 = update_dom0
         self.use_cf = use_cf
         self._timer = PeriodicTimer(
@@ -87,9 +87,9 @@ class UserCreditManager:
         caps = laws.compensated_caps(
             self._host.processor.table, freq_mhz, initial_credits, use_cf=self.use_cf
         )
-        if self.reaction_latency > 0:
+        if self.reaction_latency_s > 0:
             self._host.engine.schedule(
-                self.reaction_latency,
+                self.reaction_latency_s,
                 lambda: self._apply(caps),
                 label="user-credit-manager.apply",
             )

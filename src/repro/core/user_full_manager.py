@@ -38,7 +38,7 @@ class UserFullManager:
         Successive samples averaged (paper footnote 5: 3).
     margin_percent:
         Head-room added to the absolute load before frequency selection.
-    reaction_latency:
+    reaction_latency_s:
         Seconds between deciding and the frequency/caps taking effect.
     update_dom0:
         Whether Dom0's cap is rescaled too.
@@ -53,7 +53,7 @@ class UserFullManager:
         poll_period: float = 1.0,
         window: int = 3,
         margin_percent: float = 0.0,
-        reaction_latency: float = 0.05,
+        reaction_latency_s: float = 0.05,
         update_dom0: bool = True,
         use_cf: bool = True,
     ) -> None:
@@ -68,7 +68,7 @@ class UserFullManager:
         self.poll_period = check_positive(poll_period, "poll_period")
         self.window = window
         self.margin_percent = check_non_negative(margin_percent, "margin_percent")
-        self.reaction_latency = check_non_negative(reaction_latency, "reaction_latency")
+        self.reaction_latency_s = check_non_negative(reaction_latency_s, "reaction_latency_s")
         self.update_dom0 = update_dom0
         self.use_cf = use_cf
         self._samples: deque[float] = deque(maxlen=window)
@@ -130,9 +130,9 @@ class UserFullManager:
         caps = laws.compensated_caps(
             processor.table, new_freq, initial_credits, use_cf=self.use_cf
         )
-        if self.reaction_latency > 0:
+        if self.reaction_latency_s > 0:
             host.engine.schedule(
-                self.reaction_latency,
+                self.reaction_latency_s,
                 lambda: self._apply(new_freq, caps),
                 label="user-full-manager.apply",
             )

@@ -107,17 +107,17 @@ class FrequencyTable:
         """``ratio * cf`` of the state at *freq_mhz* (fraction of max speed)."""
         return self.state_for(freq_mhz).capacity_fraction(self.max_state.freq_mhz)
 
-    def lowest_absorbing(self, absolute_load_percent: float, *, margin: float = 0.0) -> PState:
+    def lowest_absorbing(self, absolute_load_percent: float, *, margin_percent: float = 0.0) -> PState:
         """Paper Listing 1.1: the lowest P-state whose capacity absorbs a load.
 
         Iterates ascending and returns the first state with
-        ``ratio * 100 * cf > absolute_load_percent + margin``; the maximum
-        state if none qualifies.  *margin* (percentage points) implements the
+        ``ratio * 100 * cf > absolute_load_percent + margin_percent``; the maximum
+        state if none qualifies.  *margin_percent* (percentage points) implements the
         head-room used by hysteretic governors.
         """
         for state in self._states:
             capacity_percent = state.capacity_fraction(self.max_state.freq_mhz) * 100.0
-            if capacity_percent > absolute_load_percent + margin:
+            if capacity_percent > absolute_load_percent + margin_percent:
                 return state
         return self.max_state
 

@@ -47,18 +47,18 @@ class PowerModel:
                 f"busy_watts ({self.busy_watts}) must be >= idle_watts ({self.idle_watts})"
             )
 
-    def power(self, state: PState, table: FrequencyTable, utilization: float) -> float:
-        """Instantaneous package watts at *state* with *utilization* in [0, 1]."""
-        check_fraction(utilization, "utilization")
+    def power(self, state: PState, table: FrequencyTable, utilization_fraction: float) -> float:
+        """Instantaneous package watts at *state* with *utilization_fraction* in [0, 1]."""
+        check_fraction(utilization_fraction, "utilization_fraction")
         max_state = table.max_state
         voltage_ratio_sq = (state.voltage / max_state.voltage) ** 2
         freq_ratio = state.freq_mhz / max_state.freq_mhz
         dynamic_span = self.busy_watts - self.idle_watts
         idle = self.idle_watts * voltage_ratio_sq
-        dynamic = dynamic_span * utilization * voltage_ratio_sq * freq_ratio
+        dynamic = dynamic_span * utilization_fraction * voltage_ratio_sq * freq_ratio
         return idle + dynamic
 
-    def energy(self, state: PState, table: FrequencyTable, utilization: float, dt: float) -> float:
+    def energy(self, state: PState, table: FrequencyTable, utilization_fraction: float, dt: float) -> float:
         """Joules consumed over *dt* seconds at constant state and utilisation."""
         check_positive(dt, "dt")
-        return self.power(state, table, utilization) * dt
+        return self.power(state, table, utilization_fraction) * dt

@@ -100,7 +100,7 @@ class StableGovernor(Governor):
             target = self.table.max_state
         else:
             target = self.table.lowest_absorbing(
-                self.averaged_absolute_load, margin=self.margin_percent
+                self.averaged_absolute_load, margin_percent=self.margin_percent
             )
         if target.freq_mhz != self.cpufreq.processor.frequency_mhz:
             self._last_change = now

@@ -15,13 +15,19 @@ Architecture
 * :mod:`repro.lint.source` — one parsed file (:class:`SourceModule`: AST,
   lines, ``# repro-lint: disable=RPL###`` suppressions) and the
   :class:`Project` that groups them with cross-file lookups (class table,
-  test-string corpus).
+  test-string corpus, and the lazy interprocedural indexes below).
+* :mod:`repro.lint.symbols` — the project-wide symbol table: every
+  function/method under a dotted qualname, imports (absolute and relative)
+  resolved to their targets.
+* :mod:`repro.lint.callgraph` — call edges resolved through the symbol
+  table and class ancestry, with a conservative dynamic-dispatch fallback;
+  powers the RPL8xx transitive-determinism reachability walk.
 * :mod:`repro.lint.rules` — the rule registry.  Every rule carries a
   stable ``RPL###`` code; families are grouped by hundreds (see
   ``docs/invariants.md`` for the catalogue).
 * :mod:`repro.lint.runner` — collection, rule dispatch, suppression
   accounting (a suppression that silences nothing is itself a finding).
-* :mod:`repro.lint.report` — text and JSON renderers.
+* :mod:`repro.lint.report` — text, JSON, and GitHub-annotation renderers.
 
 Entry points: ``python -m repro lint [paths]`` (the CLI), or
 :func:`lint_paths` / :func:`lint_project` from code and tests.
@@ -29,19 +35,24 @@ Entry points: ``python -m repro lint [paths]`` (the CLI), or
 
 from __future__ import annotations
 
+from .callgraph import CallGraph
 from .finding import Finding
 from .runner import lint_paths, lint_project
 from .source import Project, SourceModule
-from .report import render_json, render_text
+from .symbols import SymbolTable
+from .report import render_github, render_json, render_text
 from .rules import RULES, rule_catalog
 
 __all__ = [
+    "CallGraph",
     "Finding",
     "Project",
     "RULES",
     "SourceModule",
+    "SymbolTable",
     "lint_paths",
     "lint_project",
+    "render_github",
     "render_json",
     "render_text",
     "rule_catalog",

@@ -1,0 +1,373 @@
+"""The project call graph and transitive-determinism reachability.
+
+Second half of the interprocedural tier (the symbol table in
+:mod:`repro.lint.symbols` is the first).  For every function the
+:class:`SymbolTable` knows, this module resolves the calls its body makes:
+
+* bare names through the module's own functions and its imports
+  (``from ..units import check_percent`` links to
+  ``repro.units.check_percent``);
+* ``self.x()`` / ``cls.x()`` through the enclosing class and its
+  project-visible bases (:meth:`~repro.lint.source.Project.ancestry`);
+* ``obj.x()`` where ``obj``'s class is statically known — a parameter
+  annotation, a local ``obj = ClassName(...)`` binding, or a
+  ``self.attr`` whose type ``__init__`` pins — through that class;
+* anything still unresolved falls back to **conservative dynamic
+  dispatch**: an edge to *every* project method of that name (minus the
+  builtin-container method names, which would connect everything to
+  everything).  Over-approximating keeps the reachability analysis sound —
+  a hidden wall-clock call can hide behind ``self._hook()`` but not behind
+  "the linter could not tell which ``tick`` this is".
+
+On top of the graph, :meth:`CallGraph.reachable_chains` walks breadth-first
+from the determinism roots — ``Engine.run_until`` (and its ``step`` /
+``run_until_idle`` siblings), the public scheduler/governor hooks, and the
+sweep reducers — recording the first (shortest) call chain to every
+function.  The RPL8xx rules in :mod:`repro.lint.rules.reachability` pair
+those chains with each function's *direct* banned calls (the same
+wall-clock / entropy / global-random ban lists RPL101–103 enforce) to flag
+a sink any number of helper hops below a hot-path entry point, printing the
+full chain in the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, TYPE_CHECKING
+
+from .symbols import FunctionInfo, SymbolTable, module_name_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .source import Project, SourceModule
+
+#: Method names never resolved by the dynamic-dispatch fallback: they are
+#: overwhelmingly builtin-container calls (``list.append``, ``dict.get``)
+#: and linking them to same-named project methods would connect the whole
+#: graph.  A *known* receiver still resolves these normally.
+_FALLBACK_STOPLIST = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "count", "decode",
+        "discard", "encode", "endswith", "extend", "find", "flush",
+        "format", "get", "index", "insert", "items", "join", "keys",
+        "lower", "lstrip", "partition", "pop", "popleft", "read",
+        "readline", "readlines", "remove", "replace", "reverse", "rfind",
+        "rpartition", "rsplit", "rstrip", "setdefault", "sort", "split",
+        "startswith", "strip", "title", "update", "upper", "values",
+        "write",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SinkCall:
+    """One direct banned call inside a function body."""
+
+    category: str  # "wall-clock" | "entropy" | "global-random"
+    dotted: str  # canonical call name, e.g. "time.time"
+    node: ast.Call
+
+
+def _annotation_class(node: ast.expr | None) -> str | None:
+    """The bare class name an annotation pins, if any.
+
+    Handles ``Host``, ``module.Host``, string annotations (``"Host"``,
+    ``"Host | None"``), ``Host | None`` unions, and ``Optional[Host]``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        first = node.value.split("|")[0].strip().strip("\"'")
+        tail = first.rpartition(".")[2]
+        return tail or None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            name = _annotation_class(side)
+            if name is not None and name != "None":
+                return name
+        return None
+    if isinstance(node, ast.Subscript):
+        # Optional[Host] — take the inner annotation.
+        head = node.value
+        if isinstance(head, (ast.Name, ast.Attribute)):
+            head_name = head.id if isinstance(head, ast.Name) else head.attr
+            if head_name == "Optional":
+                return _annotation_class(node.slice)
+    return None
+
+
+def _sink_category(dotted: str, node: ast.Call) -> str | None:
+    """Which ban list *dotted* belongs to (None when benign).
+
+    Mirrors the RPL101/102/103 per-module checks exactly, so the transitive
+    rules agree with the direct ones about what counts as a sink.
+    """
+    from .rules.determinism import _ENTROPY, _GLOBAL_RANDOM, _WALL_CLOCK
+
+    if dotted in _WALL_CLOCK:
+        return "wall-clock"
+    if dotted in _ENTROPY:
+        return "entropy"
+    if dotted.startswith("random."):
+        attr = dotted[len("random.") :]
+        if attr in _GLOBAL_RANDOM:
+            return "global-random"
+        if attr == "Random" and not node.args and not node.keywords:
+            return "global-random"
+    return None
+
+
+class CallGraph:
+    """Resolved call edges plus per-function direct determinism sinks."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.symbols: SymbolTable = project.symbols
+        #: qualname → callee qualnames, insertion-ordered, deduplicated.
+        self.edges: dict[str, tuple[str, ...]] = {}
+        #: qualname → direct banned calls in that function's body.
+        self.sinks: dict[str, tuple[SinkCall, ...]] = {}
+        self._attr_types: dict[str, dict[str, str]] = {}
+        for info in self.symbols.iter_functions():
+            self._index_function(info)
+
+    # --------------------------------------------------------- class layout
+
+    def _class_attr_types(self, class_name: str) -> dict[str, str]:
+        """``self.attr`` → class name, from ``__init__`` assigns and
+        class-level annotations across the class and its bases."""
+        cached = self._attr_types.get(class_name)
+        if cached is not None:
+            return cached
+        types: dict[str, str] = {}
+        start = self.project.class_named(class_name)
+        if start is not None:
+            for ancestor in reversed(self.project.ancestry(start)):
+                for stmt in ancestor.node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        bound = _annotation_class(stmt.annotation)
+                        if bound is not None and bound in self.project.classes:
+                            types[stmt.target.id] = bound
+                for method in ancestor.methods.values():
+                    env = self._param_types(method)
+                    for node in ast.walk(method):
+                        target = None
+                        value = None
+                        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                            target, value = node.targets[0], node.value
+                        elif isinstance(node, ast.AnnAssign):
+                            target, value = node.target, node.value
+                        if (
+                            not isinstance(target, ast.Attribute)
+                            or not isinstance(target.value, ast.Name)
+                            or target.value.id != "self"
+                        ):
+                            continue
+                        if isinstance(node, ast.AnnAssign):
+                            bound = _annotation_class(node.annotation)
+                            if bound is not None and bound in self.project.classes:
+                                types[target.attr] = bound
+                                continue
+                        bound = self._constructed_class(value)
+                        if bound is None and isinstance(value, ast.Name):
+                            bound = env.get(value.id)
+                        if bound is not None:
+                            types[target.attr] = bound
+        self._attr_types[class_name] = types
+        return types
+
+    def _param_types(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str]:
+        env: dict[str, str] = {}
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            bound = _annotation_class(arg.annotation)
+            if bound is not None and bound in self.project.classes:
+                env[arg.arg] = bound
+        return env
+
+    def _constructed_class(self, value: ast.expr | None) -> str | None:
+        """``ClassName(...)`` / ``module.ClassName(...)`` → the class name."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is not None and name in self.project.classes:
+            return name
+        return None
+
+    # ------------------------------------------------------------- indexing
+
+    def _index_function(self, info: FunctionInfo) -> None:
+        module = info.module
+        module_name = module_name_of(module.path)
+        env = self._param_types(info.node)
+        # Local ``v = ClassName(...)`` bindings (one flat pass: good enough
+        # for the straight-line construction code this repo writes).
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    bound = self._constructed_class(node.value)
+                    if bound is not None:
+                        env[target.id] = bound
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound = _annotation_class(node.annotation)
+                if bound is not None and bound in self.project.classes:
+                    env[node.target.id] = bound
+
+        callees: list[str] = []
+        seen: set[str] = set()
+        sinks: list[SinkCall] = []
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self.symbols.resolve_dotted(module, node.func)
+            if dotted is not None:
+                category = _sink_category(dotted, node)
+                if category is not None:
+                    sinks.append(SinkCall(category=category, dotted=dotted, node=node))
+                    continue
+            for target in self._resolve_call(info, module_name, node, env):
+                if target not in seen:
+                    seen.add(target)
+                    callees.append(target)
+        self.edges[info.qualname] = tuple(callees)
+        self.sinks[info.qualname] = tuple(sinks)
+
+    def _resolve_call(
+        self,
+        info: FunctionInfo,
+        module_name: str,
+        node: ast.Call,
+        env: dict[str, str],
+    ) -> Iterator[str]:
+        func = node.func
+        symbols = self.symbols
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = symbols.function_at(f"{module_name}.{name}")
+            if local is not None:
+                yield local.qualname
+                return
+            target = symbols.imports_of(info.module).get(name)
+            if target is not None:
+                if symbols.function_at(target) is not None:
+                    yield target
+                    return
+                tail = target.rpartition(".")[2]
+                if tail in self.project.classes:
+                    init = symbols.method_on(tail, "__init__")
+                    if init is not None:
+                        yield init.qualname
+                    return
+            if name in self.project.classes:
+                init = symbols.method_on(name, "__init__")
+                if init is not None:
+                    yield init.qualname
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        dotted = symbols.resolve_dotted(info.module, func)
+        if dotted is not None and symbols.function_at(dotted) is not None:
+            yield dotted
+            return
+        receiver_class = self._receiver_class(info, func.value, env)
+        if receiver_class is not None:
+            resolved = symbols.method_on(receiver_class, method)
+            if resolved is not None:
+                yield resolved.qualname
+                return
+            # Known class without that method (stdlib base, __getattr__):
+            # fall through to the conservative fallback.
+        if method in _FALLBACK_STOPLIST:
+            return
+        for candidate in symbols.methods_named.get(method, ()):
+            yield candidate.qualname
+
+    def _receiver_class(
+        self, info: FunctionInfo, receiver: ast.expr, env: dict[str, str]
+    ) -> str | None:
+        if isinstance(receiver, ast.Name):
+            if receiver.id in ("self", "cls") and info.class_name is not None:
+                return info.class_name
+            if receiver.id in env:
+                return env[receiver.id]
+            if receiver.id in self.project.classes:
+                return receiver.id
+            return None
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and info.class_name is not None
+        ):
+            return self._class_attr_types(info.class_name).get(receiver.attr)
+        if isinstance(receiver, ast.Call):
+            return self._constructed_class(receiver)
+        return None
+
+    # ---------------------------------------------------------- reachability
+
+    def determinism_roots(self) -> list[str]:
+        """Hot-path entry points, sorted: the engine loop, scheduler and
+        governor hooks, and the sweep reducers."""
+        roots: list[str] = []
+        for func in self.symbols.iter_functions():
+            path = func.module.path
+            if (
+                func.class_name == "Engine"
+                and path.startswith("src/repro/sim/")
+                and func.name in ("run_until", "run_until_idle", "step")
+            ):
+                roots.append(func.qualname)
+            elif (
+                func.class_name is not None
+                and func.is_public
+                and path.startswith(("src/repro/schedulers/", "src/repro/governors/"))
+            ):
+                roots.append(func.qualname)
+            elif (
+                func.class_name is None
+                and func.is_public
+                and path == "src/repro/sweep/metrics.py"
+            ):
+                roots.append(func.qualname)
+        return roots
+
+    def reachable_chains(
+        self, roots: list[str] | None = None
+    ) -> dict[str, tuple[str, ...]]:
+        """qualname → shortest root-first call chain, breadth-first.
+
+        Roots map to one-element chains.  Visiting order is deterministic:
+        roots are processed sorted, edges in source order, so the chain
+        reported for a function never varies between runs.
+        """
+        if roots is None:
+            roots = self.determinism_roots()
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: deque[str] = deque()
+        for root in sorted(roots):
+            if root not in chains and root in self.edges:
+                chains[root] = (root,)
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            chain = chains[current]
+            for callee in self.edges.get(current, ()):
+                if callee not in chains:
+                    chains[callee] = chain + (callee,)
+                    queue.append(callee)
+        return chains

@@ -1,6 +1,6 @@
-"""Text and JSON renderers for lint findings.
+"""Text, JSON and GitHub-annotation renderers for lint findings.
 
-Both renderers return strings — printing is the CLI's job (rule RPL502
+All renderers return strings — printing is the CLI's job (rule RPL502
 applies to this package too).  The JSON form is the stable machine schema:
 
 .. code-block:: json
@@ -34,6 +34,44 @@ def render_text(findings: Sequence[Finding]) -> str:
     noun = "finding" if len(findings) == 1 else "findings"
     lines.append(f"repro lint: {len(findings)} {noun}")
     return "\n".join(lines)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data (everything after ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions ``::error`` workflow commands, one per finding.
+
+    Emitted on a runner, each line becomes an inline annotation on the PR
+    diff at ``file:line``.  The rule code travels in ``title=`` so the
+    annotation header reads like the text renderer's prefix.
+    """
+    lines = [
+        "::error file={file},line={line},col={col},title={title}::{message}".format(
+            file=_escape_property(finding.path),
+            line=finding.line,
+            col=finding.col,
+            title=_escape_property(finding.code),
+            message=_escape_data(f"{finding.code} {finding.message}"),
+        )
+        for finding in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    tally = f"repro lint: {len(findings)} {noun}" if findings else "repro lint: clean"
+    return "\n".join([*lines, tally])
 
 
 def render_json(findings: Sequence[Finding]) -> str:

@@ -12,6 +12,8 @@ Families are grouped by hundreds:
 * ``RPL4xx`` — slots discipline (:mod:`.slots`)
 * ``RPL5xx`` — error hygiene (:mod:`.hygiene`)
 * ``RPL6xx`` — float purity (:mod:`.floatpurity`)
+* ``RPL7xx`` — unit purity (:mod:`.unitpurity`)
+* ``RPL8xx`` — transitive determinism (:mod:`.reachability`)
 
 Rules are *tuned to this codebase*: path scopes below name the actual
 modules whose invariants back the golden fixtures and store keys, not a
@@ -148,9 +150,20 @@ from .determinism import (  # noqa: E402
 )
 from .floatpurity import SetAccumulationRule, SetSumRule  # noqa: E402
 from .hygiene import NonLibraryRaiseRule, PrintRule  # noqa: E402
+from .reachability import (  # noqa: E402
+    TransitiveEntropyRule,
+    TransitiveRandomRule,
+    TransitiveWallClockRule,
+)
 from .registry_contract import RegistryHooksRule, RegistryTestedRule  # noqa: E402
 from .roundtrip import FromDictRule, ToDictRule  # noqa: E402
 from .slots import MissingSlotsRule, SlotsAssignmentRule  # noqa: E402
+from .unitpurity import (  # noqa: E402
+    PercentFractionRule,
+    UnitAssignRule,
+    UnitMixRule,
+    UnsuffixedParamRule,
+)
 
 #: Codes emitted by the runner itself rather than a visitor.
 FRAMEWORK_CODES: dict[str, str] = {
@@ -176,6 +189,13 @@ RULES: tuple[Rule, ...] = (
     PrintRule(),
     SetSumRule(),
     SetAccumulationRule(),
+    UnitMixRule(),
+    UnitAssignRule(),
+    PercentFractionRule(),
+    UnsuffixedParamRule(),
+    TransitiveWallClockRule(),
+    TransitiveEntropyRule(),
+    TransitiveRandomRule(),
 )
 
 

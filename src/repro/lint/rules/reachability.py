@@ -1,0 +1,100 @@
+"""RPL8xx — transitive determinism: the RPL1xx bans, closed over calls.
+
+RPL101–103 are module-local: they see a ``time.time()`` where it is
+written.  These rules close the gap the module-local view leaves open — a
+banned call hidden in a helper that a hot-path entry point *reaches
+through any number of hops*.  The roots (see
+:meth:`repro.lint.callgraph.CallGraph.determinism_roots`):
+
+* ``Engine.run_until`` / ``step`` / ``run_until_idle`` — the event loop;
+* every public method of the scheduler and governor classes — the hooks
+  the loop fires;
+* the public sweep reducers in ``sweep/metrics.py`` — they compute the
+  numbers the golden fixtures byte-compare.
+
+Findings point at the *sink* call site and carry the full root-first call
+chain in the message, so a report reads as a path, not a location:
+``repro.sim.engine.Engine.run_until -> repro.sim.engine.Engine.step ->
+repro.sim.engine._fire: wall-clock read `time.time()` ...``.
+
+Only library sinks (``src/repro/``) are reported: benchmarks time
+themselves with ``perf_counter`` on purpose, and a dynamic-dispatch
+fallback edge into one must not indict the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..source import Project, SourceModule
+from . import Rule, in_library
+
+
+class _TransitiveRule(Rule):
+    """Shared walk: report this rule's sink category along every chain."""
+
+    category: str = ""
+    advice: str = ""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.callgraph
+        chains = graph.reachable_chains()
+        for qualname in sorted(chains):
+            info = graph.symbols.function_at(qualname)
+            if info is None or not in_library(info.module.path):
+                continue
+            chain = chains[qualname]
+            for sink in graph.sinks.get(qualname, ()):
+                if sink.category != self.category:
+                    continue
+                yield self._chain_finding(info.module, sink.node, chain, sink.dotted)
+
+    def _chain_finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        chain: tuple[str, ...],
+        dotted: str,
+    ) -> Finding:
+        path = " -> ".join(chain)
+        return self.finding(
+            module,
+            node,
+            f"{self.category} call `{dotted}()` is reachable from a "
+            f"determinism root via {path}; {self.advice}",
+        )
+
+
+class TransitiveWallClockRule(_TransitiveRule):
+    code = "RPL801"
+    name = "no-reachable-wall-clock"
+    summary = (
+        "no wall-clock read may be reachable on the call graph from "
+        "Engine.run_until, scheduler/governor hooks, or sweep reducers"
+    )
+    category = "wall-clock"
+    advice = "simulated time must come from Engine.now"
+
+
+class TransitiveEntropyRule(_TransitiveRule):
+    code = "RPL802"
+    name = "no-reachable-entropy"
+    summary = (
+        "no OS-entropy source may be reachable on the call graph from the "
+        "determinism roots"
+    )
+    category = "entropy"
+    advice = "all randomness must flow through a seeded RngStreams stream"
+
+
+class TransitiveRandomRule(_TransitiveRule):
+    code = "RPL803"
+    name = "no-reachable-global-random"
+    summary = (
+        "no process-global random.* call (or unseeded random.Random()) may "
+        "be reachable from the determinism roots"
+    )
+    category = "global-random"
+    advice = "draw from a seeded RngStreams stream instead"

@@ -19,7 +19,13 @@ from .source import CODE_RE, Project, load_project
 
 
 def _resolve_codes(raw: Iterable[str] | None, option: str) -> frozenset[str] | None:
-    """Validate a ``--select``/``--ignore`` code list against the registry."""
+    """Validate a ``--select``/``--ignore`` code list against the registry.
+
+    Entries are full codes (``RPL701``) or family prefixes (``RPL7``,
+    ``RPL``): a prefix selects every registered code it starts.  A prefix
+    matching nothing is as much a typo as an unknown code — both raise
+    :class:`ConfigurationError` (CLI exit 2).
+    """
     if raw is None:
         return None
     codes: set[str] = set()
@@ -28,12 +34,17 @@ def _resolve_codes(raw: Iterable[str] | None, option: str) -> frozenset[str] | N
             code = code.strip()
             if not code:
                 continue
-            if code not in all_codes():
+            if code in all_codes():
+                codes.add(code)
+                continue
+            expanded = {known for known in all_codes() if known.startswith(code)}
+            if not expanded:
                 known = ", ".join(sorted(all_codes()))
                 raise ConfigurationError(
-                    f"{option}: unknown rule code {code!r}; known codes: {known}"
+                    f"{option}: unknown rule code or prefix {code!r}; "
+                    f"known codes: {known}"
                 )
-            codes.add(code)
+            codes.update(expanded)
     return frozenset(codes) if codes else None
 
 

@@ -251,6 +251,8 @@ class Project:
         self._by_path: Mapping[str, SourceModule] = {m.path: m for m in self.modules}
         self._classes: dict[str, list[ClassInfo]] | None = None
         self._test_strings: frozenset[str] | None = None
+        self._symbols = None
+        self._callgraph = None
 
     def module_at(self, path: str) -> SourceModule | None:
         """The module with exactly this repo-relative *path*, if linted."""
@@ -295,6 +297,24 @@ class Project:
                 if parent is not None:
                     stack.append(parent)
         return seen
+
+    @property
+    def symbols(self):
+        """The interprocedural symbol table (lazy; see ``lint/symbols.py``)."""
+        if self._symbols is None:
+            from .symbols import SymbolTable  # local: avoids an import cycle
+
+            self._symbols = SymbolTable(self)
+        return self._symbols
+
+    @property
+    def callgraph(self):
+        """The resolved call graph (lazy; see ``lint/callgraph.py``)."""
+        if self._callgraph is None:
+            from .callgraph import CallGraph  # local: avoids an import cycle
+
+            self._callgraph = CallGraph(self)
+        return self._callgraph
 
     @property
     def test_strings(self) -> frozenset[str]:

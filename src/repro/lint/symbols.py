@@ -1,0 +1,190 @@
+"""The project-wide symbol table: every function, resolved through imports.
+
+This is the first half of the interprocedural tier (the call graph in
+:mod:`repro.lint.callgraph` is the second).  It answers two questions the
+per-module rules cannot:
+
+* *what functions exist* — module-level functions and the methods of
+  module-level classes, each under a dotted qualname derived from the
+  repo-relative path (``src/repro/sim/engine.py`` →
+  ``repro.sim.engine.Engine.run_until``);
+* *what a name refers to* — import aliases resolved to dotted targets,
+  **including relative imports** (``from ..units import check_percent``
+  inside ``repro.cpu.power`` resolves to ``repro.units.check_percent``),
+  which the per-module :meth:`SourceModule.import_aliases` deliberately
+  skips because the stdlib ban lists never need them.
+
+Nested functions are *not* separate symbols: their bodies are attributed to
+the enclosing module-level function or method, which is the conservative
+reading for closures handed around as callbacks — if the parent is
+reachable, whatever the closure does is reachable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .source import Project, SourceModule
+
+
+def module_name_of(path: str) -> str:
+    """The dotted module name for a repo-relative path.
+
+    ``src/repro/sim/engine.py`` → ``repro.sim.engine``;
+    ``tests/lint/test_meta.py`` → ``tests.lint.test_meta``;
+    package ``__init__.py`` files name the package itself.
+    """
+    parts = path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        last = parts[-1][: -len(".py")]
+        parts = parts[:-1] if last == "__init__" else parts[:-1] + [last]
+    return ".".join(parts)
+
+
+def _package_of(path: str, module_name: str) -> str:
+    """The package a module's relative imports resolve against."""
+    if path.endswith("/__init__.py"):
+        return module_name
+    head, _, _ = module_name.rpartition(".")
+    return head
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One module-level function or method, addressable by qualname."""
+
+    qualname: str
+    module: "SourceModule"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        return not self.node.name.startswith("_")
+
+
+def _resolve_imports(module: "SourceModule", module_name: str) -> dict[str, str]:
+    """Local name → dotted target, absolute *and* relative imports."""
+    package = _package_of(module.path, module_name)
+    targets: dict[str, str] = {}
+    for node in module.walk():
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                targets[local] = alias.name if alias.asname else alias.name.partition(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                parts = package.split(".") if package else []
+                parts = parts[: len(parts) - (node.level - 1)]
+                if node.module:
+                    parts.append(node.module)
+                base = ".".join(parts)
+            for alias in node.names:
+                local = alias.asname or alias.name
+                targets[local] = f"{base}.{alias.name}" if base else alias.name
+    return targets
+
+
+class SymbolTable:
+    """Functions, classes, and import targets of one :class:`Project`."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        #: qualname → FunctionInfo, every module-level function and method.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: bare method name → [FunctionInfo, ...] (dynamic-dispatch fallback).
+        self.methods_named: dict[str, list[FunctionInfo]] = {}
+        #: module path → dotted module name.
+        self.module_names: dict[str, str] = {}
+        #: module path → {local name: dotted import target}.
+        self._imports: dict[str, dict[str, str]] = {}
+        #: dotted class qualname tail cache: bare class name → qualnames.
+        self._class_modules: dict[str, str] = {}
+        for mod in project.modules:
+            self._index_module(mod)
+
+    def _index_module(self, module: "SourceModule") -> None:
+        module_name = module_name_of(module.path)
+        self.module_names[module.path] = module_name
+        self._imports[module.path] = _resolve_imports(module, module_name)
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module_name}.{stmt.name}",
+                    module=module,
+                    node=stmt,
+                )
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self._class_modules.setdefault(stmt.name, module_name)
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = FunctionInfo(
+                            qualname=f"{module_name}.{stmt.name}.{item.name}",
+                            module=module,
+                            node=item,
+                            class_name=stmt.name,
+                        )
+                        self.functions[info.qualname] = info
+                        self.methods_named.setdefault(item.name, []).append(info)
+
+    # ------------------------------------------------------------ resolution
+
+    def imports_of(self, module: "SourceModule") -> Mapping[str, str]:
+        """Local name → dotted target for *module* (relative-aware)."""
+        return self._imports.get(module.path, {})
+
+    def resolve_dotted(self, module: "SourceModule", node: ast.expr) -> str | None:
+        """The dotted name of a call target with imports resolved.
+
+        ``check_percent`` under ``from ..units import check_percent`` →
+        ``repro.units.check_percent``; ``t.time`` under ``import time as t``
+        → ``time.time``.  None for anything that is not a plain name chain.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        head = self.imports_of(module).get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+    def function_at(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def method_on(self, class_name: str, method: str) -> FunctionInfo | None:
+        """Resolve *method* on *class_name* through project-visible bases."""
+        start = self.project.class_named(class_name)
+        if start is None:
+            return None
+        for ancestor in self.project.ancestry(start):
+            node = ancestor.methods.get(method)
+            if node is not None:
+                owner = module_name_of(ancestor.module.path)
+                return self.functions.get(f"{owner}.{ancestor.name}.{method}")
+        return None
+
+    def class_qualname(self, class_name: str) -> str | None:
+        """``repro.cpu.power.PowerModel`` for a bare project class name."""
+        module = self._class_modules.get(class_name)
+        return f"{module}.{class_name}" if module else None
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every known function, sorted by qualname (deterministic order)."""
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]

@@ -45,7 +45,7 @@ class _Account:
     weight: float
     cap: float  # nominal percent; 0 = uncapped
     priority_class: int
-    credits: float = 0.0  # seconds of owed CPU time
+    credit_s: float = 0.0  # seconds of owed CPU time
     usage_in_period: float = 0.0
     parked: bool = False
     queued: bool = False
@@ -57,7 +57,7 @@ class _Account:
     @property
     def under(self) -> bool:
         """Xen's UNDER priority: positive credit balance."""
-        return self.credits > 0.0
+        return self.credit_s > 0.0
 
     def cap_budget(self, period: float) -> float:
         """Remaining CPU seconds allowed in the current accounting period.
@@ -187,7 +187,7 @@ class CreditScheduler(Scheduler):
                     # Inline of _Account.cap_budget (keep in sync with it).
                     cap = account.cap
                     if cap <= 0.0 or cap / 100.0 * period - account.usage_in_period > MIN_BUDGET:
-                        if account.credits > 0.0:
+                        if account.credit_s > 0.0:
                             under = account
                         elif fallback is None:
                             fallback = account
@@ -220,7 +220,7 @@ class CreditScheduler(Scheduler):
         account = self._accounts.get(name)
         if account is None:
             account = self._account_of(vcpu)
-        account.credits -= wall_dt
+        account.credit_s -= wall_dt
         account.usage_in_period += wall_dt
         # Inline of _Account.cap_budget (keep in sync with it).
         cap = account.cap
@@ -265,9 +265,9 @@ class CreditScheduler(Scheduler):
         if total_weight > 0:
             for account in active:
                 share = account.weight / total_weight
-                account.credits += share * self.accounting_period
-                if account.credits > self.credit_clamp:
-                    account.credits = self.credit_clamp
+                account.credit_s += share * self.accounting_period
+                if account.credit_s > self.credit_clamp:
+                    account.credit_s = self.credit_clamp
         for account in self._accounts.values():
             account.usage_in_period = 0.0
             account.parked = False
@@ -293,4 +293,4 @@ class CreditScheduler(Scheduler):
 
     def credits_of(self, domain: "Domain") -> float:
         """Current credit balance in seconds (tests/telemetry)."""
-        return self._account_of(domain.vcpu).credits
+        return self._account_of(domain.vcpu).credit_s

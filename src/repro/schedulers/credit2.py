@@ -37,7 +37,7 @@ class _Credit2Account:
 
     vcpu: "VCpu"
     weight: float
-    credits: float = CREDIT_INIT
+    credit_s: float = CREDIT_INIT
 
 
 class Credit2Scheduler(Scheduler):
@@ -96,16 +96,16 @@ class Credit2Scheduler(Scheduler):
         if not runnable:
             self.stats.idle_picks += 1
             return None
-        best = max(runnable, key=lambda account: account.credits)
-        if best.credits <= 0.0:
+        best = max(runnable, key=lambda account: account.credit_s)
+        if best.credit_s <= 0.0:
             self._reset_credits()
-            best = max(runnable, key=lambda account: account.credits)
+            best = max(runnable, key=lambda account: account.credit_s)
         return best.vcpu
 
     def _reset_credits(self) -> None:
         self._resets += 1
         for account in self._accounts.values():
-            account.credits = min(account.credits + CREDIT_INIT, CREDIT_INIT)
+            account.credit_s = min(account.credit_s + CREDIT_INIT, CREDIT_INIT)
 
     def slice_for(self, vcpu: "VCpu", now: float) -> float:
         return self.quantum
@@ -115,11 +115,11 @@ class Credit2Scheduler(Scheduler):
         # Higher weight burns slower -> receives a proportionally larger
         # share of the processor under contention.
         reference = max(entry.weight for entry in self._accounts.values())
-        account.credits -= wall_dt * reference / account.weight
+        account.credit_s -= wall_dt * reference / account.weight
         self.stats.charge(vcpu.name, wall_dt)
 
     def should_preempt(self, current: "VCpu", waking: "VCpu") -> bool:
-        return self._account_of(waking).credits > self._account_of(current).credits
+        return self._account_of(waking).credit_s > self._account_of(current).credit_s
 
     # ----------------------------------------------------------- cap control
 
@@ -138,4 +138,4 @@ class Credit2Scheduler(Scheduler):
 
     def credits_of(self, vcpu: "VCpu") -> float:
         """Current balance (tests/telemetry)."""
-        return self._account_of(vcpu).credits
+        return self._account_of(vcpu).credit_s

@@ -11,6 +11,14 @@ The whole library uses three scalar conventions:
 Credits, caps and loads are percentages in ``[0, 100]`` unless a docstring
 says otherwise (a *fraction* is in ``[0, 1]``).
 
+These conventions are *enforced*, not just documented: the RPL7xx lint
+rules (``repro lint``; catalogue in ``docs/invariants.md``) infer a
+dimension for every name from its suffix (``_s``, ``_mhz``, ``_w``,
+``_percent``, ``_fraction``, ...) or stem (``credit``/``cap``/``load`` →
+percent) and flag dimension-mixing arithmetic, cross-dimension
+assignments, and percent↔fraction confusion at the
+:func:`check_percent`/:func:`check_fraction` boundary.
+
 These helpers centralise range checks so constructors across the library
 produce uniform, actionable error messages.
 """

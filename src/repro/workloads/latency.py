@@ -112,13 +112,15 @@ class LatencyTracker:
             raise WorkloadError("no completed requests to summarise")
         return self._max_latency
 
-    def percentile(self, p: float) -> float:
-        """Weighted percentile (``p`` in [0, 100]) of response times."""
-        if not 0.0 <= p <= 100.0:
-            raise WorkloadError(f"percentile must be within [0, 100], got {p}")
+    def percentile(self, p_percent: float) -> float:
+        """Weighted percentile (``p_percent`` in [0, 100]) of response times."""
+        if not 0.0 <= p_percent <= 100.0:
+            raise WorkloadError(
+                f"percentile must be within [0, 100], got {p_percent}"
+            )
         if self._total_weight == 0.0:
             raise WorkloadError("no completed requests to summarise")
-        target = self._total_weight * p / 100.0
+        target = self._total_weight * p_percent / 100.0
         cumulative = 0.0
         for latency, weight in self._samples:
             cumulative += weight

@@ -62,7 +62,7 @@ def _churny_sim(migration):
         vms=[vm],
         policy=_PingPong(),
         dvfs=True,
-        epoch=10.0,
+        epoch_s=10.0,
         migration=migration,
     )
     sim.run(100.0)
@@ -102,7 +102,7 @@ def test_copy_overhead_costs_energy():
 def test_none_migration_model_is_free():
     vm = ClusterVM("vm0", credit=30.0, memory_mb=2048, demand=lambda t: 20.0)
     sim = ClusterSim(
-        n_machines=2, vms=[vm], policy=_PingPong(), dvfs=True, epoch=10.0
+        n_machines=2, vms=[vm], policy=_PingPong(), dvfs=True, epoch_s=10.0
     )
     sim.run(50.0)
     assert sim.total_migrations == 4

@@ -65,7 +65,7 @@ def test_epoch_records_route_through_records_to_csv():
 def test_power_column_is_energy_over_epoch():
     sim = run_cluster_scenario(CONFIG)
     for stat in sim.stats:
-        assert stat.power_w == pytest.approx(stat.energy_joules / sim.epoch)
+        assert stat.power_w == pytest.approx(stat.energy_joules / sim.epoch_s)
 
 
 def test_host_records_cover_every_machine_every_epoch():

@@ -92,7 +92,7 @@ def test_consolidate_hysteresis_delays_the_drain():
         vms=vms,
         policy=ConsolidatePolicy(target_percent=75.0, hysteresis_epochs=3),
         dvfs=True,
-        epoch=10.0,
+        epoch_s=10.0,
     )
     sim.run(100.0)
     on_counts = [stat.machines_on for stat in sim.stats]
@@ -120,7 +120,7 @@ def test_consolidate_spills_overloaded_hosts_immediately():
         vms=vms,
         policy=ConsolidatePolicy(target_percent=75.0, spill_percent=88.0),
         dvfs=True,
-        epoch=10.0,
+        epoch_s=10.0,
     )
     sim.run(100.0)
     # 3x20+5 = 65% packs on one host; 3x45+5 = 140% must spill onto more.
@@ -130,7 +130,7 @@ def test_consolidate_spills_overloaded_hosts_immediately():
 
 
 def _final_demand_spread(sim):
-    last = sim.stats[-1].time - sim.epoch
+    last = sim.stats[-1].time - sim.epoch_s
     loads = [
         sum(vm.demand_at(last) for vm in machine.vms) for machine in sim.machines
     ]
@@ -200,7 +200,7 @@ def test_static_policy_is_reusable_object():
         ClusterVM(f"vm{i}", credit=30.0, memory_mb=4096, demand=lambda t: 10.0)
         for i in range(4)
     ]
-    sim = ClusterSim(n_machines=2, vms=vms, policy=policy, dvfs=True, epoch=10.0)
+    sim = ClusterSim(n_machines=2, vms=vms, policy=policy, dvfs=True, epoch_s=10.0)
     sim.run(50.0)
     assert current_assignment(sim.machines) == {
         "vm0": "m000",

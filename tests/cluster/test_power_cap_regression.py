@@ -1,0 +1,42 @@
+"""Pinned reproduction of the power-budget cap overshoot (ROADMAP dir. 4).
+
+``repro cluster compare --replicates`` first surfaced this: on the
+``dc-diurnal-small`` preset under the ``power-budget`` policy, some
+replicates peak well above the 80 W fleet budget — 91.9 W on the worst one.
+The policy reacts one epoch late: machines are packed against the budget
+using the *previous* epoch's demand, so a steep diurnal ramp lands on a
+fleet already at the cap.
+
+The test is ``xfail(strict=True)``: it documents the defect as a
+reproducible failing case, and the moment a budget-policy fix makes the
+fleet respect its cap, the unexpected pass flips the suite red so the
+marker (and this docstring) get retired deliberately.
+"""
+
+import pytest
+
+from repro.cluster.scenario import run_cluster_scenario
+from repro.experiments.presets import get_preset
+from repro.sweep.grid import derive_cell_seed
+
+#: Root seed 11 is what `repro cluster compare --seed 11 --replicates 10`
+#: uses; replicate 0's derived cell seed is the worst observed offender.
+OFFENDING_SEED = derive_cell_seed(11, "policy=power-budget,rep=0")
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason=(
+        "known defect (ROADMAP direction 4): power-budget packs against the "
+        "previous epoch's demand, so the dc-diurnal-small ramp overshoots "
+        f"the 80 W budget (91.9 W peak at derived seed {OFFENDING_SEED})"
+    ),
+)
+def test_power_budget_policy_respects_fleet_cap():
+    assert OFFENDING_SEED == 202060482  # pin the derivation, not just the label
+    config = get_preset("dc-diurnal-small").config.with_changes(
+        policy="power-budget", seed=OFFENDING_SEED
+    )
+    sim = run_cluster_scenario(config)
+    assert config.power_budget_w == 80.0
+    assert sim.peak_power_w <= config.power_budget_w

@@ -20,7 +20,7 @@ def population(n, demand=15.0):
 
 def test_run_produces_one_stat_per_epoch():
     sim = ClusterSim(
-        n_machines=4, vms=population(4), policy=consolidate_first_fit, dvfs=True, epoch=10.0
+        n_machines=4, vms=population(4), policy=consolidate_first_fit, dvfs=True, epoch_s=10.0
     )
     stats = sim.run(100.0)
     assert len(stats) == 10
@@ -84,7 +84,7 @@ def test_repack_every_skips_policy_runs():
         policy=consolidate_first_fit,
         dvfs=True,
         repack_every=5,
-        epoch=10.0,
+        epoch_s=10.0,
     )
     sim.run(100.0)
     assert sim.mean_machines_on < 4

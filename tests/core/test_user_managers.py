@@ -13,7 +13,7 @@ def test_user_credit_manager_rescales_caps_under_autonomous_governor():
     host = make_host(scheduler="credit", governor=StableGovernor(dwell=0.0))
     vm = host.create_domain("vm", credit=20)
     vm.attach_workload(ConstantLoad(100, injection_period=0.01))
-    manager = UserCreditManager(host, reaction_latency=0.0)
+    manager = UserCreditManager(host, reaction_latency_s=0.0)
     host.start()
     manager.start()
     host.run(until=30.0)
@@ -36,7 +36,7 @@ def test_user_credit_manager_restores_absolute_capacity():
 def test_user_credit_manager_reaction_latency_defers_caps():
     host = make_host(scheduler="credit", governor="userspace")
     vm = host.create_domain("vm", credit=20)
-    manager = UserCreditManager(host, poll_period=1.0, reaction_latency=0.5)
+    manager = UserCreditManager(host, poll_period=1.0, reaction_latency_s=0.5)
     host.start()
     manager.start()
     host.cpufreq.set_speed(1600)
@@ -49,7 +49,7 @@ def test_user_credit_manager_reaction_latency_defers_caps():
 def test_user_credit_manager_stop():
     host = make_host(scheduler="credit", governor="userspace")
     host.create_domain("vm", credit=20)
-    manager = UserCreditManager(host, reaction_latency=0.0)
+    manager = UserCreditManager(host, reaction_latency_s=0.0)
     host.start()
     manager.start()
     host.run(until=2.0)
@@ -122,7 +122,7 @@ def test_user_full_manager_invalid_window():
 def test_managers_apply_dom0_policy_flag():
     host = make_host(scheduler="credit", governor="userspace")
     dom0 = host.create_domain("Dom0", credit=10, dom0=True)
-    manager = UserCreditManager(host, reaction_latency=0.0, update_dom0=False)
+    manager = UserCreditManager(host, reaction_latency_s=0.0, update_dom0=False)
     host.start()
     manager.start()
     host.cpufreq.set_speed(1600)

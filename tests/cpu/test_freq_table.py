@@ -101,7 +101,7 @@ def test_lowest_absorbing_strict_inequality(table):
 
 def test_lowest_absorbing_with_margin(table):
     # 58% + 5 margin = 63% > 60% capacity of 1600 -> next state.
-    assert table.lowest_absorbing(58.0, margin=5.0).freq_mhz == 1867
+    assert table.lowest_absorbing(58.0, margin_percent=5.0).freq_mhz == 1867
     assert table.lowest_absorbing(58.0).freq_mhz == 1600
 
 

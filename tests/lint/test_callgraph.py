@@ -1,0 +1,365 @@
+"""Unit tests for the interprocedural tier: symbols and the call graph.
+
+Everything here runs on in-memory sources mounted at virtual repo paths
+(same convention as the rule fixtures), exercising import-alias
+resolution, method lookup through project-visible bases, dynamic-dispatch
+fallback, and cycle-safe reachability.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Project, SourceModule
+from repro.lint.symbols import module_name_of
+
+
+def project_of(sources):
+    return Project(
+        [
+            SourceModule(path, textwrap.dedent(source))
+            for path, source in sources.items()
+        ]
+    )
+
+
+# ------------------------------------------------------------ symbol table
+
+
+def test_module_name_of_layouts():
+    assert module_name_of("src/repro/sim/engine.py") == "repro.sim.engine"
+    assert module_name_of("src/repro/lint/__init__.py") == "repro.lint"
+    assert module_name_of("tests/lint/test_meta.py") == "tests.lint.test_meta"
+    assert module_name_of("benchmarks/bench_engine.py") == "benchmarks.bench_engine"
+
+
+def test_symbols_index_functions_and_methods():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            def helper():
+                pass
+
+            class Thing:
+                def fire(self):
+                    pass
+            """
+        }
+    )
+    table = project.symbols
+    assert table.function_at("repro.pkg.mod.helper") is not None
+    method = table.function_at("repro.pkg.mod.Thing.fire")
+    assert method is not None and method.class_name == "Thing"
+    assert [info.qualname for info in table.methods_named["fire"]] == [
+        "repro.pkg.mod.Thing.fire"
+    ]
+
+
+def test_relative_import_resolves_to_dotted_target():
+    project = project_of(
+        {
+            "src/repro/units.py": """
+            def check_percent(value, name):
+                return value
+            """,
+            "src/repro/cpu/power.py": """
+            from ..units import check_percent
+
+            def use(value):
+                return check_percent(value, "value")
+            """,
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.cpu.power.use"] == ("repro.units.check_percent",)
+
+
+def test_aliased_module_import_resolves():
+    project = project_of(
+        {
+            "src/repro/core/laws.py": """
+            def absolute_load(nominal_load, ratio):
+                return nominal_load * ratio
+            """,
+            "src/repro/governors/x.py": """
+            import repro.core.laws as laws
+
+            def decide(load):
+                return laws.absolute_load(load, 0.5)
+            """,
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.governors.x.decide"] == (
+        "repro.core.laws.absolute_load",
+    )
+
+
+def test_aliased_function_import_resolves():
+    project = project_of(
+        {
+            "src/repro/units.py": """
+            def check_percent(value, name):
+                return value
+            """,
+            "src/repro/other.py": """
+            from repro.units import check_percent as cp
+
+            def use(value):
+                return cp(value, "value")
+            """,
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.other.use"] == ("repro.units.check_percent",)
+
+
+# --------------------------------------------------------------- call graph
+
+
+def test_self_call_resolves_through_base_class():
+    project = project_of(
+        {
+            "src/repro/pkg/base.py": """
+            class Base:
+                def hook(self):
+                    pass
+            """,
+            "src/repro/pkg/child.py": """
+            from .base import Base
+
+            class Child(Base):
+                def run(self):
+                    self.hook()
+            """,
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.pkg.child.Child.run"] == ("repro.pkg.base.Base.hook",)
+
+
+def test_annotated_parameter_receiver_resolves():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            class Worker:
+                def fire(self):
+                    pass
+
+            def drive(worker: Worker):
+                worker.fire()
+            """
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.pkg.mod.drive"] == ("repro.pkg.mod.Worker.fire",)
+
+
+def test_local_construction_receiver_resolves():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            class Worker:
+                def __init__(self):
+                    pass
+
+                def fire(self):
+                    pass
+
+            def drive():
+                w = Worker()
+                w.fire()
+            """
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.pkg.mod.drive"] == (
+        "repro.pkg.mod.Worker.__init__",
+        "repro.pkg.mod.Worker.fire",
+    )
+
+
+def test_self_attribute_type_resolves():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            class Clock:
+                def tick_tock(self):
+                    pass
+
+            class Holder:
+                def __init__(self):
+                    self.clock = Clock()
+
+                def run(self):
+                    self.clock.tick_tock()
+            """
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.pkg.mod.Holder.run"] == (
+        "repro.pkg.mod.Clock.tick_tock",
+    )
+
+
+def test_unknown_receiver_falls_back_to_every_method_of_that_name():
+    project = project_of(
+        {
+            "src/repro/a.py": """
+            class One:
+                def fire(self):
+                    pass
+            """,
+            "src/repro/b.py": """
+            class Two:
+                def fire(self):
+                    pass
+            """,
+            "src/repro/c.py": """
+            def drive(thing):
+                thing.fire()
+            """,
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.c.drive"] == (
+        "repro.a.One.fire",
+        "repro.b.Two.fire",
+    )
+
+
+def test_container_method_names_do_not_fan_out():
+    project = project_of(
+        {
+            "src/repro/a.py": """
+            class Registry:
+                def get(self, name):
+                    pass
+            """,
+            "src/repro/c.py": """
+            def drive(mapping):
+                mapping.get("x")
+            """,
+        }
+    )
+    graph = project.callgraph
+    assert graph.edges["repro.c.drive"] == ()
+
+
+def test_nested_functions_attach_to_their_parent():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            def leaf():
+                pass
+
+            def outer():
+                def inner():
+                    leaf()
+                return inner
+            """
+        }
+    )
+    graph = project.callgraph
+    assert "repro.pkg.mod.outer.inner" not in graph.edges
+    assert graph.edges["repro.pkg.mod.outer"] == ("repro.pkg.mod.leaf",)
+
+
+# ------------------------------------------------------------- reachability
+
+
+def test_reachable_chains_terminate_on_cycles():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            def a():
+                b()
+
+            def b():
+                a()
+            """
+        }
+    )
+    graph = project.callgraph
+    chains = graph.reachable_chains(["repro.pkg.mod.a"])
+    assert chains["repro.pkg.mod.a"] == ("repro.pkg.mod.a",)
+    assert chains["repro.pkg.mod.b"] == ("repro.pkg.mod.a", "repro.pkg.mod.b")
+
+
+def test_reachable_chains_are_shortest_and_root_first():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            def root():
+                middle()
+                leaf()
+
+            def middle():
+                leaf()
+
+            def leaf():
+                pass
+            """
+        }
+    )
+    chains = project.callgraph.reachable_chains(["repro.pkg.mod.root"])
+    # BFS: leaf's chain goes straight from the root, not through middle.
+    assert chains["repro.pkg.mod.leaf"] == (
+        "repro.pkg.mod.root",
+        "repro.pkg.mod.leaf",
+    )
+
+
+def test_determinism_roots_cover_engine_hooks_and_reducers():
+    project = project_of(
+        {
+            "src/repro/sim/engine.py": """
+            class Engine:
+                def run_until(self, time):
+                    pass
+
+                def _pump(self):
+                    pass
+            """,
+            "src/repro/schedulers/toy.py": """
+            class ToyScheduler:
+                def tick(self, now):
+                    pass
+
+                def _internal(self):
+                    pass
+            """,
+            "src/repro/sweep/metrics.py": """
+            def load_metrics(rows):
+                return rows
+
+            def _helper(rows):
+                return rows
+            """,
+        }
+    )
+    roots = project.callgraph.determinism_roots()
+    assert "repro.sim.engine.Engine.run_until" in roots
+    assert "repro.schedulers.toy.ToyScheduler.tick" in roots
+    assert "repro.sweep.metrics.load_metrics" in roots
+    assert "repro.sim.engine.Engine._pump" not in roots
+    assert "repro.schedulers.toy.ToyScheduler._internal" not in roots
+    assert "repro.sweep.metrics._helper" not in roots
+
+
+def test_sinks_record_aliased_wall_clock():
+    project = project_of(
+        {
+            "src/repro/pkg/mod.py": """
+            import time as _clock
+
+            def stamp():
+                return _clock.time()
+            """
+        }
+    )
+    graph = project.callgraph
+    sinks = graph.sinks["repro.pkg.mod.stamp"]
+    assert [(sink.category, sink.dotted) for sink in sinks] == [
+        ("wall-clock", "time.time")
+    ]

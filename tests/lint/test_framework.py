@@ -133,9 +133,9 @@ def test_catalog_covers_every_code():
         assert entry["summary"], entry["code"]
 
 
-def test_all_six_rule_families_registered():
+def test_all_eight_rule_families_registered():
     families = {rule.code[3] for rule in RULES}
-    assert families == {"1", "2", "3", "4", "5", "6"}
+    assert families == {"1", "2", "3", "4", "5", "6", "7", "8"}
 
 
 # --------------------------------------------------------------------- CLI
@@ -186,3 +186,75 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in sorted(all_codes()):
         assert code in out
+
+
+# --------------------------------------------------- prefixes & renderers
+
+
+def test_select_family_prefix_expands(codes_of):
+    sources = {
+        "src/repro/cpu/fake.py": """
+        import time
+
+        def f(margin: float):
+            return time.time()
+        """
+    }
+    # RPL7 selects the whole unit-purity family; the wall clock (RPL101)
+    # is deselected along with everything else outside the prefix.
+    assert codes_of(sources, select=["RPL7"]) == ["RPL704"]
+
+
+def test_ignore_family_prefix_drops_family(codes_of):
+    sources = {
+        "src/repro/cpu/fake.py": """
+        import time
+
+        def f(margin: float):
+            return time.time()
+        """
+    }
+    assert codes_of(sources, ignore=["RPL7"]) == ["RPL101"]
+
+
+def test_unknown_prefix_rejected(codes_of):
+    with pytest.raises(ConfigurationError):
+        codes_of({LIB: "x = 1\n"}, select=["RPL9"])
+
+
+def test_cli_unknown_prefix_exits_two(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "src/repro/lint", "--select", "RPL9"]) == 2
+    assert "unknown rule code or prefix" in capsys.readouterr().err
+
+
+def test_github_renderer_emits_error_annotations(lint_sources):
+    findings = lint_sources({LIB: VIOLATION})
+    from repro.lint import render_github
+
+    output = render_github(findings)
+    first = output.splitlines()[0]
+    assert first.startswith(f"::error file={LIB},line=4,col=")
+    assert "title=RPL101" in first
+    assert "::RPL101 wall-clock read" in first
+    assert output.splitlines()[-1] == "repro lint: 1 finding"
+
+
+def test_github_renderer_clean_tally():
+    from repro.lint import render_github
+
+    assert render_github([]) == "repro lint: clean"
+
+
+def test_cli_github_format(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    bad = pkg / "clocky.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    from repro.cli import main
+
+    assert main(["lint", str(bad), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/repro/sim/clocky.py,line=4," in out

@@ -63,3 +63,60 @@ def test_no_suppressions_currently_needed():
         for suppression in module.suppressions
     ]
     assert suppressions == []
+
+
+def test_planted_unit_mix_in_power_model_is_caught(tmp_path):
+    # Plant a watts + kilowatt-hours addition in a copy of cpu/power.py:
+    # the RPL701 dimension checker must report it with file and line.
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    cpu = tmp_path / "src" / "repro" / "cpu"
+    cpu.mkdir(parents=True)
+    power_source = (REPO / "src" / "repro" / "cpu" / "power.py").read_text()
+    planted = power_source + (
+        "\n\ndef _planted_total(power_w: float, energy_kwh: float) -> float:\n"
+        "    return power_w + energy_kwh\n"
+    )
+    (cpu / "power.py").write_text(planted)
+    findings = lint_paths([str(tmp_path / "src")])
+    mixes = [f for f in findings if f.code == "RPL701"]
+    assert mixes, "\n" + render_text(findings)
+    assert all(f.path == "src/repro/cpu/power.py" for f in mixes)
+    assert mixes[0].line == len(planted.splitlines())
+    assert "[W]" in mixes[0].message and "[kWh]" in mixes[0].message
+
+
+def test_planted_transitive_wall_clock_below_run_until_is_caught(tmp_path):
+    # Plant a time.time() two helper-hops below Engine.run_until in a copy
+    # of the real engine: RPL801 must report the sink with the full chain.
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    sim = tmp_path / "src" / "repro" / "sim"
+    sim.mkdir(parents=True)
+    engine_source = (REPO / "src" / "repro" / "sim" / "engine.py").read_text()
+    planted = engine_source.replace(
+        "import heapq",
+        "import heapq\nimport time as _clock",
+        1,
+    ).replace(
+        "        self._running = True\n        heap = self._heap",
+        "        self._running = True\n        _hop_one()\n        heap = self._heap",
+        1,
+    ) + (
+        "\n\ndef _hop_one():\n"
+        "    return _hop_two()\n"
+        "\n\ndef _hop_two():\n"
+        "    return _clock.time()\n"
+    )
+    assert planted != engine_source
+    (sim / "engine.py").write_text(planted)
+    findings = lint_paths([str(tmp_path / "src")])
+    transitive = [f for f in findings if f.code == "RPL801"]
+    assert transitive, "\n" + render_text(findings)
+    finding = transitive[0]
+    assert finding.path == "src/repro/sim/engine.py"
+    assert (
+        "repro.sim.engine.Engine.run_until -> repro.sim.engine._hop_one "
+        "-> repro.sim.engine._hop_two" in finding.message
+    )
+    assert "`time.time()`" in finding.message
+    # The direct, module-local rule sees the same sink — both tiers agree.
+    assert any(f.code == "RPL101" for f in findings)

@@ -477,3 +477,280 @@ def test_float_purity_out_of_scope_elsewhere(codes_of):
         def total(values):
             return sum(set(values))
         """}) == []
+
+
+# ------------------------------------------------ RPL7xx unit purity
+
+
+def test_dimension_mixing_addition_fires(codes_of):
+    assert codes_of({LIB: """
+        def total(power_w, energy_kwh):
+            return power_w + energy_kwh
+        """}) == ["RPL701"]
+
+
+def test_same_dimension_addition_quiet(codes_of):
+    assert codes_of({LIB: """
+        def total(idle_w, busy_w):
+            return idle_w + busy_w
+        """}) == []
+
+
+def test_dimension_mixing_product_is_a_conversion(codes_of):
+    # Multiplying is how units legitimately change; only +/- mix.
+    assert codes_of({LIB: """
+        def energy(power_w, dt):
+            return power_w * dt
+        """}) == []
+
+
+def test_dimension_mixing_comparison_fires(codes_of):
+    assert codes_of({LIB: """
+        def check(busy_s, load_percent):
+            return busy_s > load_percent
+        """}) == ["RPL701"]
+
+
+def test_dimension_mixing_augassign_fires(codes_of):
+    assert codes_of({LIB: """
+        def accumulate(total_s, load_percent):
+            total_s += load_percent
+            return total_s
+        """}) == ["RPL701"]
+
+
+def test_dimension_mixing_suppressed(codes_of):
+    assert codes_of({LIB: """
+        def total(power_w, energy_kwh):
+            return power_w + energy_kwh  # repro-lint: disable=RPL701
+        """}) == []
+
+
+def test_cross_dimension_assignment_fires(codes_of):
+    assert codes_of({LIB: """
+        def convert(load_percent):
+            duration_s = load_percent
+            return duration_s
+        """}) == ["RPL702"]
+
+
+def test_cross_dimension_assignment_with_conversion_quiet(codes_of):
+    assert codes_of({LIB: """
+        def convert(load_percent):
+            load_fraction = load_percent / 100.0
+            return load_fraction
+        """}) == []
+
+
+def test_same_dimension_assignment_quiet(codes_of):
+    assert codes_of({LIB: """
+        def alias(busy_s):
+            duration_s = busy_s
+            return duration_s
+        """}) == []
+
+
+def test_cross_dimension_assignment_suppressed(codes_of):
+    assert codes_of({LIB: """
+        def convert(load_percent):
+            duration_s = load_percent  # repro-lint: disable=RPL702
+            return duration_s
+        """}) == []
+
+
+def test_percent_compared_to_fraction_bound_fires(codes_of):
+    assert codes_of({LIB: """
+        def busy(load_percent):
+            return load_percent > 0.95
+        """}) == ["RPL703"]
+
+
+def test_fraction_compared_to_percent_bound_fires(codes_of):
+    assert codes_of({LIB: """
+        def busy(share_fraction):
+            return share_fraction > 95.0
+        """}) == ["RPL703"]
+
+
+def test_percent_compared_to_percent_bound_quiet(codes_of):
+    assert codes_of({LIB: """
+        def busy(load_percent):
+            return load_percent > 95.0
+        """}) == []
+
+
+def test_check_fraction_on_percent_name_fires(codes_of):
+    assert codes_of({LIB: """
+        def validate(load_percent):
+            return check_fraction(load_percent, "load")
+        """}) == ["RPL703"]
+
+
+def test_check_percent_on_fraction_name_fires(codes_of):
+    assert codes_of({LIB: """
+        def validate(share_fraction):
+            return check_percent(share_fraction, "share")
+        """}) == ["RPL703"]
+
+
+def test_check_fraction_on_fraction_name_quiet(codes_of):
+    assert codes_of({LIB: """
+        def validate(share_fraction):
+            return check_fraction(share_fraction, "share")
+        """}) == []
+
+
+def test_percent_fraction_confusion_suppressed(codes_of):
+    assert codes_of({LIB: """
+        def validate(load_percent):
+            return check_fraction(load_percent, "load")  # repro-lint: disable=RPL703
+        """}) == []
+
+
+def test_unsuffixed_float_param_fires_in_accounting(codes_of):
+    assert codes_of({ACCT: """
+        def scale(margin: float):
+            return margin
+        """}) == ["RPL704"]
+
+
+def test_suffixed_float_param_quiet(codes_of):
+    assert codes_of({ACCT: """
+        def scale(margin_percent: float):
+            return margin_percent
+        """}) == []
+
+
+def test_dimensionless_allowlist_param_quiet(codes_of):
+    assert codes_of({ACCT: """
+        def scale(value: float, weight: float, cf: float):
+            return value * weight * cf
+        """}) == []
+
+
+def test_private_function_param_exempt(codes_of):
+    assert codes_of({ACCT: """
+        def _scale(margin: float):
+            return margin
+        """}) == []
+
+
+def test_init_params_are_public_api(codes_of):
+    assert codes_of({ACCT: """
+        class Model:
+            def __init__(self, margin: float):
+                self.margin_percent = margin
+        """}) == ["RPL704"]
+
+
+def test_unsuffixed_param_out_of_scope_outside_accounting(codes_of):
+    assert codes_of({"src/repro/governors/fake.py": """
+        def scale(margin: float):
+            return margin
+        """}) == []
+
+
+def test_unsuffixed_param_suppressed(codes_of):
+    assert codes_of({ACCT: """
+        def scale(margin: float):  # repro-lint: disable=RPL704
+            return margin
+        """}) == []
+
+
+# --------------------------------------- RPL8xx transitive determinism
+
+
+def test_wall_clock_two_hops_below_run_until_fires(lint_sources):
+    findings = lint_sources(
+        {
+            "src/repro/sim/fake_engine.py": """
+            import time as _clock
+
+            class Engine:
+                def run_until(self, time):
+                    self._drain()
+
+                def _drain(self):
+                    self._stamp()
+
+                def _stamp(self):
+                    return _clock.time()
+            """
+        },
+        select=["RPL801"],
+    )
+    assert [finding.code for finding in findings] == ["RPL801"]
+    message = findings[0].message
+    assert (
+        "repro.sim.fake_engine.Engine.run_until -> "
+        "repro.sim.fake_engine.Engine._drain -> "
+        "repro.sim.fake_engine.Engine._stamp" in message
+    )
+    assert "`time.time()`" in message
+
+
+def test_entropy_below_scheduler_hook_fires(lint_sources):
+    findings = lint_sources(
+        {
+            "src/repro/schedulers/fake.py": """
+            import os
+
+            class FakeScheduler:
+                def pick_next(self, now):
+                    return _salt()
+
+            def _salt():
+                return os.urandom(4)
+            """
+        },
+        select=["RPL802"],
+    )
+    assert [finding.code for finding in findings] == ["RPL802"]
+    assert "pick_next -> repro.schedulers.fake._salt" in findings[0].message
+
+
+def test_global_random_below_sweep_reducer_fires(lint_sources):
+    findings = lint_sources(
+        {
+            "src/repro/sweep/metrics.py": """
+            import random
+
+            def load_metrics(rows):
+                return _jitter(rows)
+
+            def _jitter(rows):
+                return random.random()
+            """
+        },
+        select=["RPL803"],
+    )
+    assert [finding.code for finding in findings] == ["RPL803"]
+    assert "load_metrics -> repro.sweep.metrics._jitter" in findings[0].message
+
+
+def test_unreachable_sink_quiet_for_transitive_rules(codes_of):
+    # The banned call sits in a private helper no root reaches; RPL101
+    # still fires module-locally, but RPL8xx stays quiet.
+    assert codes_of({"src/repro/schedulers/fake.py": """
+        import time as _clock
+
+        class FakeScheduler:
+            def pick_next(self, now):
+                return now
+
+        def _orphan():
+            return _clock.time()
+        """, }, select=["RPL801"]) == []
+
+
+def test_transitive_wall_clock_suppressed_at_sink(codes_of):
+    assert codes_of({"src/repro/sim/fake_engine.py": """
+        import time as _clock
+
+        class Engine:
+            def run_until(self, time):
+                return self._stamp()
+
+            def _stamp(self):
+                return _clock.time()  # repro-lint: disable=RPL801
+        """, }, select=["RPL801"]) == []
