@@ -142,11 +142,16 @@ def _bench_paper_scenario() -> dict:
     """The paper's §5.3 default scenario end to end (800 simulated s)."""
     from repro.experiments import ScenarioConfig, run_scenario
 
+    from repro.obs import collect_outcome, MetricsRegistry
+
     result = run_scenario(ScenarioConfig())
+    registry = MetricsRegistry()
+    collect_outcome(registry, result)
     return {
         "sim_seconds": result.host.now,
         "events": result.host.engine.events_fired,
         "energy_joules": result.energy_joules,
+        "counters": registry.snapshot(),
     }
 
 
@@ -194,6 +199,42 @@ def _bench_store_warm() -> dict:
     }
 
 
+def _bench_tracing_off() -> dict:
+    """Hook-overhead guard: disabled observability must cost nothing.
+
+    Runs the stress-fleet grid plain and then traced+metered, asserts the
+    two exports are byte-identical, and reports the overhead ratio.  The
+    plain (tracing-off) wall time rides the same ``--compare`` envelope as
+    every other bench, so a hook that sneaks per-event cost into the
+    disabled hot path fails CI even though tracing is opt-in.
+    """
+    from repro.experiments import preset_grid
+    from repro.obs import MetricsRegistry, observed, Tracer
+    from repro.sweep import run_sweep
+
+    grid = preset_grid("stress-fleet")
+    started = time.perf_counter()
+    plain = run_sweep(grid, workers=1)
+    off_s = time.perf_counter() - started
+
+    tracer = Tracer(categories=("sched", "cpufreq"))
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    with observed(tracer=tracer, metrics=registry):
+        traced = run_sweep(grid, workers=1)
+    on_s = time.perf_counter() - started
+    if plain.to_json() != traced.to_json():
+        raise AssertionError("traced sweep export diverged from untraced export")
+    return {
+        "cells": len(plain.cells),
+        "tracing_off_s": off_s,
+        "tracing_on_s": on_s,
+        "overhead_ratio": on_s / off_s if off_s > 0 else float("inf"),
+        "trace_events": len(tracer.events),
+        "counters": registry.snapshot(),
+    }
+
+
 def _bench_cluster_epoch() -> dict:
     """The dc-diurnal-small fleet day through the orchestration loop."""
     from repro.cluster.scenario import run_cluster_scenario
@@ -211,6 +252,7 @@ NATIVE_BENCHES: dict[str, Callable[[], dict]] = {
     "engine-events": _bench_engine_events,
     "paper-5.3": _bench_paper_scenario,
     "stress-fleet-cold": _bench_stress_fleet_cold,
+    "tracing-off": _bench_tracing_off,
     "store-warm": _bench_store_warm,
     "dc-diurnal-small": _bench_cluster_epoch,
 }

@@ -90,6 +90,95 @@ _ABLATIONS: dict[str, Callable] = {
 }
 
 
+def _observation_for(trace_out: str | None, metrics_out: str | None) -> tuple:
+    """``(tracer, registry)`` per ``--trace``/``--metrics-out`` (None = off)."""
+    tracer = None
+    registry = None
+    if trace_out:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    if metrics_out:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    return tracer, registry
+
+
+def _write_observations(
+    trace_out: str | None, metrics_out: str | None, tracer, registry, outcome=None
+) -> None:
+    """Save the side files the observation flags asked for."""
+    if tracer is not None:
+        path = tracer.save(trace_out)
+        print(f"wrote {len(tracer.events)} trace events to {path}")
+    if registry is not None:
+        if outcome is not None:
+            from .obs import collect_outcome
+
+            collect_outcome(registry, outcome)
+        path = registry.save(metrics_out)
+        print(f"wrote {len(registry)} metrics to {path}")
+
+
+class _SweepReporter:
+    """Live cells/s + cache-hit progress for the sweep commands.
+
+    Fed by :class:`~repro.sweep.runner.SweepRunner`'s ``progress`` callback;
+    writes to stderr so piped stdout stays machine-readable.  Verbosity 0
+    (``--quiet``) is silent, 1 (default) keeps one live line rewritten in
+    place, 2 (``-v``) prints one line per finished cell.
+    """
+
+    def __init__(self, total: int, verbosity: int) -> None:
+        from .obs.profile import wall_now
+
+        self.total = total
+        self.verbosity = verbosity
+        self.done = 0
+        self.hits = 0
+        self._wall_now = wall_now
+        self._began = wall_now()
+        self._live = False
+
+    def __call__(self, result, from_cache: bool) -> None:
+        self.done += 1
+        if from_cache:
+            self.hits += 1
+        if self.verbosity <= 0:
+            return
+        elapsed = self._wall_now() - self._began
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        if self.verbosity >= 2:
+            source = "warm" if from_cache else "computed"
+            print(
+                f"[{self.done}/{self.total}] {result.label} "
+                f"({source}, {rate:.1f} cells/s)",
+                file=sys.stderr,
+            )
+        else:
+            self._live = True
+            print(
+                f"cells {self.done}/{self.total} "
+                f"({self.hits} warm, {rate:.1f} cells/s)",
+                file=sys.stderr,
+                end="\r",
+            )
+
+    def finish(self) -> None:
+        """Terminate the live line so the summary table starts clean."""
+        if self._live:
+            print(file=sys.stderr)
+            self._live = False
+
+
+def _verbosity_of(args) -> int:
+    """0 for --quiet, 1 by default, 2+ per repeated -v."""
+    if getattr(args, "quiet", False):
+        return 0
+    return 1 + getattr(args, "verbose", 0)
+
+
 def _report_of(outcome) -> object:
     return outcome[-1] if isinstance(outcome, tuple) else outcome
 
@@ -253,13 +342,18 @@ def _run_cluster_config(
     out_series: str | None = None,
     out_hosts: str | None = None,
     out_migrations: str | None = None,
+    trace_out: str | None = None,
+    metrics_out: str | None = None,
 ) -> int:
     """Run a fleet config and print its placement + per-epoch summary."""
     from .cluster.scenario import run_cluster_scenario
+    from .obs import observed
     from .sweep.metrics import cluster_metrics
     from .telemetry.series import TimeSeries
 
-    sim = run_cluster_scenario(config)
+    tracer, registry = _observation_for(trace_out, metrics_out)
+    with observed(tracer=tracer, metrics=registry):
+        sim = run_cluster_scenario(config)
     rows = [
         [
             machine.name,
@@ -333,6 +427,7 @@ def _run_cluster_config(
         _write_records_csv(
             sim.migration_records(), out_migrations, "migration", MIGRATION_RECORD_FIELDS
         )
+    _write_observations(trace_out, metrics_out, tracer, registry, outcome=sim)
     if out:
         path = pathlib.Path(out)
         path.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n")
@@ -536,6 +631,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     ClusterScenarioConfig.from_dict(data),
                     f"scenario {path.name}",
                     args.out,
+                    trace_out=args.trace,
+                    metrics_out=args.metrics_out,
                 )
             config = ScenarioConfig.from_dict(data)
             title = f"scenario {path.name}"
@@ -545,8 +642,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from .cluster import ClusterScenarioConfig
 
             if isinstance(config, ClusterScenarioConfig):
-                return _run_cluster_config(config, title, args.out)
-        result = run_scenario(config)
+                return _run_cluster_config(
+                    config,
+                    title,
+                    args.out,
+                    trace_out=args.trace,
+                    metrics_out=args.metrics_out,
+                )
+        from .obs import observed
+
+        tracer, registry = _observation_for(args.trace, args.metrics_out)
+        with observed(tracer=tracer, metrics=registry):
+            result = run_scenario(config)
     except ConfigurationError as error:
         print(f"run: {error}", file=sys.stderr)
         return 2
@@ -589,10 +696,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"energy: {result.energy_joules:.0f} J   "
         f"DVFS transitions: {result.frequency_transitions}"
     )
+    _write_observations(args.trace, args.metrics_out, tracer, registry, outcome=result)
     if args.out:
         path = pathlib.Path(args.out)
         path.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n")
         print(f"wrote scenario spec to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import profile_cluster, profile_scenario
+
+    try:
+        if args.scenario:
+            path = pathlib.Path(args.scenario)
+            try:
+                data = json.loads(path.read_text())
+            except OSError as error:
+                print(f"profile: cannot read {path}: {error}", file=sys.stderr)
+                return 2
+            except json.JSONDecodeError as error:
+                print(f"profile: {path} is not valid JSON: {error}", file=sys.stderr)
+                return 2
+            if not isinstance(data, dict):
+                print(
+                    f"profile: {path} must hold a JSON object (a scenario spec)",
+                    file=sys.stderr,
+                )
+                return 2
+            if data.get("kind") == "cluster":
+                from .cluster import ClusterScenarioConfig
+
+                config = ClusterScenarioConfig.from_dict(data)
+            else:
+                config = ScenarioConfig.from_dict(data)
+            title = f"scenario {path.name}"
+        else:
+            config = get_preset(args.preset).config
+            title = f"preset {args.preset}"
+        overrides = {}
+        if args.duration is not None:
+            overrides["duration"] = args.duration
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if overrides:
+            config = config.with_changes(**overrides)
+        from .cluster import ClusterScenarioConfig
+
+        if isinstance(config, ClusterScenarioConfig):
+            _, profiler = profile_cluster(config)
+        else:
+            _, profiler = profile_scenario(config)
+    except ConfigurationError as error:
+        print(f"profile: {error}", file=sys.stderr)
+        return 2
+    print(f"wall-clock phase profile — {title}")
+    print()
+    print(profiler.render_table())
     return 0
 
 
@@ -705,14 +865,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 vary_seed=not args.fixed_seed,
                 replicates=args.replicates,
             )
+        from .obs import observed
+
+        _, registry = _observation_for(None, args.metrics_out)
+        reporter = _SweepReporter(len(grid), _verbosity_of(args))
         runner = SweepRunner(
             grid,
             metrics=metrics,
             workers=args.workers,
             store=args.store,
             resume=not args.force,
+            progress=reporter,
         )
-        results = runner.run()
+        try:
+            with observed(metrics=registry):
+                results = runner.run()
+        finally:
+            reporter.finish()
     except ConfigurationError as error:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
@@ -733,11 +902,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"  {str(value):<14} {summary['mean']:10.0f}{ci} J "
                 f"over {summary['count']} cells"
             )
-    if args.store:
+    if args.store and not args.quiet:
         print(
             f"\nstore: {runner.cache_hits} cells warm, {runner.computed} computed "
             f"({pathlib.Path(args.store)})"
         )
+    if registry is not None:
+        path = registry.save(args.metrics_out)
+        print(f"\nwrote {len(registry)} metrics to {path}")
     if args.out:
         path = results.save(args.out)
         print(f"\nwrote {len(results)} cells to {path}")
@@ -890,6 +1062,8 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
             out_series=args.out_series,
             out_hosts=args.out_hosts,
             out_migrations=args.out_migrations,
+            trace_out=args.trace,
+            metrics_out=args.metrics_out,
         )
     except ConfigurationError as error:
         print(f"cluster run: {error}", file=sys.stderr)
@@ -937,14 +1111,23 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> int:
             replicates=args.replicates,
             vary_seed=not args.fixed_seed,
         )
+        from .obs import observed
+
+        _, registry = _observation_for(None, args.metrics_out)
+        reporter = _SweepReporter(len(grid), _verbosity_of(args))
         runner = SweepRunner(
             grid,
             metrics=preset.metrics,
             workers=args.workers,
             store=args.store,
             resume=not args.force,
+            progress=reporter,
         )
-        results = runner.run()
+        try:
+            with observed(metrics=registry):
+                results = runner.run()
+        finally:
+            reporter.finish()
     except ConfigurationError as error:
         print(f"cluster sweep: {error}", file=sys.stderr)
         return 2
@@ -966,11 +1149,14 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> int:
                 f"  {str(value):<14} {summary['mean'] * 1000:8.2f}{ci} Wh "
                 f"over {summary['count']} cells"
             )
-    if args.store:
+    if args.store and not args.quiet:
         print(
             f"\nstore: {runner.cache_hits} cells warm, {runner.computed} computed "
             f"({pathlib.Path(args.store)})"
         )
+    if registry is not None:
+        path = registry.save(args.metrics_out)
+        print(f"\nwrote {len(registry)} metrics to {path}")
     if args.out:
         path = results.save(args.out)
         print(f"\nwrote {len(results)} cells to {path}")
@@ -1192,6 +1378,18 @@ def _add_cluster_parser(commands) -> None:
         "--out-migrations", default=None, help="write the migration-event CSV to PATH"
     )
     c_run.add_argument("--out", default=None, help="also write the resolved spec to PATH")
+    c_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a sim-time Chrome trace-event JSON (Perfetto-loadable) to PATH",
+    )
+    c_run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the runtime-metrics snapshot JSON to PATH",
+    )
     c_run.set_defaults(fn=_cmd_cluster_run)
 
     c_sweep = actions.add_parser(
@@ -1226,6 +1424,25 @@ def _add_cluster_parser(commands) -> None:
     c_sweep.add_argument("--resume", action="store_true", help="with --store: serve stored cells")
     c_sweep.add_argument(
         "--force", action="store_true", help="with --store: recompute and overwrite"
+    )
+    c_sweep.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the runtime-metrics snapshot JSON to PATH",
+    )
+    c_sweep.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="per-cell progress lines on stderr (default: one live line)",
+    )
+    c_sweep.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress and store-status output",
     )
     c_sweep.set_defaults(fn=_cmd_cluster_sweep)
 
@@ -1334,7 +1551,36 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--preset", help="preset name (see sweep --list-presets)")
     source.add_argument("--scenario", help="path to a scenario-spec JSON file")
     run.add_argument("--out", default=None, help="also write the resolved spec to PATH")
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a sim-time Chrome trace-event JSON (Perfetto-loadable) to PATH",
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the runtime-metrics snapshot JSON to PATH",
+    )
     run.set_defaults(fn=_cmd_run)
+
+    profile = commands.add_parser(
+        "profile",
+        help="wall-clock phase profile of one scenario run",
+        description=(
+            "Run one preset or scenario spec under the opt-in phase profiler "
+            "and print per-subsystem self-time (scheduler, governor, "
+            "accounting, dispatch, workload, ...).  Wall-clock timings vary "
+            "run to run by nature; the simulation itself is unaffected."
+        ),
+    )
+    p_source = profile.add_mutually_exclusive_group(required=True)
+    p_source.add_argument("--preset", help="preset name (see sweep --list-presets)")
+    p_source.add_argument("--scenario", help="path to a scenario-spec JSON file")
+    profile.add_argument("--duration", type=float, default=None)
+    profile.add_argument("--seed", type=int, default=None)
+    profile.set_defaults(fn=_cmd_profile)
 
     sweep = commands.add_parser(
         "sweep",
@@ -1421,6 +1667,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--force",
         action="store_true",
         help="with --store: recompute every cell and overwrite its stored copy",
+    )
+    sweep.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the runtime-metrics snapshot JSON (cache hits, cells, "
+        "workers) to PATH",
+    )
+    sweep.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="per-cell progress lines on stderr (default: one live line)",
+    )
+    sweep.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress and store-status output",
     )
     sweep.set_defaults(fn=_cmd_sweep)
 

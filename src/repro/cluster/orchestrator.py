@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError
+from ..obs import hooks as _obs
 from ..units import check_positive
 from .machine import Machine, MachineSpec
 from .migration import MigrationEvent, MigrationModel
@@ -266,9 +267,14 @@ class Orchestrator:
         ]
 
     def _run_one_epoch(self) -> None:
+        epoch_start = self._time
         plan, events = self._plan_epoch()
         self.events.extend(events)
         self.total_migrations += len(events)
+        trace = _obs.TRACER
+        if trace is not None:
+            for event in events:
+                trace.migration(event.time, event.vm, event.source, event.dest)
         extra: dict[str, float] = {}
         downtime_loss = 0.0
         if self.migration_model is not None and events:
@@ -310,17 +316,33 @@ class Orchestrator:
                     "power_w": machine.last_power_w,
                 }
             )
-        self.stats.append(
-            EpochStats(
-                time=self._time,
-                machines_on=sum(1 for machine in self.machines if machine.powered_on),
-                demand_percent=demand_total,
-                served_percent=served_total,
-                energy_joules=epoch_energy,
-                migrations=len(events),
-                power_w=epoch_energy / self.epoch_s,
-            )
+        stat = EpochStats(
+            time=self._time,
+            machines_on=sum(1 for machine in self.machines if machine.powered_on),
+            demand_percent=demand_total,
+            served_percent=served_total,
+            energy_joules=epoch_energy,
+            migrations=len(events),
+            power_w=epoch_energy / self.epoch_s,
         )
+        self.stats.append(stat)
+        if trace is not None:
+            trace.epoch(
+                epoch_start,
+                self.epoch_s,
+                self._epoch_index - 1,
+                {
+                    "machines_on": stat.machines_on,
+                    "power_w": stat.power_w,
+                    "migrations": stat.migrations,
+                    "sla_fraction": stat.sla_fraction,
+                },
+            )
+        metrics = _obs.METRICS
+        if metrics is not None:
+            metrics.inc("cluster.epochs_run")
+            metrics.inc("cluster.migrations_executed", len(events))
+            metrics.record_max("cluster.peak_power_w", stat.power_w)
 
     def _assignment(self) -> dict[str, str]:
         return current_assignment(self.machines)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from ..errors import ConfigurationError
+from ..obs import hooks as _obs
 from ..sim import Engine, PeriodicTimer
 from .processor import Processor
 
@@ -145,6 +146,9 @@ class CpuFreq:
                 observer(freq_mhz)
         changed = self._processor.set_frequency(freq_mhz)
         if changed:
+            trace = _obs.TRACER
+            if trace is not None:
+                trace.pstate(self._engine.now, freq_mhz)
             for observer in self._observers:
                 observer(freq_mhz)
         return changed
@@ -191,6 +195,6 @@ class CpuFreq:
         if self._governor is None:  # pragma: no cover - timer only runs with one
             raise ConfigurationError("cpufreq timer fired without a governor")
         load = self.measure_load_percent()
-        target = self._governor.decide(load, now)
+        target = self._governor.sampled(load, now)
         if target is not None:
             self.set_speed(target)

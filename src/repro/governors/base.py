@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
+from ..obs import hooks as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cpu.cpufreq import CpuFreq
@@ -68,6 +69,21 @@ class Governor(ABC):
         is what /proc/stat-style accounting exposes.  Policies that reason in
         absolute terms convert with the processor's ``ratio * cf``.
         """
+
+    def sampled(self, load_percent: float, now: float) -> int | None:
+        """One sampling-period step: :meth:`decide`, then trace the decision.
+
+        cpufreq routes its sampling timer through here rather than calling
+        :meth:`decide` directly, so every sampled policy's decision lands in
+        the ``cpufreq``-category trace under the governor's name — including
+        "keep current" (``None``) decisions, which :meth:`decide` alone
+        leaves invisible.
+        """
+        target = self.decide(load_percent, now)
+        trace = _obs.TRACER
+        if trace is not None:
+            trace.governor_decide(now, self.name, load_percent, target)
+        return target
 
     # --------------------------------------------------------------- helpers
 

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from ..cpu import CpuFreq, Processor, ProcessorSpec, catalog
 from ..errors import ConfigurationError, SchedulerError
 from ..governors import Governor, make_governor
+from ..obs import hooks as _obs
 from ..sim import Engine, EventHandle, PeriodicTimer, RngStreams
 from ..telemetry import Recorder
 from .domain import DOM0_CLASS, Domain, DomainConfig, GUEST_CLASS
@@ -197,6 +198,9 @@ class Host:
             self._begin_dispatch()
         elif self.scheduler.should_preempt(self._current, vcpu):
             self._preemptions += 1
+            trace = _obs.TRACER
+            if trace is not None:
+                trace.sched_preempt(self.engine.now, self._current.name, "wake")
             self._end_current_slice()
             self._begin_dispatch()
 
@@ -209,6 +213,9 @@ class Host:
         if self.scheduler.tick(now):
             if self._current is not None:
                 self._preemptions += 1
+                trace = _obs.TRACER
+                if trace is not None:
+                    trace.sched_preempt(now, self._current.name, "tick")
                 self._end_current_slice()
             self._begin_dispatch()
 
@@ -228,6 +235,9 @@ class Host:
         # it is not a preemption.
         if self._current is not None and self.processor.capacity_fraction != self._slice_capacity:
             self._preemptions += 1
+            trace = _obs.TRACER
+            if trace is not None:
+                trace.sched_preempt(self.engine.now, self._current.name, "dvfs")
             self._end_current_slice()
             self._begin_dispatch()
 
@@ -245,7 +255,10 @@ class Host:
                 self._idle_energy += self.processor.account(gap, 0.0)
             self._idle_from = None
         vcpu = self.scheduler.pick_next(now)
+        trace = _obs.TRACER
         if vcpu is None:
+            if trace is not None:
+                trace.sched_pick(now, None, 0.0)
             self._idle_from = now
             return
         slice_len = self.scheduler.slice_for(vcpu, now)
@@ -257,6 +270,8 @@ class Host:
         capacity = self.processor._capacity
         drain = vcpu._pending_work / capacity
         run_for = drain if drain < slice_len else slice_len
+        if trace is not None:
+            trace.sched_pick(now, vcpu.name, run_for)
         vcpu.mark_running()
         self._current = vcpu
         self._slice_start = now
@@ -292,6 +307,9 @@ class Host:
         elapsed = now - self._slice_start
         scheduler = self.scheduler
         if elapsed > 0:
+            trace = _obs.TRACER
+            if trace is not None:
+                trace.sched_slice(vcpu.name, self._slice_start, elapsed)
             work = elapsed * self._slice_capacity
             vcpu.consume(work, elapsed)
             energy = self.processor.account(elapsed, 1.0)

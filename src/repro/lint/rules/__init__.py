@@ -33,12 +33,14 @@ __all__ = [
     "FRAMEWORK_CODES",
     "RULES",
     "Rule",
+    "WALL_CLOCK_SANCTIONED",
     "all_codes",
     "in_accounting",
     "in_hot_path",
     "in_library",
     "in_library_core",
     "in_order_sensitive",
+    "in_wall_clock_sanctioned",
     "rule_catalog",
 ]
 
@@ -86,6 +88,19 @@ class Rule:
 def in_library(path: str) -> bool:
     """All library code shipped under ``src/repro``."""
     return path.startswith("src/repro/")
+
+
+#: The one module allowed to read a wall clock: the opt-in phase profiler.
+#: It attaches dynamically (setattr / timer-callback rebinding), so the
+#: RPL8xx reachability walk never sees it from the determinism roots — the
+#: sanction is a *rule-scope* carve-out, not a suppression comment, and
+#: tests/lint/test_meta.py proves the same source is flagged anywhere else.
+WALL_CLOCK_SANCTIONED = frozenset({"src/repro/obs/profile.py"})
+
+
+def in_wall_clock_sanctioned(path: str) -> bool:
+    """True for the profiler module, where wall-clock reads are the point."""
+    return path in WALL_CLOCK_SANCTIONED
 
 
 def in_library_core(path: str) -> bool:

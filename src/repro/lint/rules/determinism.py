@@ -16,7 +16,7 @@ from ..finding import Finding
 from ..source import SourceModule
 
 # Deferred import would be circular at module load; the package imports us.
-from . import Rule, in_library, in_order_sensitive
+from . import Rule, in_library, in_order_sensitive, in_wall_clock_sanctioned
 
 
 def _dotted(node: ast.expr) -> str | None:
@@ -118,11 +118,12 @@ class WallClockRule(Rule):
     name = "no-wall-clock"
     summary = (
         "library code must not read host time (time.time, datetime.now, ...); "
-        "simulated time comes from Engine.now"
+        "simulated time comes from Engine.now (sole exception: the opt-in "
+        "profiler module, whose job is wall time)"
     )
 
     def applies_to(self, module: SourceModule) -> bool:
-        return in_library(module.path)
+        return in_library(module.path) and not in_wall_clock_sanctioned(module.path)
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in module.walk():

@@ -1,0 +1,80 @@
+"""Module-level observability hook points.
+
+The instrumented hot paths (engine dispatch, host slice machinery, cpufreq,
+credit accounting, the orchestrator epoch loop) consult exactly two module
+globals here — :data:`TRACER` and :data:`METRICS` — guarded by an
+``is not None`` check.  With nothing installed (the default, and the state
+every library import leaves behind) the hooks cost one load + one jump per
+guarded site, which is why the ``tracing-off`` bench can hold
+``stress-fleet-cold`` inside the existing regression envelope.
+
+When a :class:`~repro.obs.trace.Tracer` *is* installed, every emission is
+keyed on **sim time** — the tracer never reads a wall clock, so traces are
+byte-identical per seed and the RPL8xx reachability walk stays clean even
+though the emit methods are reachable from the engine's hot loop.
+
+Installation is process-global on purpose: a run is observed or it is not,
+and forked sweep workers inherit whatever the parent installed before the
+pool forked.  Use :func:`observed` to scope installation to one run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
+    from .trace import Tracer
+
+#: The installed tracer (None = tracing disabled; the zero-overhead state).
+TRACER: "Tracer | None" = None
+
+#: The installed metrics registry (None = no live counter updates).
+METRICS: "MetricsRegistry | None" = None
+
+
+def install_tracer(tracer: "Tracer | None") -> "Tracer | None":
+    """Install *tracer* as the process-global tracer; returns the previous one."""
+    global TRACER
+    previous = TRACER
+    TRACER = tracer
+    return previous
+
+
+def uninstall_tracer() -> "Tracer | None":
+    """Disable tracing; returns the tracer that was installed (if any)."""
+    return install_tracer(None)
+
+
+def install_metrics(registry: "MetricsRegistry | None") -> "MetricsRegistry | None":
+    """Install *registry* as the process-global registry; returns the previous one."""
+    global METRICS
+    previous = METRICS
+    METRICS = registry
+    return previous
+
+
+def uninstall_metrics() -> "MetricsRegistry | None":
+    """Disable live metrics; returns the registry that was installed (if any)."""
+    return install_metrics(None)
+
+
+@contextlib.contextmanager
+def observed(
+    tracer: "Tracer | None" = None, metrics: "MetricsRegistry | None" = None
+) -> Iterator[None]:
+    """Install hooks for the duration of a ``with`` block, then restore.
+
+    The restore happens even when the observed run raises, so a failing
+    traced run never leaks a tracer into later (supposedly cold) runs.
+    """
+    previous_tracer = install_tracer(tracer) if tracer is not None else TRACER
+    previous_metrics = install_metrics(metrics) if metrics is not None else METRICS
+    try:
+        yield
+    finally:
+        if tracer is not None:
+            install_tracer(previous_tracer)
+        if metrics is not None:
+            install_metrics(previous_metrics)

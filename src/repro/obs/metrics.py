@@ -1,0 +1,166 @@
+"""The runtime metrics registry: cheap counters/gauges, flat snapshots.
+
+A :class:`MetricsRegistry` holds monotonic counters and point-in-time
+gauges under dotted names (``engine.events_fired``, ``store.cache_hits``).
+Two update styles keep the hot paths unpolluted:
+
+* **live increments** (:meth:`~MetricsRegistry.inc`) from cold paths only —
+  per-cell sweep completion, per-epoch orchestration — behind the usual
+  ``hooks.METRICS is not None`` guard;
+* **harvesting** (:func:`collect_host` / :func:`collect_cluster` /
+  :func:`collect_sweep`) which folds counters the subsystems *already
+  maintain* (``Engine.events_fired``, ``Host.preemptions``,
+  ``SchedulerStats``, ``SweepRunner.cache_hits``...) into the registry
+  after a run — zero added cost during the run.
+
+Snapshots are flat ``{name: number}`` dicts (sorted by name) so they drop
+straight into ``--metrics-out`` JSON files and ``BENCH_<rev>.json``
+entries.  Nothing here reads a wall clock; wall-time profiling lives in
+:mod:`repro.obs.profile`, outside the determinism net.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+
+class MetricsRegistry:
+    """Monotonic counters + gauges, snapshotable as one flat dict."""
+
+    __slots__ = ("_counters", "_gauges")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -------------------------------------------------------------- updates
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add *amount* to counter *name* (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        self._gauges[name] = value
+
+    def record_max(self, name: str, value: float) -> None:
+        """Raise gauge *name* to *value* if it is a new high-water mark."""
+        if value > self._gauges.get(name, float("-inf")):
+            self._gauges[name] = value
+
+    def counter(self, name: str) -> float:
+        """Current value of counter *name* (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> dict[str, float]:
+        """All counters and gauges as one flat name-sorted dict."""
+        merged = dict(self._counters)
+        merged.update(self._gauges)
+        return {name: merged[name] for name in sorted(merged)}
+
+    def to_json(self) -> str:
+        """The snapshot as canonical JSON (sorted keys, trailing newline)."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write :meth:`to_json` to *path*; returns the path written."""
+        target = pathlib.Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self)} metrics)"
+
+
+# ------------------------------------------------------------- harvesters
+
+
+def collect_engine(registry: MetricsRegistry, engine: Any) -> None:
+    """Fold an :class:`~repro.sim.engine.Engine`'s own counters in."""
+    registry.inc("engine.events_fired", engine.events_fired)
+    registry.record_max("engine.heap_peak", engine.heap_peak)
+    registry.inc("engine.free_list_reuse", engine.free_list_reuse)
+    registry.gauge("engine.pending_at_end", engine.pending_count)
+
+
+def collect_host(registry: MetricsRegistry, host: Any) -> None:
+    """Fold a finished :class:`~repro.hypervisor.host.Host`'s counters in.
+
+    Covers the engine, the dispatch loop, the scheduler's stats, cpufreq,
+    the recorder, and workload skip-ahead retirement — the single-host
+    metric catalogue ``docs/observability.md`` documents.
+    """
+    collect_engine(registry, host.engine)
+    registry.inc("host.preemptions", host.preemptions)
+    stats = host.scheduler.stats
+    registry.inc("sched.decisions", stats.decisions)
+    registry.inc("sched.idle_picks", stats.idle_picks)
+    registry.inc("sched.charged_s", stats.charged_seconds)
+    registry.inc("cpufreq.requests", host.cpufreq.requests)
+    registry.inc("cpufreq.transitions", host.processor.transitions)
+    registry.gauge("host.energy_joules", host.processor.energy_joules)
+    recorder = host.recorder
+    registry.gauge("telemetry.series", len(recorder))
+    registry.inc(
+        "telemetry.samples",
+        sum(len(recorder.series(name)) for name in recorder.names()),
+    )
+    timers_retired = 0
+    injectors = 0
+    for domain in host.domains:
+        for workload in domain.workloads:
+            injector = getattr(workload, "_injector", None)
+            if injector is None:
+                continue
+            injectors += 1
+            if injector.retired:
+                timers_retired += 1
+    if injectors:
+        registry.inc("workload.injectors", injectors)
+        registry.inc("workload.skip_ahead_retired", timers_retired)
+
+
+def collect_cluster(registry: MetricsRegistry, sim: Any) -> None:
+    """Fold a finished :class:`~repro.cluster.orchestrator.Orchestrator` in."""
+    registry.inc("cluster.epochs", len(sim.stats))
+    registry.inc("cluster.migrations", sim.total_migrations)
+    registry.inc("cluster.sla_violation_epochs", sim.sla_violations)
+    registry.gauge("cluster.energy_joules", sim.fleet_energy_joules)
+    if sim.stats:
+        registry.record_max("cluster.peak_power_w", sim.peak_power_w)
+        registry.gauge("cluster.machines_on_mean", sim.mean_machines_on)
+        registry.gauge("cluster.sla_mean", sim.mean_sla_fraction)
+
+
+def collect_sweep(registry: MetricsRegistry, runner: Any) -> None:
+    """Fold a finished :class:`~repro.sweep.runner.SweepRunner` in."""
+    registry.inc("store.cache_hits", runner.cache_hits)
+    registry.inc("store.computed", runner.computed)
+    registry.inc("sweep.cells", runner.cache_hits + runner.computed)
+    registry.gauge("sweep.workers", runner.workers)
+    # The pool never holds more live tasks than it has computed cells.
+    registry.gauge("sweep.pool_occupancy", min(runner.workers, runner.computed))
+
+
+def collect_outcome(registry: MetricsRegistry, outcome: Any) -> None:
+    """Fold any run outcome in, dispatching on its shape.
+
+    Accepts a :class:`~repro.experiments.scenario.ScenarioResult`, a bare
+    :class:`~repro.hypervisor.host.Host`, or an
+    :class:`~repro.cluster.orchestrator.Orchestrator` — the three things
+    ``repro run`` can produce.
+    """
+    host = getattr(outcome, "host", None)
+    if host is not None:
+        collect_host(registry, host)
+    elif hasattr(outcome, "scheduler"):
+        collect_host(registry, outcome)
+    elif hasattr(outcome, "machines"):
+        collect_cluster(registry, outcome)

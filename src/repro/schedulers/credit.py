@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import SchedulerError
+from ..obs import hooks as _obs
 from ..units import check_positive
 from .base import Scheduler
 
@@ -225,6 +226,10 @@ class CreditScheduler(Scheduler):
         # Inline of _Account.cap_budget (keep in sync with it).
         cap = account.cap
         if cap > 0.0 and cap / 100.0 * self.accounting_period - account.usage_in_period <= MIN_BUDGET:
+            if not account.parked:
+                trace = _obs.TRACER
+                if trace is not None:
+                    trace.credit_event(now, "park", name)
             account.parked = True
         stats = self.stats
         stats.charged_seconds += wall_dt
@@ -251,6 +256,9 @@ class CreditScheduler(Scheduler):
         self._tick_count += 1
         if self._tick_count % self.ticks_per_accounting != 0:
             return False
+        trace = _obs.TRACER
+        if trace is not None:
+            trace.credit_event(now, "reset", "all")
         self._run_accounting()
         for account in self._accounts.values():
             if account.queued:

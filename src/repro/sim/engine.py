@@ -22,6 +22,7 @@ import heapq
 from typing import Callable, Iterator
 
 from ..errors import SimulationError
+from ..obs import hooks as _obs
 from .events import EventHandle
 
 
@@ -38,7 +39,16 @@ class Engine:
     [1.5]
     """
 
-    __slots__ = ("_now", "_sequence", "_heap", "_events_fired", "_running", "_free")
+    __slots__ = (
+        "_now",
+        "_sequence",
+        "_heap",
+        "_events_fired",
+        "_running",
+        "_free",
+        "_heap_peak",
+        "_free_reuse",
+    )
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -47,6 +57,8 @@ class Engine:
         self._events_fired = 0
         self._running = False
         self._free: list[EventHandle] = []
+        self._heap_peak = 0
+        self._free_reuse = 0
 
     # ------------------------------------------------------------------ time
 
@@ -64,6 +76,21 @@ class Engine:
     def pending_count(self) -> int:
         """Number of not-yet-fired, not-cancelled events in the heap."""
         return sum(1 for _, _, handle in self._heap if not handle._cancelled)
+
+    @property
+    def heap_peak(self) -> int:
+        """High-water mark of the event heap (tombstones included).
+
+        Maintained at schedule time only, so it is free on the pop side;
+        :meth:`~repro.sim.timers.PeriodicTimer._fire`'s inlined re-arm is
+        pop-then-push neutral and cannot move the peak.
+        """
+        return self._heap_peak
+
+    @property
+    def free_list_reuse(self) -> int:
+        """Schedules served by re-stamping a pooled handle (vs allocating)."""
+        return self._free_reuse
 
     # ------------------------------------------------------------ scheduling
 
@@ -85,9 +112,13 @@ class Engine:
             handle.sequence = sequence
             handle.callback = callback
             handle.label = label
+            self._free_reuse += 1
         else:
             handle = EventHandle(time, sequence, callback, label)
-        heapq.heappush(self._heap, (time, sequence, handle))
+        heap = self._heap
+        heapq.heappush(heap, (time, sequence, handle))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
         return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
@@ -105,9 +136,13 @@ class Engine:
             handle.sequence = sequence
             handle.callback = callback
             handle.label = label
+            self._free_reuse += 1
         else:
             handle = EventHandle(time, sequence, callback, label)
-        heapq.heappush(self._heap, (time, sequence, handle))
+        heap = self._heap
+        heapq.heappush(heap, (time, sequence, handle))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
         return handle
 
     def release(self, handle: EventHandle) -> None:
@@ -136,6 +171,7 @@ class Engine:
     def step(self) -> bool:
         """Fire the single next event.  Returns False when the heap is empty."""
         heap = self._heap
+        trace = _obs.TRACER
         while heap:
             _, _, handle = heapq.heappop(heap)
             if handle._cancelled:
@@ -144,6 +180,8 @@ class Engine:
             callback = handle.callback
             handle.callback = None
             self._events_fired += 1
+            if trace is not None:
+                trace.engine_event(handle.time, handle.label)
             callback()
             return True
         return False
@@ -161,19 +199,38 @@ class Engine:
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        # Hoisted once per window: with no tracer installed the hot loop
+        # pays nothing per event (a tracer installed mid-window starts at
+        # the next run_until call — installation is a between-runs act).
+        trace = _obs.TRACER
         try:
-            while heap:
-                due = heap[0][0]
-                if due > time:
-                    break
-                _, _, handle = pop(heap)
-                if handle._cancelled:
-                    continue
-                self._now = due
-                callback = handle.callback
-                handle.callback = None
-                self._events_fired += 1
-                callback()
+            if trace is not None:
+                while heap:
+                    due = heap[0][0]
+                    if due > time:
+                        break
+                    _, _, handle = pop(heap)
+                    if handle._cancelled:
+                        continue
+                    self._now = due
+                    callback = handle.callback
+                    handle.callback = None
+                    self._events_fired += 1
+                    trace.engine_event(due, handle.label)
+                    callback()
+            else:
+                while heap:
+                    due = heap[0][0]
+                    if due > time:
+                        break
+                    _, _, handle = pop(heap)
+                    if handle._cancelled:
+                        continue
+                    self._now = due
+                    callback = handle.callback
+                    handle.callback = None
+                    self._events_fired += 1
+                    callback()
             if time > self._now:
                 self._now = time
         finally:

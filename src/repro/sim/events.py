@@ -35,7 +35,9 @@ class EventHandle:
         self.time = time
         self.sequence = sequence
         self.callback = callback
-        #: Human-readable tag for debugging and engine introspection.
+        #: Human-readable tag; also the event's name in ``engine``-category
+        #: trace output (:class:`repro.obs.trace.Tracer`), so stable labels
+        #: like ``"slice.web1"`` group meaningfully in Perfetto.
         self.label = label
         self._cancelled = False
 

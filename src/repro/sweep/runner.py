@@ -30,6 +30,8 @@ import pathlib
 from typing import Any, Callable, ClassVar, Iterator, Sequence
 
 from ..errors import ConfigurationError
+from ..obs import hooks as _obs
+from ..obs.metrics import collect_sweep
 from ..store import cell_key, config_payload, ExperimentStore, metric_names
 from .grid import describe_value, SweepCell, SweepGrid
 from .metrics import (
@@ -156,6 +158,12 @@ class SweepRunner:
         With a store, ``True`` (default) serves already-stored cells from
         disk and computes only the missing ones; ``False`` recomputes every
         cell and overwrites (the CLI's ``--force``).
+    progress:
+        Optional ``callback(result, from_cache)`` invoked once per finished
+        cell, in completion order (cache hits first, then computed cells as
+        they stream in).  Purely observational — the CLI's verbosity layer
+        hangs off this; results and exports are byte-identical with or
+        without it.
 
     After :meth:`run`, ``cache_hits`` and ``computed`` report how many
     cells came from the store versus fresh simulation.
@@ -169,6 +177,7 @@ class SweepRunner:
         workers: int = 1,
         store: ExperimentStore | str | pathlib.Path | None = None,
         resume: bool = True,
+        progress: Callable[[CellResult, bool], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -181,6 +190,7 @@ class SweepRunner:
             store = ExperimentStore(store)
         self.store = store
         self.resume = resume
+        self.progress = progress
         self.cache_hits = 0
         self.computed = 0
         # Resolve names in the *parent*: unknown metrics fail before any
@@ -236,6 +246,8 @@ class SweepRunner:
                     metrics=payload["metrics"],
                 )
                 self.cache_hits += 1
+                if self.progress is not None:
+                    self.progress(done[cell.index], True)
             else:
                 pending.append(cell)
         by_index = {cell.index: cell for cell in pending}
@@ -255,7 +267,12 @@ class SweepRunner:
                 )
             done[result.index] = result
             self.computed += 1
+            if self.progress is not None:
+                self.progress(result, False)
         cells = [done[cell.index] for cell in self.grid]
+        metrics_registry = _obs.METRICS
+        if metrics_registry is not None:
+            collect_sweep(metrics_registry, self)
         meta = self.grid.spec()
         meta["metrics"] = [
             m if isinstance(m, str) else getattr(m, "__name__", str(m))
@@ -274,10 +291,16 @@ def run_sweep(
     workers: int = 1,
     store: ExperimentStore | str | pathlib.Path | None = None,
     resume: bool = True,
+    progress: Callable[[CellResult, bool], None] | None = None,
 ) -> SweepResults:
     """One-call façade over :class:`SweepRunner`."""
     return SweepRunner(
-        grid, metrics=metrics, workers=workers, store=store, resume=resume
+        grid,
+        metrics=metrics,
+        workers=workers,
+        store=store,
+        resume=resume,
+        progress=progress,
     ).run()
 
 

@@ -7,8 +7,6 @@ them by exact name or prefix.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 from ..errors import TelemetryError
 from .series import TimeSeries
 
@@ -43,9 +41,15 @@ class Recorder:
         """Sorted names of recorded series, optionally filtered by prefix."""
         return sorted(name for name in self._series if name.startswith(prefix))
 
-    def matching(self, prefix: str) -> Iterable[TimeSeries]:
-        """All series whose name starts with *prefix*."""
-        return (self._series[name] for name in self.names(prefix))
+    def matching(self, prefix: str) -> list[TimeSeries]:
+        """All series whose name starts with *prefix*, in name order.
+
+        Returns a materialized snapshot: callers iterate this while probes
+        keep recording (which can create series lazily), and a live view
+        over the internal dict would raise ``RuntimeError: dictionary
+        changed size during iteration`` mid-walk.
+        """
+        return [self._series[name] for name in self.names(prefix)]
 
     def __len__(self) -> int:
         return len(self._series)

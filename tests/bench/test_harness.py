@@ -149,6 +149,7 @@ def test_suites_cover_pytest_benches():
     full = harness.available_benches("full")
     assert set(smoke) <= set(full)
     assert "stress-fleet-cold" in smoke
+    assert "tracing-off" in smoke
     assert any(name.startswith("bench_") for name in full)
 
 

@@ -85,6 +85,83 @@ def test_planted_unit_mix_in_power_model_is_caught(tmp_path):
     assert "[W]" in mixes[0].message and "[kWh]" in mixes[0].message
 
 
+def _plant_obs_layout(tmp_path):
+    """Copy the real engine + obs hook/trace modules into a fake repo."""
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    sim = tmp_path / "src" / "repro" / "sim"
+    obs = tmp_path / "src" / "repro" / "obs"
+    sim.mkdir(parents=True)
+    obs.mkdir(parents=True)
+    for relative in ("sim/engine.py", "obs/hooks.py", "obs/trace.py"):
+        shutil.copyfile(
+            REPO / "src" / "repro" / relative, tmp_path / "src" / "repro" / relative
+        )
+    return tmp_path / "src"
+
+
+def test_planted_wall_clock_in_tracer_emit_path_is_caught(tmp_path):
+    # The engine's hot loop calls `trace.engine_event(...)` when a tracer is
+    # installed, so the Tracer emit methods are reachable from
+    # Engine.run_until in the RPL8xx call graph.  Plant a time.time() read
+    # inside the emit path: the transitive rule must flag the root chain
+    # (and RPL101 the sink module directly) — proof that tracing cannot
+    # quietly grow a wall-clock dependency.
+    src = _plant_obs_layout(tmp_path)
+    trace_path = tmp_path / "src" / "repro" / "obs" / "trace.py"
+    trace_source = trace_path.read_text()
+    planted = trace_source.replace(
+        "import json",
+        "import json\nimport time as _wall",
+        1,
+    ).replace(
+        '        self.instant("engine", label or "event", time_s, "engine")',
+        '        self.instant("engine", label or "event", _wall.time(), "engine")',
+        1,
+    )
+    assert planted != trace_source
+    trace_path.write_text(planted)
+    findings = lint_paths([str(src)])
+    direct = [f for f in findings if f.code == "RPL101"]
+    assert direct, "\n" + render_text(findings)
+    assert all(f.path == "src/repro/obs/trace.py" for f in direct)
+    transitive = [f for f in findings if f.code == "RPL801"]
+    assert transitive, "\n" + render_text(findings)
+    assert any(
+        "engine_event" in f.message and "run_until" in f.message for f in transitive
+    ), "\n" + render_text(transitive)
+
+
+def test_clean_obs_layout_has_no_findings(tmp_path):
+    # The same layout unmodified is clean: the emit path as shipped carries
+    # no wall-clock reads, so the planted-read test above isolates exactly
+    # the tampering.
+    src = _plant_obs_layout(tmp_path)
+    findings = lint_paths([str(src)])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_profiler_module_is_sanctioned_only_at_its_own_path(tmp_path):
+    # profile.py is the single module allowed to read wall clocks, and the
+    # sanction is bound to its path.  The identical source mounted anywhere
+    # else must light up RPL101.
+    profiler_source = (REPO / "src" / "repro" / "obs" / "profile.py").read_text()
+
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    obs = tmp_path / "src" / "repro" / "obs"
+    obs.mkdir(parents=True)
+    (obs / "profile.py").write_text(profiler_source)
+    assert lint_paths([str(tmp_path / "src")]) == []
+
+    elsewhere = tmp_path / "moved"
+    (elsewhere / "src" / "repro" / "sim").mkdir(parents=True)
+    (elsewhere / "pyproject.toml").write_text("[tool.none]\n")
+    (elsewhere / "src" / "repro" / "sim" / "profile.py").write_text(profiler_source)
+    findings = lint_paths([str(elsewhere / "src")])
+    wall = [f for f in findings if f.code == "RPL101"]
+    assert wall, "\n" + render_text(findings)
+    assert all(f.path == "src/repro/sim/profile.py" for f in wall)
+
+
 def test_planted_transitive_wall_clock_below_run_until_is_caught(tmp_path):
     # Plant a time.time() two helper-hops below Engine.run_until in a copy
     # of the real engine: RPL801 must report the sink with the full chain.

@@ -1,0 +1,134 @@
+"""CLI-level observability: --trace/--metrics-out/-v/-q and repro profile."""
+
+import json
+
+from repro.cli import main
+from repro.obs import validate_trace_file
+
+_FAST_GRID = (
+    '{"scheduler": ["credit", "pas"], "duration": [60.0],'
+    ' "v20_active": [[10.0, 50.0]], "v70_active": [[20.0, 40.0]]}'
+)
+
+
+def test_run_trace_is_byte_identical_and_valid(capsys, tmp_path):
+    # The acceptance criterion: two CLI runs of the same preset produce
+    # byte-identical Perfetto-loadable trace files.
+    first = tmp_path / "one.json"
+    second = tmp_path / "two.json"
+    assert main(["run", "--preset", "paper-5.3", "--trace", str(first)]) == 0
+    assert main(["run", "--preset", "paper-5.3", "--trace", str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "trace events" in out
+    assert first.read_bytes() == second.read_bytes()
+    validate_trace_file(first)
+
+
+def test_run_metrics_out_snapshots_ten_plus_counters(capsys, tmp_path):
+    path = tmp_path / "metrics.json"
+    assert main(["run", "--preset", "paper-5.3", "--metrics-out", str(path)]) == 0
+    capsys.readouterr()
+    snapshot = json.loads(path.read_text())
+    assert len(snapshot) >= 10
+    assert snapshot["engine.events_fired"] > 0
+
+
+def test_cluster_run_trace_and_metrics(capsys, tmp_path):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "cluster",
+                "run",
+                "--preset",
+                "dc-diurnal-small",
+                "--trace",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    validate_trace_file(trace)
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["cluster.epochs"] > 0
+    assert "cluster.peak_power_w" in snapshot
+
+
+def test_sweep_metrics_out_and_default_progress(capsys, tmp_path):
+    path = tmp_path / "metrics.json"
+    assert main(["sweep", "--grid", _FAST_GRID, "--metrics-out", str(path)]) == 0
+    captured = capsys.readouterr()
+    snapshot = json.loads(path.read_text())
+    assert snapshot["sweep.cells"] == 2
+    assert snapshot["store.computed"] == 2
+    # Default verbosity: the live cells/s line lands on stderr only.
+    assert "cells/s" in captured.err
+    assert "cells/s" not in captured.out
+
+
+def test_sweep_verbose_prints_per_cell_lines(capsys):
+    assert main(["sweep", "--grid", _FAST_GRID, "-v"]) == 0
+    err = capsys.readouterr().err
+    assert "[1/2]" in err and "[2/2]" in err
+    assert "computed" in err
+
+
+def test_sweep_quiet_silences_progress_and_store_line(capsys, tmp_path):
+    store = tmp_path / "store"
+    assert main(["sweep", "--grid", _FAST_GRID, "-q", "--store", str(store)]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert "store:" not in captured.out
+
+
+def test_sweep_progress_does_not_change_exports(capsys, tmp_path):
+    quiet = tmp_path / "quiet.json"
+    loud = tmp_path / "loud.json"
+    assert main(["sweep", "--grid", _FAST_GRID, "-q", "--out", str(quiet)]) == 0
+    assert main(["sweep", "--grid", _FAST_GRID, "-v", "--out", str(loud)]) == 0
+    capsys.readouterr()
+    assert quiet.read_bytes() == loud.read_bytes()
+
+
+def test_cluster_sweep_quiet_and_metrics(capsys, tmp_path):
+    path = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "cluster",
+                "sweep",
+                "--preset",
+                "dc-diurnal-small",
+                "-q",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert json.loads(path.read_text())["sweep.cells"] > 0
+
+
+def test_profile_command_prints_self_time_table(capsys):
+    assert main(["profile", "--preset", "paper-5.3", "--duration", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "self_s" in out
+    assert "scheduler" in out
+    assert "run wall" in out
+
+
+def test_profile_cluster_preset(capsys):
+    assert main(["profile", "--preset", "dc-diurnal-small"]) == 0
+    out = capsys.readouterr().out
+    assert "planning" in out
+
+
+def test_profile_unknown_preset_is_clean(capsys):
+    assert main(["profile", "--preset", "nope"]) == 2
+    assert "profile:" in capsys.readouterr().err

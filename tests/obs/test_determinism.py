@@ -1,0 +1,120 @@
+"""Observability must never change results, and traces must be replayable.
+
+The contract under test: (1) installing a tracer/registry leaves the
+simulation's output bit-identical to an unobserved run; (2) the serialized
+trace is a pure function of (spec, seed) — two runs produce byte-identical
+JSON; (3) sweep exports stay byte-identical across serial/parallel and
+cold/store-resumed executions with observation installed.
+"""
+
+import pytest
+
+from repro.cluster.scenario import run_cluster_scenario
+from repro.experiments import get_preset, preset_grid, run_scenario, ScenarioConfig
+from repro.obs import MetricsRegistry, observed, Tracer
+from repro.sweep import SweepGrid, SweepRunner
+
+
+def _short_config() -> ScenarioConfig:
+    return ScenarioConfig().with_changes(duration=40.0)
+
+
+def _traced_scenario_json() -> tuple[str, float]:
+    tracer = Tracer()
+    with observed(tracer=tracer):
+        result = run_scenario(_short_config())
+    return tracer.to_json(), result.energy_joules
+
+
+def test_scenario_trace_is_byte_identical_across_runs():
+    first, _ = _traced_scenario_json()
+    second, _ = _traced_scenario_json()
+    assert first == second
+    assert len(first) > 1000  # a real trace, not two empty documents
+
+
+def test_tracing_does_not_change_scenario_results():
+    plain = run_scenario(_short_config())
+    _, traced_energy = _traced_scenario_json()
+    assert traced_energy == pytest.approx(plain.energy_joules, abs=0.0)
+
+
+def test_cluster_trace_is_byte_identical_across_runs():
+    config = get_preset("dc-diurnal-small").config
+    documents = []
+    for _ in range(2):
+        tracer = Tracer()
+        with observed(tracer=tracer):
+            run_cluster_scenario(config)
+        documents.append(tracer.to_json())
+    assert documents[0] == documents[1]
+
+
+def test_metrics_snapshot_is_identical_across_runs():
+    snapshots = []
+    for _ in range(2):
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            result = run_scenario(_short_config())
+        from repro.obs import collect_outcome
+
+        collect_outcome(registry, result)
+        snapshots.append(registry.to_json())
+    assert snapshots[0] == snapshots[1]
+
+
+def _two_cell_grid() -> SweepGrid:
+    return SweepGrid(
+        {"scheduler": ["credit", "pas"]},
+        base=ScenarioConfig().with_changes(duration=30.0),
+    )
+
+
+def test_serial_and_parallel_sweep_exports_match_under_observation():
+    exports = {}
+    for workers in (1, 2):
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            results = SweepRunner(_two_cell_grid(), workers=workers).run()
+        exports[workers] = results.to_json()
+        assert registry.counter("sweep.cells") == 2
+    assert exports[1] == exports[2]
+
+
+def test_cold_and_resumed_sweep_exports_match_under_observation(tmp_path):
+    store = tmp_path / "store"
+    exports = {}
+    hits = {}
+    for phase in ("cold", "resumed"):
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            results = SweepRunner(_two_cell_grid(), store=store).run()
+        exports[phase] = results.to_json()
+        hits[phase] = registry.counter("store.cache_hits")
+    assert exports["cold"] == exports["resumed"]
+    # ... while the metrics side channel truthfully reports the difference.
+    assert hits == {"cold": 0, "resumed": 2}
+
+
+def test_progress_callback_is_purely_observational():
+    seen = []
+    plain = SweepRunner(_two_cell_grid()).run()
+    watched = SweepRunner(
+        _two_cell_grid(), progress=lambda result, from_cache: seen.append(result.label)
+    ).run()
+    assert len(seen) == 2
+    assert watched.to_json() == plain.to_json()
+
+
+def test_stress_fleet_trace_matches_itself():
+    # The ROADMAP's perf preset through the tracer twice: the dense many-VM
+    # event stream (slices, preemptions, P-states) replays byte-for-byte.
+    grid = preset_grid("stress-fleet")
+    cell = next(iter(grid))
+    documents = []
+    for _ in range(2):
+        tracer = Tracer(categories=("sched", "cpufreq"))
+        with observed(tracer=tracer):
+            run_scenario(cell.config)
+        documents.append(tracer.to_json())
+    assert documents[0] == documents[1]

@@ -1,0 +1,77 @@
+"""The hook points: install/uninstall and the `observed` context manager."""
+
+from repro.obs import (
+    install_metrics,
+    install_tracer,
+    MetricsRegistry,
+    observed,
+    Tracer,
+    uninstall_metrics,
+    uninstall_tracer,
+)
+from repro.obs import hooks
+
+
+def test_hooks_default_to_none():
+    assert hooks.TRACER is None
+    assert hooks.METRICS is None
+
+
+def test_install_returns_previous():
+    first = Tracer()
+    second = Tracer()
+    try:
+        assert install_tracer(first) is None
+        assert install_tracer(second) is first
+    finally:
+        uninstall_tracer()
+    assert hooks.TRACER is None
+
+    registry = MetricsRegistry()
+    try:
+        assert install_metrics(registry) is None
+    finally:
+        uninstall_metrics()
+    assert hooks.METRICS is None
+
+
+def test_observed_installs_and_restores():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with observed(tracer=tracer, metrics=registry):
+        assert hooks.TRACER is tracer
+        assert hooks.METRICS is registry
+    assert hooks.TRACER is None
+    assert hooks.METRICS is None
+
+
+def test_observed_restores_on_exception():
+    tracer = Tracer()
+    try:
+        with observed(tracer=tracer):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert hooks.TRACER is None
+
+
+def test_observed_leaves_uninvolved_hook_alone():
+    registry = MetricsRegistry()
+    previous = install_metrics(registry)
+    assert previous is None
+    try:
+        with observed(tracer=Tracer()):
+            assert hooks.METRICS is registry
+        assert hooks.METRICS is registry
+    finally:
+        uninstall_metrics()
+
+
+def test_observed_restores_enclosing_tracer():
+    outer = Tracer()
+    inner = Tracer()
+    with observed(tracer=outer):
+        with observed(tracer=inner):
+            assert hooks.TRACER is inner
+        assert hooks.TRACER is outer
+    assert hooks.TRACER is None

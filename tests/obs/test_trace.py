@@ -1,0 +1,120 @@
+"""Tracer unit behaviour: event shape, track ids, filtering, validation."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import TRACE_SCHEMA, Tracer, validate_trace_file, validate_trace_text
+
+
+def test_instant_event_shape():
+    tracer = Tracer()
+    tracer.instant("sched", "pick v20", 1.5, "sched.decisions", args={"vcpu": "v20"})
+    events = [e for e in tracer.events if e["cat"] != "__metadata"]
+    assert len(events) == 1
+    event = events[0]
+    assert event["ph"] == "i"
+    assert event["ts"] == pytest.approx(1.5e6)
+    assert event["pid"] == 1
+    assert event["s"] == "t"
+    assert event["args"] == {"vcpu": "v20"}
+
+
+def test_complete_event_carries_duration():
+    tracer = Tracer()
+    tracer.complete("sched", "v20", 2.0, 0.03, "vcpu v20")
+    event = [e for e in tracer.events if e["ph"] == "X"][0]
+    assert event["dur"] == pytest.approx(0.03e6)
+
+
+def test_track_ids_assigned_first_use_order_with_metadata():
+    tracer = Tracer()
+    tracer.instant("sched", "a", 0.0, "track-one")
+    tracer.instant("sched", "b", 0.0, "track-two")
+    tracer.instant("sched", "c", 0.0, "track-one")
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in tracer.events
+        if e["cat"] == "__metadata" and e["name"] == "thread_name"
+    }
+    assert names == {1: "track-one", 2: "track-two"}
+    tids = [e["tid"] for e in tracer.events if e["cat"] == "sched"]
+    assert tids == [1, 2, 1]
+
+
+def test_category_filter_drops_unwanted_events():
+    tracer = Tracer(categories=("sched",))
+    tracer.engine_event(0.1, "tick")
+    tracer.sched_pick(0.1, "v20", 0.03)
+    assert tracer.wants("sched") and not tracer.wants("engine")
+    categories = {e["cat"] for e in tracer.events if e["cat"] != "__metadata"}
+    assert categories == {"sched"}
+
+
+def test_domain_emits_cover_the_documented_vocabulary():
+    tracer = Tracer()
+    tracer.engine_event(0.0, "slice.v20")
+    tracer.sched_pick(0.1, None, 0.0)
+    tracer.sched_pick(0.1, "v20", 0.03)
+    tracer.sched_slice("v20", 0.1, 0.03)
+    tracer.sched_preempt(0.2, "v20", "wake")
+    tracer.credit_event(0.3, "park", "v20")
+    tracer.pstate(0.4, 1998)
+    tracer.governor_decide(0.4, "ondemand", 37.5, 1998)
+    tracer.epoch(0.0, 30.0, 0, {"machines_on": 2, "power_w": 120.0})
+    tracer.migration(5.0, "vm3", "m1", "m2")
+    categories = {e["cat"] for e in tracer.events if e["cat"] != "__metadata"}
+    assert categories == {"engine", "sched", "credit", "cpufreq", "cluster"}
+    assert validate_trace_text(tracer.to_json()) == []
+
+
+def test_to_json_is_canonical_and_schema_tagged():
+    tracer = Tracer()
+    tracer.pstate(1.0, 1998)
+    text = tracer.to_json()
+    assert text.endswith("\n")
+    document = json.loads(text)
+    assert document["otherData"] == {"schema": TRACE_SCHEMA, "clock": "sim"}
+    # Canonical form: re-serialising the parsed document with the same
+    # settings reproduces the bytes exactly.
+    assert json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n" == text
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_trace_text("not json")[0].startswith("not valid JSON")
+    assert validate_trace_text("[]") == [
+        "top level must be an object with a traceEvents list"
+    ]
+    assert validate_trace_text('{"traceEvents": 3}') == ["missing traceEvents list"]
+    missing = json.dumps({"traceEvents": [{"name": "x", "ph": "i"}]})
+    assert "missing key(s)" in validate_trace_text(missing)[0]
+    bad_phase = json.dumps(
+        {
+            "traceEvents": [
+                {"name": "x", "cat": "c", "ph": "Z", "ts": 0, "pid": 1, "tid": 1}
+            ]
+        }
+    )
+    assert "unknown phase 'Z'" in validate_trace_text(bad_phase)[0]
+    no_dur = json.dumps(
+        {
+            "traceEvents": [
+                {"name": "x", "cat": "c", "ph": "X", "ts": 0, "pid": 1, "tid": 1}
+            ]
+        }
+    )
+    assert "needs a numeric dur" in validate_trace_text(no_dur)[0]
+
+
+def test_validate_trace_file_raises_telemetry_error(tmp_path):
+    good = tmp_path / "good.json"
+    tracer = Tracer()
+    tracer.pstate(0.0, 1998)
+    tracer.save(good)
+    validate_trace_file(good)  # no problems, no raise
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": 3}')
+    with pytest.raises(TelemetryError, match="missing traceEvents"):
+        validate_trace_file(bad)

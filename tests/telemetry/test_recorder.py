@@ -42,6 +42,23 @@ def test_matching_yields_series():
     assert {s.name for s in recorder.matching("vm.")} == {"vm.load", "vm.freq"}
 
 
+def test_matching_is_a_snapshot_safe_during_recording():
+    # Regression: matching() used to return a live generator over the
+    # internal dict; a probe creating a new series mid-iteration raised
+    # "RuntimeError: dictionary changed size during iteration".
+    recorder = Recorder()
+    recorder.record("vm.a", 0.0, 1.0)
+    recorder.record("vm.b", 0.0, 2.0)
+    seen = []
+    for series in recorder.matching("vm."):
+        # A lazily created series appearing mid-walk must not blow up ...
+        recorder.record(f"other.{series.name}", 0.0, 3.0)
+        seen.append(series.name)
+    # ... and the snapshot holds the names present when matching() ran.
+    assert seen == ["vm.a", "vm.b"]
+    assert isinstance(recorder.matching("vm."), list)
+
+
 def test_len_counts_series():
     recorder = Recorder()
     recorder.record("a", 0.0, 1.0)
