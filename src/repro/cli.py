@@ -609,7 +609,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+#: Presets too big for a smoke pass (skipped by ``run --preset all``).
+_XLARGE_PRESETS = ("dc-fleet-large",)
+
+#: Per-run duration cap of the ``--preset all`` smoke pass, in sim seconds.
+_SMOKE_DURATION_S = 60.0
+
+
+def _run_all_presets(args: argparse.Namespace) -> int:
+    """``run --preset all``: a short smoke run of every (non-xlarge) preset.
+
+    Each preset's base config runs with its duration capped at
+    :data:`_SMOKE_DURATION_S`; ``kind: cluster`` presets are skipped unless
+    ``--include-cluster``.  One status line per preset; exit 1 when any
+    preset failed.
+    """
+    if args.trace or args.metrics_out or args.out:
+        print(
+            "run: --trace/--metrics-out/--out apply to a single run, "
+            "not --preset all",
+            file=sys.stderr,
+        )
+        return 2
+    from .cluster import run_cluster_scenario
+
+    failed = []
+    skipped = 0
+    for preset in PRESETS.values():
+        if preset.name in _XLARGE_PRESETS:
+            print(f"  skip  {preset.name} (xlarge)")
+            skipped += 1
+            continue
+        if preset.kind == "cluster" and not args.include_cluster:
+            print(f"  skip  {preset.name} (cluster; use --include-cluster)")
+            skipped += 1
+            continue
+        config = preset.config.with_changes(
+            duration=min(preset.config.duration, _SMOKE_DURATION_S)
+        )
+        try:
+            if preset.kind == "cluster":
+                sim = run_cluster_scenario(config)
+                detail = f"{len(sim.stats)} epochs"
+            else:
+                result = run_scenario(config)
+                detail = f"{len(result.guest_names)} guests, {result.host.now:.0f}s"
+            print(f"  ok    {preset.name} ({detail})")
+        except Exception as error:
+            failed.append(preset.name)
+            print(f"  FAIL  {preset.name}: {error}")
+    ran = len(PRESETS) - skipped
+    print(
+        f"preset smoke: {ran - len(failed)}/{ran} passed, {skipped} skipped"
+        + (f"; failed: {', '.join(failed)}" if failed else "")
+    )
+    return 1 if failed else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.preset == "all":
+        return _run_all_presets(args)
     try:
         if args.scenario:
             path = pathlib.Path(args.scenario)
@@ -919,17 +978,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_where(clauses: Sequence[str]) -> dict[str, str]:
-    """``key=value`` clauses -> a filter mapping (raises ValueError on junk)."""
-    where: dict[str, str] = {}
+def _parse_where(clauses: Sequence[str]) -> dict[str, str | tuple[str, str]]:
+    """``KEY=VALUE`` / ``KEY>=VALUE`` / ``KEY<=VALUE`` clauses -> a filter map.
+
+    Equality clauses map to plain strings; inequality clauses map to
+    ``(op, value)`` tuples with a validated numeric bound (raises
+    ValueError on junk).
+    """
+    where: dict[str, str | tuple[str, str]] = {}
     for clause in clauses:
-        key, sep, value = clause.partition("=")
-        if not sep or not key.strip():
-            raise ValueError(
-                f"--where takes KEY=VALUE (e.g. scheduler=pas), got {clause!r}"
-            )
-        where[key.strip()] = value.strip()
+        for op in (">=", "<="):
+            key, sep, value = clause.partition(op)
+            if sep and key.strip():
+                value = value.strip()
+                try:
+                    float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"--where {clause!r}: {op} needs a numeric bound, "
+                        f"got {value!r}"
+                    ) from None
+                where[key.strip()] = (op, value)
+                break
+        else:
+            key, sep, value = clause.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"--where takes KEY=VALUE, KEY>=VALUE or KEY<=VALUE "
+                    f"(e.g. scheduler=pas, seed>=5), got {clause!r}"
+                )
+            where[key.strip()] = value.strip()
     return where
+
+
+def _where_clause_text(key: str, value: str | tuple[str, str]) -> str:
+    """Render a parsed filter clause back to its CLI spelling."""
+    if isinstance(value, tuple):
+        return f"{key}{value[0]}{value[1]}"
+    return f"{key}={value}"
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -949,7 +1035,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
         payloads = store.payloads(where=where)
         if not payloads:
             suffix = (
-                " matching " + ", ".join(f"{k}={v}" for k, v in where.items())
+                " matching "
+                + ", ".join(_where_clause_text(k, v) for k, v in where.items())
                 if where
                 else ""
             )
@@ -1548,8 +1635,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     source = run.add_mutually_exclusive_group(required=True)
-    source.add_argument("--preset", help="preset name (see sweep --list-presets)")
+    source.add_argument(
+        "--preset",
+        help="preset name (see sweep --list-presets), or 'all' for a smoke "
+        "pass over every non-xlarge preset",
+    )
     source.add_argument("--scenario", help="path to a scenario-spec JSON file")
+    run.add_argument(
+        "--include-cluster",
+        action="store_true",
+        help="with --preset all: include the kind:cluster presets too",
+    )
     run.add_argument("--out", default=None, help="also write the resolved spec to PATH")
     run.add_argument(
         "--trace",
@@ -1721,9 +1817,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--where",
             action="append",
             default=[],
-            metavar="KEY=VALUE",
-            help="only cells whose param/config field KEY equals VALUE "
-            "(repeatable; clauses AND together), e.g. --where scheduler=pas",
+            metavar="KEY[=|>=|<=]VALUE",
+            help="only cells whose param/config field KEY equals VALUE, or "
+            "satisfies a numeric KEY>=VALUE / KEY<=VALUE bound "
+            "(repeatable; clauses AND together), e.g. --where scheduler=pas "
+            "--where seed>=5",
         )
     for sub in (store_ls, store_show, store_gc, store_export):
         sub.add_argument("--store", required=True, help="experiment-store DIR")

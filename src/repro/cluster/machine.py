@@ -46,6 +46,9 @@ class Machine:
         self.freq_mhz = self._table.max_state.freq_mhz
         self.last_util = 0.0
         self.last_power_w = 0.0
+        #: BE demand multiplier set by fleet QoS for the next epoch
+        #: (1.0 = unthrottled; only best-effort VMs are scaled).
+        self.be_quota_fraction = 1.0
 
     @property
     def table(self):
@@ -133,7 +136,16 @@ class Machine:
             self.last_power_w = 0.0
             return 0.0, 0.0
         check_non_negative(extra_demand_percent, "extra_demand_percent")
-        demand = sum(vm.demand_at(time) for vm in self._vms.values())
+        fraction = self.be_quota_fraction
+        if fraction < 1.0:
+            # Fleet QoS throttle: best-effort VMs admit only a fraction of
+            # their demand this epoch; latency-critical VMs are untouched.
+            demand = sum(
+                vm.demand_at(time) * (fraction if vm.service_class == "be" else 1.0)
+                for vm in self._vms.values()
+            )
+        else:
+            demand = sum(vm.demand_at(time) for vm in self._vms.values())
         overhead = self.spec.overhead_percent if self._vms else 0.0
         total = demand + overhead + extra_demand_percent
         if dvfs:

@@ -126,6 +126,10 @@ class Orchestrator:
     power_budget_w:
         Cluster watt cap, handed to the ``"power-budget"`` policy when the
         policy is given by name.
+    qos:
+        Fleet QoS controller kind (``"none"`` / ``"naive"`` / ``"ladder"``,
+        :class:`~repro.qos.fleet.FleetQos`): throttles best-effort VM demand
+        on machines whose latency-critical VMs are short-served.
     """
 
     def __init__(
@@ -140,6 +144,7 @@ class Orchestrator:
         repack_every: int = 1,
         migration: MigrationModel | None = None,
         power_budget_w: float | None = None,
+        qos: str = "none",
     ) -> None:
         if n_machines < 1:
             raise ConfigurationError(f"need at least one machine, got {n_machines}")
@@ -165,6 +170,12 @@ class Orchestrator:
         self.repack_every = repack_every
         self.migration_model = migration
         self.power_budget_w = power_budget_w
+        if qos != "none":
+            from ..qos.fleet import FleetQos
+
+            self.fleet_qos: "FleetQos | None" = FleetQos(qos, epoch_s=self.epoch_s)
+        else:
+            self.fleet_qos = None
         self.stats: list[EpochStats] = []
         self.events: list[MigrationEvent] = []
         self._host_stats: list[dict[str, Any]] = []
@@ -299,6 +310,23 @@ class Orchestrator:
             )
             demand_total += demand
             served_total += served
+            if self.fleet_qos is not None:
+                lc_present = any(vm.service_class == "lc" for vm in machine.vms)
+                fraction = self.fleet_qos.observe(
+                    self._time, machine.name, demand, served, lc_present
+                )
+                if fraction != machine.be_quota_fraction and trace is not None:
+                    shortfall = (demand - served) / demand if demand > 0.0 else 0.0
+                    trace.qos_decision(
+                        self._time,
+                        self.fleet_qos.kind,
+                        "throttle" if fraction < machine.be_quota_fraction else "restore",
+                        machine.name,
+                        self.fleet_qos.stats.quota_level,
+                        fraction,
+                        shortfall,
+                    )
+                machine.be_quota_fraction = fraction
             machine.power_off_if_empty()
         served_total = max(0.0, served_total - downtime_loss)
         epoch_energy = self.fleet_energy_joules - energy_before

@@ -86,6 +86,10 @@ class ClusterScenarioConfig:
     dayshape_scale: float = 1.0
     migration: MigrationModel = field(default=DEFAULT_MIGRATION)
     power_budget_w: float | None = None
+    #: Fleet QoS controller kind (``none`` installs no controller).
+    qos: str = "none"
+    #: The first ``lc_vms`` VMs of the population are latency-critical.
+    lc_vms: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.migration, Mapping):
@@ -96,6 +100,14 @@ class ClusterScenarioConfig:
             object.__setattr__(self, "dayshapes", tuple(self.dayshapes))
         for shape in self.dayshapes:
             require_dayshape(shape)
+        if self.qos not in ("none", "naive", "ladder"):
+            raise ConfigurationError(
+                f"unknown fleet QoS kind {self.qos!r}; use none/naive/ladder"
+            )
+        if not 0 <= self.lc_vms <= self.n_vms:
+            raise ConfigurationError(
+                f"lc_vms must be in [0, n_vms={self.n_vms}], got {self.lc_vms}"
+            )
 
     def with_changes(self, **changes) -> "ClusterScenarioConfig":
         """A copy with the given fields replaced."""
@@ -143,6 +155,12 @@ class ClusterScenarioConfig:
                 value = value.to_dict()
             elif spec_field.name == "dayshapes":
                 value = list(value)
+            elif spec_field.name == "qos" and self.qos == "none":
+                # Omit-when-default: pre-QoS specs (and their store keys)
+                # serialise byte-identically.
+                continue
+            elif spec_field.name == "lc_vms" and self.lc_vms == 0:
+                continue
             out[spec_field.name] = value
         return out
 
@@ -215,6 +233,7 @@ def make_population(config: ClusterScenarioConfig) -> list[ClusterVM]:
                 credit=config.vm_credit,
                 memory_mb=config.vm_memory_mb,
                 demand=trace.demand_at,
+                service_class="lc" if index < config.lc_vms else "be",
             )
         )
     return vms
@@ -242,6 +261,7 @@ def build_cluster(config: ClusterScenarioConfig) -> Orchestrator:
         epoch_s=config.epoch_s,
         migration=config.migration,
         power_budget_w=config.power_budget_w,
+        qos=config.qos,
     )
 
 

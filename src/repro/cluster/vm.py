@@ -24,6 +24,10 @@ class ClusterVM:
     demand:
         ``demand(epoch_time) -> percent`` of max-frequency capacity the VM
         wants at that time.  Delivery is capped at the booked credit.
+    service_class:
+        QoS class (``lc`` / ``be``); fleet QoS throttles only ``be`` VMs on
+        machines whose ``lc`` VMs are short-served.  Inert without a fleet
+        controller.
     """
 
     def __init__(
@@ -33,12 +37,18 @@ class ClusterVM:
         credit: float,
         memory_mb: int,
         demand: Callable[[float], float],
+        service_class: str = "be",
     ) -> None:
         if not name:
             raise ConfigurationError("VM name must be non-empty")
+        if service_class not in ("lc", "be"):
+            raise ConfigurationError(
+                f"unknown service class {service_class!r}; use 'lc' or 'be'"
+            )
         self.name = name
         self.credit = check_percent(credit, "credit", allow_zero=False)
         self.memory_mb = int(check_positive(memory_mb, "memory_mb"))
+        self.service_class = service_class
         self._demand = demand
 
     def demand_at(self, time: float) -> float:

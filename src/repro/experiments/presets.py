@@ -35,6 +35,11 @@ Registry
 ``stress-fleet``
     An 8-guest packing stress: small-credit web guests with staggered
     active windows, credit vs pas — the N-guest scalability check.
+``qos-noisy-neighbor``
+    One latency-critical web guest beside two best-effort
+    ``noisy-neighbor`` batch guests on an overbooked host, swept over the
+    QoS controller axis (``none`` / ``naive`` / ``ladder``) — the
+    closed-loop control-plane demonstration (``docs/qos.md``).
 
 Cluster presets (``kind: cluster`` — fleet specs for ``python -m repro
 cluster run/sweep/compare``):
@@ -251,6 +256,45 @@ def _stress_fleet() -> Preset:
     )
 
 
+def _qos_noisy_neighbor() -> Preset:
+    # 30 + 35 + 35 + 10 (Dom0) books 110% of the machine: whenever the
+    # neighbors' day shape peaks while the governor sits at a reduced
+    # P-state, the LC guest's fixed cap starves its request queue — the
+    # contention episode the controllers exist to catch.  The base config
+    # runs the ladder; the `qos` axis compares it against none/naive.
+    guests = (
+        GuestSpec(
+            name="web",
+            credit=30.0,
+            service_class="lc",
+            workloads=(WorkloadSpec(kind="web", load="near_exact"),),
+        ),
+        GuestSpec(
+            name="batch1",
+            credit=35.0,
+            workloads=(
+                WorkloadSpec(kind="trace", dayshape="noisy-neighbor", repeat=True),
+            ),
+        ),
+        GuestSpec(
+            name="batch2",
+            credit=35.0,
+            workloads=(
+                WorkloadSpec(kind="trace", dayshape="noisy-neighbor", repeat=True),
+            ),
+        ),
+    )
+    return Preset(
+        name="qos-noisy-neighbor",
+        description="LC web guest vs BE noisy neighbors under the QoS controllers",
+        config=ScenarioConfig(
+            guests=guests, duration=300.0, seed=20, qos="ladder"
+        ),
+        axes={"qos": ("none", "naive", "ladder")},
+        metrics=("qos", "qos_control", "guest_loads", "energy"),
+    )
+
+
 #: The heterogeneous day mix every datacenter preset deals across its VMs.
 _DC_DAYSHAPES = (
     "diurnal-office",
@@ -349,6 +393,7 @@ PRESETS: dict[str, Preset] = {
         _pi_batch(),
         _mixed_guests(),
         _stress_fleet(),
+        _qos_noisy_neighbor(),
         _dc_diurnal(),
         _dc_diurnal_small(),
         _dc_fleet_medium(),

@@ -84,6 +84,10 @@ LOAD_KINDS = ("exact", "near_exact", "thrashing", "idle")
 #: User-level manager designs of §4.1 (None = no manager).
 MANAGER_KINDS = ("user-credit", "user-full")
 
+#: Guest service classes for the QoS control plane (:mod:`repro.qos`):
+#: latency-critical guests are protected, best-effort guests are throttled.
+SERVICE_CLASSES = ("lc", "be")
+
 
 def _window_tuple(value: Any, what: str) -> tuple[float, float]:
     if not isinstance(value, (tuple, list)) or len(value) != 2:
@@ -261,10 +265,19 @@ class GuestSpec:
     cap: float | None = None
     sedf_period: float = 0.1
     workloads: tuple[WorkloadSpec, ...] = ()
+    #: QoS service class: ``lc`` (latency-critical, protected) or ``be``
+    #: (best-effort, throttled under contention).  Inert unless the
+    #: scenario's ``qos`` controller is enabled.
+    service_class: str = "be"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("guest name must be non-empty")
+        if self.service_class not in SERVICE_CLASSES:
+            raise ConfigurationError(
+                f"unknown service class {self.service_class!r}; "
+                f"use one of: {', '.join(SERVICE_CLASSES)}"
+            )
         object.__setattr__(
             self,
             "workloads",
@@ -277,7 +290,8 @@ class GuestSpec:
     def describe(self) -> str:
         """Compact human-readable label (grid cell labelling)."""
         loads = "+".join(w.describe() for w in self.workloads) or "idle"
-        return f"{self.name}({self.credit:g}%:{loads})"
+        marker = "!lc" if self.service_class == "lc" else ""
+        return f"{self.name}({self.credit:g}%{marker}:{loads})"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able form; :meth:`from_dict` round-trips it exactly."""
@@ -290,6 +304,8 @@ class GuestSpec:
             out["cap"] = self.cap
         if self.sedf_period != 0.1:
             out["sedf_period"] = self.sedf_period
+        if self.service_class != "be":
+            out["service_class"] = self.service_class
         out["workloads"] = [w.to_dict() for w in self.workloads]
         return out
 
@@ -338,6 +354,10 @@ class ScenarioConfig:
     manager_kwargs: dict = field(default_factory=dict)
     cpufreq_min_mhz: int | None = None
     stop_when_batch_done: bool = False
+    #: QoS controller name (:data:`repro.qos.controllers.CONTROLLER_REGISTRY`);
+    #: ``"none"`` installs no contention monitor at all.
+    qos: str = "none"
+    qos_kwargs: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "v20_active", _window_tuple(self.v20_active, "v20_active"))
@@ -366,6 +386,14 @@ class ScenarioConfig:
                 f"unknown manager {self.manager!r}; "
                 f"use one of: {', '.join(MANAGER_KINDS)} (or None)"
             )
+        if self.qos != "none":
+            from ..qos.controllers import CONTROLLER_REGISTRY
+
+            if self.qos not in CONTROLLER_REGISTRY:
+                raise ConfigurationError(
+                    f"unknown QoS controller {self.qos!r}; "
+                    f"use one of: {', '.join(CONTROLLER_REGISTRY)}"
+                )
 
     def with_changes(self, **changes) -> "ScenarioConfig":
         """A copy with the given fields replaced.
@@ -425,6 +453,9 @@ class ScenarioConfig:
             out["cpufreq_min_mhz"] = self.cpufreq_min_mhz
         if self.stop_when_batch_done:
             out["stop_when_batch_done"] = self.stop_when_batch_done
+        if self.qos != "none":
+            out["qos"] = self.qos
+            out["qos_kwargs"] = dict(self.qos_kwargs)
         return out
 
     @classmethod
@@ -590,6 +621,31 @@ def build_scenario(config: ScenarioConfig) -> Host:
         manager = manager_cls(host, **config.manager_kwargs)
         manager.start()
         host.user_manager = manager
+    if config.qos != "none":
+        from ..qos import ContentionMonitor, make_controller
+
+        # The monitor's own knobs ride in qos_kwargs under "monitor";
+        # everything else goes to the controller constructor.
+        qos_kwargs = dict(config.qos_kwargs)
+        monitor_kwargs = dict(qos_kwargs.pop("monitor", {}))
+        controller = make_controller(config.qos, **qos_kwargs)
+        lc_domains = [
+            domain
+            for domain, guest in zip(domains, guests)
+            if guest.service_class == "lc"
+        ]
+        be_domains = [
+            domain
+            for domain, guest in zip(domains, guests)
+            if guest.service_class == "be"
+        ]
+        controller.bind(host, lc_domains, be_domains)
+        monitor = ContentionMonitor(
+            host, controller, lc_domains, host.recorder, **monitor_kwargs
+        )
+        monitor.start()
+        host.qos_controller = controller
+        host.qos_monitor = monitor
     return host
 
 

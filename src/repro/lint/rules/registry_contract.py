@@ -19,6 +19,8 @@ Registries checked:
   methods.
 * ``src/repro/experiments/presets.py`` — ``Preset(name=...)`` factories;
   names only (presets are data, they have no hooks).
+* ``src/repro/qos/controllers.py`` — ``CONTROLLER_REGISTRY`` dict keyed by
+  ``<Class>.name``; hooks = ``QosController`` abstract methods.
 """
 
 from __future__ import annotations
@@ -160,6 +162,7 @@ _REGISTRIES: tuple[tuple[str, str, str | None], ...] = (
     ("src/repro/governors/registry.py", "governor", "Governor"),
     ("src/repro/cluster/policies.py", "policy", "OrchestrationPolicy"),
     ("src/repro/experiments/presets.py", "preset", None),
+    ("src/repro/qos/controllers.py", "qos-controller", "QosController"),
 )
 
 
@@ -170,6 +173,8 @@ def _entries_for(module: SourceModule, kind: str) -> Iterator[_Registered]:
         yield from _dict_registry_entries(module, kind, "_FACTORIES")
     elif kind == "policy":
         yield from _dict_registry_entries(module, kind, "POLICY_REGISTRY")
+    elif kind == "qos-controller":
+        yield from _dict_registry_entries(module, kind, "CONTROLLER_REGISTRY")
     elif kind == "preset":
         yield from _preset_entries(module)
 

@@ -125,6 +125,27 @@ def collect_host(registry: MetricsRegistry, host: Any) -> None:
     if injectors:
         registry.inc("workload.injectors", injectors)
         registry.inc("workload.skip_ahead_retired", timers_retired)
+    controller = getattr(host, "qos_controller", None)
+    if controller is not None:
+        _fold_qos_stats(registry, controller.stats)
+
+
+def _fold_qos_stats(registry: MetricsRegistry, stats: Any) -> None:
+    """Fold a :class:`~repro.qos.controllers.QosStats` ledger in.
+
+    Harvest-only on purpose: the controller maintains these itself, so the
+    control path never touches the registry and observed runs stay
+    byte-identical to unobserved ones.
+    """
+    registry.inc("qos.decisions", stats.decisions)
+    registry.inc("qos.steps_down", stats.steps_down)
+    registry.inc("qos.steps_up", stats.steps_up)
+    registry.inc("qos.lc_sla_saves", stats.lc_sla_saves)
+    registry.gauge("qos.quota_level", stats.quota_level)
+    registry.record_max("qos.contention_peak", stats.contention_peak)
+    registry.gauge("qos.time_throttled_s", stats.time_throttled_s)
+    for level in sorted(stats.time_at_level):
+        registry.gauge(f"qos.time_at_level_{level}", stats.time_at_level[level])
 
 
 def collect_cluster(registry: MetricsRegistry, sim: Any) -> None:
@@ -137,6 +158,9 @@ def collect_cluster(registry: MetricsRegistry, sim: Any) -> None:
         registry.record_max("cluster.peak_power_w", sim.peak_power_w)
         registry.gauge("cluster.machines_on_mean", sim.mean_machines_on)
         registry.gauge("cluster.sla_mean", sim.mean_sla_fraction)
+    fleet_qos = getattr(sim, "fleet_qos", None)
+    if fleet_qos is not None:
+        _fold_qos_stats(registry, fleet_qos.stats)
 
 
 def collect_sweep(registry: MetricsRegistry, runner: Any) -> None:

@@ -15,7 +15,10 @@ Event vocabulary (``cat`` / ``ph``):
 * ``cpufreq`` — a ``C`` (counter) track of the P-state plus one instant per
   transition;
 * ``cluster`` — ``X`` spans per orchestration epoch, instants per migration,
-  and a fleet-power counter track.
+  and a fleet-power counter track;
+* ``qos`` — a contention-score counter track (raw + windowed samples) plus
+  one instant per controller decision (``throttle``/``restore``) on the
+  ``qos.decisions`` track.
 
 ``docs/observability.md`` is the prose catalogue of the schema.
 """
@@ -46,7 +49,8 @@ class Tracer:
     ----------
     categories:
         Iterable of category names to record (``engine``, ``sched``,
-        ``credit``, ``cpufreq``, ``cluster``).  ``None`` records everything.
+        ``credit``, ``cpufreq``, ``cluster``, ``qos``).  ``None`` records
+        everything.
         The dense ``engine`` category dominates trace size; pass
         ``categories=("sched", "cpufreq")`` for slim scheduling traces.
     """
@@ -243,6 +247,38 @@ class Tracer:
             time_s,
             "cluster.migrations",
             args={"vm": vm, "source": source, "dest": dest},
+        )
+
+    def qos_score(self, time_s: float, raw: float, windowed: float) -> None:
+        """One contention-monitor sample (raw and window-mean scores)."""
+        self.counter(
+            "qos", "contention", time_s, {"raw": raw, "windowed": windowed}
+        )
+
+    def qos_decision(
+        self,
+        time_s: float,
+        controller: str,
+        action: str,
+        scope: str,
+        level: int,
+        fraction: float,
+        score: float,
+    ) -> None:
+        """One QoS controller actuation (*action*: ``throttle``/``restore``)."""
+        self.instant(
+            "qos",
+            f"{controller} {action}",
+            time_s,
+            "qos.decisions",
+            args={
+                "controller": controller,
+                "action": action,
+                "scope": scope,
+                "level": level,
+                "fraction": fraction,
+                "score": score,
+            },
         )
 
     # ----------------------------------------------------------- serialise

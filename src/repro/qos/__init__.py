@@ -1,0 +1,42 @@
+"""Closed-loop QoS control plane: LC/BE classes, contention, controllers.
+
+The simulation's answer to the noisy-neighbor problem the paper's cap
+mechanism only half-addresses: guests declare a *service class*
+(latency-critical ``lc`` or best-effort ``be``), a
+:class:`~repro.qos.monitor.ContentionMonitor` turns run-queue delay, work
+backlog, credit starvation and request-queue pressure into one contention
+score, and a pluggable :class:`~repro.qos.controllers.QosController`
+(``none`` / ``naive`` / ``ladder``) reacts by stepping BE caps down and LC
+caps/weights up until contention clears.  ``docs/qos.md`` is the prose
+description; the ``qos=`` field of
+:class:`~repro.experiments.scenario.ScenarioConfig` (and its cluster twin)
+is the sweepable switch.
+"""
+
+from .controllers import (
+    CONTROLLER_REGISTRY,
+    LadderController,
+    NaiveController,
+    NoneController,
+    QosController,
+    QosStats,
+    QuotaLadder,
+    controller_names,
+    make_controller,
+)
+from .fleet import FleetQos
+from .monitor import ContentionMonitor
+
+__all__ = [
+    "CONTROLLER_REGISTRY",
+    "ContentionMonitor",
+    "FleetQos",
+    "LadderController",
+    "NaiveController",
+    "NoneController",
+    "QosController",
+    "QosStats",
+    "QuotaLadder",
+    "controller_names",
+    "make_controller",
+]

@@ -1,0 +1,124 @@
+"""Fleet-tier QoS: the host controller's semantics at epoch granularity.
+
+The cluster tier is a fluid model — no vCPUs, no run queues — so contention
+is read straight off each machine's serve ledger: the **shortfall fraction**
+``(demand - served) / demand`` of an epoch is the fleet analogue of the host
+monitor's contention score.  :class:`FleetQos` keeps one
+:class:`~repro.qos.controllers.QuotaLadder` (or naive threshold state) per
+machine and returns the BE quota fraction the orchestrator should apply to
+that machine's best-effort VMs on the *next* epoch; machines hosting no
+latency-critical VMs are never throttled.
+
+Decisions reuse the exact controller names and, for ``ladder``, the exact
+state machine of the host tier, so a ``qos=`` sweep means the same thing in
+both ``ScenarioConfig`` and ``ClusterScenarioConfig``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .controllers import QosStats, QuotaLadder
+
+
+class FleetQos:
+    """Per-machine BE quota control for the orchestrator's epoch loop.
+
+    Parameters
+    ----------
+    kind:
+        ``"naive"`` or ``"ladder"`` (a ``qos="none"`` cluster config never
+        constructs a FleetQos at all).
+    epoch_s:
+        The orchestration epoch, used to express the ladder cooldown in
+        epochs (two epochs) and to charge time-at-level buckets.
+    threshold:
+        Shortfall fraction above which the naive kind throttles (and half of
+        which releases); also reused as the ladder's ``high`` mark.
+    """
+
+    def __init__(
+        self, kind: str, *, epoch_s: float, threshold: float = 0.3
+    ) -> None:
+        if kind not in ("naive", "ladder"):
+            raise ConfigurationError(
+                f"unknown fleet QoS kind {kind!r}; use 'naive' or 'ladder'"
+            )
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        self.kind = kind
+        self.epoch_s = epoch_s
+        self.threshold = threshold
+        self.stats = QosStats()
+        self._ladders: dict[str, QuotaLadder] = {}
+        self._naive_fraction: dict[str, float] = {}
+
+    def _ladder_for(self, machine: str) -> QuotaLadder:
+        ladder = self._ladders.get(machine)
+        if ladder is None:
+            ladder = QuotaLadder(
+                high=self.threshold,
+                low=self.threshold / 3.0,
+                cooldown_s=2.0 * self.epoch_s,
+            )
+            self._ladders[machine] = ladder
+        return ladder
+
+    def observe(
+        self,
+        now: float,
+        machine: str,
+        demand: float,
+        served: float,
+        lc_present: bool,
+    ) -> float:
+        """Fold one machine-epoch; the BE quota fraction for the next epoch.
+
+        *demand*/*served* are the machine's epoch totals in percent-of-core;
+        *lc_present* is whether any LC VM lives there this epoch (without
+        one there is nobody to protect, so the quota stays at 1.0 and any
+        leftover throttle from before a migration is released).
+        """
+        stats = self.stats
+        stats.decisions += 1
+        shortfall = 0.0
+        if demand > 0.0:
+            shortfall = max(0.0, (demand - served) / demand)
+        stats.observe_score(shortfall)
+
+        if not lc_present:
+            self._ladders.pop(machine, None)
+            self._naive_fraction.pop(machine, None)
+            return 1.0
+
+        if self.kind == "naive":
+            fraction = self._naive_fraction.get(machine, 1.0)
+            if shortfall > self.threshold and fraction > 0.25:
+                fraction = max(0.25, fraction - 0.2)
+                stats.steps_down += 1
+            elif shortfall < self.threshold / 2.0 and fraction < 1.0:
+                fraction = min(1.0, fraction + 0.2)
+                stats.steps_up += 1
+                if fraction >= 1.0:
+                    stats.lc_sla_saves += 1
+            self._naive_fraction[machine] = fraction
+        else:
+            ladder = self._ladder_for(machine)
+            before = ladder.level
+            stepped = ladder.step(now, shortfall)
+            fraction = ladder.fraction
+            if stepped is not None:
+                if ladder.level > before:
+                    stats.steps_down += 1
+                else:
+                    stats.steps_up += 1
+                    if ladder.level == 0:
+                        stats.lc_sla_saves += 1
+
+        level = 0 if fraction >= 1.0 else 1
+        stats.accrue(level, self.epoch_s)
+        stats.quota_level = max(
+            (ladder.level for ladder in self._ladders.values()), default=level
+        )
+        return fraction

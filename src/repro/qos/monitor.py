@@ -1,0 +1,164 @@
+"""Contention detection: the sensor half of the QoS control loop.
+
+A :class:`ContentionMonitor` samples the latency-critical (LC) domains on a
+sim-timer cadence and condenses what it sees into one scalar **contention
+score** in [0, 1] per host, which it feeds straight into the bound
+:class:`~repro.qos.controllers.QosController`.
+
+The score is the max over LC domains of the max of four component signals,
+then smoothed over a sliding window of the last *window* samples:
+
+* **work backlog** — ``pending_work / (backlog_ref * entitled_work)``
+  clamped to 1, where ``entitled_work = credit/100 * period`` is the work an
+  LC guest's booked share is good for per sampling period.  This is the
+  primary signal: under fix-credit semantics a starved LC guest shows up as
+  queued demand long before anything else moves, including when DVFS shrinks
+  absolute capacity while the wall-time share stays nominally honest.
+* **run-queue delay** — ``1 - delivered_wall / entitled_wall`` (clamped at
+  0), counted only while the guest is backlogged: an idle guest that used
+  little CPU is content, not starved.
+* **credit starvation** — a floor of 0.5 whenever the scheduler reports the
+  domain out of credits (``credits_of() <= 0``) while backlogged; schedulers
+  without a credit notion simply never trip it.
+* **queue pressure** — ``queued_requests / queue_ref`` clamped to 1, read
+  from any workload exposing a :class:`~repro.workloads.latency.LatencyTracker`
+  (the ``latency`` attribute, e.g. :class:`~repro.workloads.web.WebApp`).
+
+All inputs come from state the simulation already maintains (vCPU backlog,
+scheduler accounts, latency trackers) — the monitor adds a periodic timer
+and arithmetic, no new bookkeeping on the dispatch path, and a ``qos="none"``
+config installs no monitor at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ConfigurationError
+from ..hypervisor.vcpu import WORK_EPSILON
+from ..obs import hooks as _obs
+from ..sim import PeriodicTimer
+from ..units import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hypervisor.domain import Domain
+    from ..hypervisor.host import Host
+    from ..telemetry import Recorder
+    from .controllers import QosController
+
+
+class ContentionMonitor:
+    """Samples LC starvation signals every *period* seconds (default 1 s).
+
+    Parameters
+    ----------
+    host, controller, lc_domains:
+        The simulated host, the bound controller to drive, and the domains
+        whose guests declared ``service_class="lc"``.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`; when given, the raw and
+        windowed scores land under ``qos.contention`` / ``qos.score``.
+    period:
+        Sampling cadence in simulated seconds.
+    window:
+        Number of samples in the smoothing window (the controller sees the
+        window mean, so one noisy sample cannot flip a quota level).
+    backlog_ref:
+        Backlog that saturates the backlog component, in multiples of one
+        period's entitled work.
+    queue_ref:
+        Queued request count that saturates the queue-pressure component.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        controller: "QosController",
+        lc_domains: Sequence["Domain"],
+        recorder: "Recorder | None" = None,
+        *,
+        period: float = 1.0,
+        window: int = 5,
+        backlog_ref: float = 2.0,
+        queue_ref: float = 50.0,
+    ) -> None:
+        self._host = host
+        self._controller = controller
+        self._lc = tuple(lc_domains)
+        self._recorder = recorder
+        self._period = check_positive(period, "period")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self._window: deque[float] = deque(maxlen=int(window))
+        self._backlog_ref = check_positive(backlog_ref, "backlog_ref")
+        self._queue_ref = check_positive(queue_ref, "queue_ref")
+        self._timer = PeriodicTimer(
+            host.engine, self._period, self._sample, label="qos-monitor"
+        )
+        self._last_wall: dict[str, float] = {}
+
+    @property
+    def period(self) -> float:
+        """Sampling period in seconds."""
+        return self._period
+
+    def start(self) -> None:
+        """Begin sampling (aligned to multiples of the period)."""
+        for domain in self._lc:
+            self._last_wall[domain.name] = domain.cpu_seconds
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    # ------------------------------------------------------------ internals
+
+    def _domain_score(self, domain: "Domain") -> float:
+        entitled_work = domain.credit / 100.0 * self._period
+        delivered = domain.cpu_seconds
+        delta_wall = delivered - self._last_wall.get(domain.name, 0.0)
+        self._last_wall[domain.name] = delivered
+
+        backlog = domain.vcpu.pending_work
+        # "Backlogged" means work worth a real slice of the entitlement is
+        # queued, not a just-injected quantum that has not had its turn yet
+        # -- a content low-load guest must not trip the delay/starvation
+        # components on sampling jitter.
+        backlogged = backlog > max(WORK_EPSILON, 0.1 * entitled_work)
+        score = 0.0
+        if entitled_work > 0.0:
+            score = min(1.0, backlog / (self._backlog_ref * entitled_work))
+        if backlogged and entitled_work > 0.0:
+            delay = 1.0 - delta_wall / entitled_work
+            if delay > score:
+                score = min(1.0, delay)
+            credits_of = getattr(self._host.scheduler, "credits_of", None)
+            if credits_of is not None and credits_of(domain) <= 0.0:
+                score = max(score, 0.5)
+        for workload in domain.workloads:
+            tracker = getattr(workload, "latency", None)
+            if tracker is not None:
+                pressure = min(1.0, tracker.queued_requests / self._queue_ref)
+                if pressure > score:
+                    score = pressure
+        return score
+
+    def _sample(self, now: float) -> None:
+        # The host accounts lazily (at slice boundaries), so force the books
+        # up to date before reading backlog and wall-time counters.
+        self._host.sync_accounting()
+        raw = 0.0
+        for domain in self._lc:
+            raw = max(raw, self._domain_score(domain))
+        self._window.append(raw)
+        score = sum(self._window) / len(self._window)
+
+        if self._recorder is not None:
+            self._recorder.record("qos.contention", now, raw)
+            self._recorder.record("qos.score", now, score)
+        trace = _obs.TRACER
+        if trace is not None:
+            trace.qos_score(now, raw, score)
+        self._controller.control(now, score)

@@ -138,3 +138,14 @@ class Scheduler(ABC):
     def cap_of(self, domain: "Domain") -> float:
         """Current cap in nominal percent (0 = uncapped); default uncapped."""
         return 0.0
+
+    def set_weight(self, domain: "Domain", weight: float) -> None:
+        """Change a domain's proportional-share weight at runtime.
+
+        The QoS controllers boost latency-critical domains through this
+        knob; schedulers without a weight notion accept and ignore it.
+        """
+
+    def weight_of(self, domain: "Domain") -> float:
+        """Current weight (0 = this scheduler has no weight notion)."""
+        return 0.0

@@ -302,3 +302,12 @@ class CreditScheduler(Scheduler):
     def credits_of(self, domain: "Domain") -> float:
         """Current credit balance in seconds (tests/telemetry)."""
         return self._account_of(domain.vcpu).credit_s
+
+    def set_weight(self, domain: "Domain", weight: float) -> None:
+        """Change *domain*'s weight; takes effect at the next refill."""
+        if weight <= 0:
+            raise SchedulerError(f"weight must be > 0, got {weight}")
+        self._account_of(domain.vcpu).weight = weight
+
+    def weight_of(self, domain: "Domain") -> float:
+        return self._account_of(domain.vcpu).weight

@@ -85,14 +85,19 @@ def _filter_value_text(value: Any) -> str:
 
 
 def payload_matches(
-    payload: Mapping[str, Any], where: Mapping[str, str] | None
+    payload: Mapping[str, Any],
+    where: Mapping[str, str | tuple[str, str]] | None,
 ) -> bool:
-    """True when *payload* satisfies every ``key=value`` clause of *where*.
+    """True when *payload* satisfies every clause of *where*.
 
     Each clause is looked up in the payload itself, its sweep ``params``
-    and its config ``spec``; the clause matches when *any* of those
-    scopes carries the key with a value comparing equal to the expected
-    text (with a numeric fallback so ``seed=7`` matches the integer 7).
+    and its config ``spec``.  A plain string value is an equality clause
+    (``key=value``): it matches when *any* scope carries the key with a
+    value comparing equal to the expected text (with a numeric fallback so
+    ``seed=7`` matches the integer 7).  An ``(op, value)`` tuple with op
+    ``">="`` or ``"<="`` is an inequality clause: it matches when any
+    scope carries the key with a *numeric* value satisfying the
+    comparison (non-numeric candidates never satisfy an inequality).
     """
     for key, expected in (where or {}).items():
         scopes = (
@@ -107,6 +112,11 @@ def payload_matches(
         ]
         if not candidates:
             return False
+        if isinstance(expected, tuple):
+            op, text = expected
+            if not _any_candidate_compares(candidates, op, text):
+                return False
+            continue
         matched = False
         for candidate in candidates:
             if _filter_value_text(candidate) == expected:
@@ -121,6 +131,24 @@ def payload_matches(
         if not matched:
             return False
     return True
+
+
+def _any_candidate_compares(candidates: list, op: str, text: str) -> bool:
+    """True when some numeric candidate satisfies ``candidate <op> text``."""
+    try:
+        bound = float(text)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"inequality filter needs a numeric bound, got {text!r}"
+        ) from None
+    for candidate in candidates:
+        if isinstance(candidate, bool) or not isinstance(candidate, (int, float)):
+            continue
+        if op == ">=" and candidate >= bound:
+            return True
+        if op == "<=" and candidate <= bound:
+            return True
+    return False
 
 
 class ExperimentStore:
@@ -276,15 +304,17 @@ class ExperimentStore:
         return self.read(matches[0])
 
     def payloads(
-        self, *, where: Mapping[str, str] | None = None
+        self, *, where: Mapping[str, str | tuple[str, str]] | None = None
     ) -> list[dict[str, Any]]:
         """Every *valid* stored payload, ordered by (label, key).
 
-        *where* is a ``{key: value}`` filter ANDed over clauses: a payload
-        matches a clause when its sweep param, its config-spec field, or a
-        top-level payload field named *key* equals *value* (values compared
-        as text, with a numeric fallback so ``seed=7`` matches the integer
-        ``7``).  The ``store ls --where scheduler=pas`` query path.
+        *where* is a filter ANDed over clauses: a payload matches a plain
+        ``{key: value}`` clause when its sweep param, its config-spec field,
+        or a top-level payload field named *key* equals *value* (values
+        compared as text, with a numeric fallback so ``seed=7`` matches the
+        integer ``7``); an ``(op, value)`` tuple clause (op ``">="`` /
+        ``"<="``) matches numerically.  The ``store ls --where
+        scheduler=pas`` / ``--where seed>=5`` query path.
         """
         out = []
         for key in self.keys():
@@ -294,7 +324,9 @@ class ExperimentStore:
         out.sort(key=lambda p: (p.get("label") or "", p.get("key") or ""))
         return out
 
-    def to_results(self, *, where: Mapping[str, str] | None = None):
+    def to_results(
+        self, *, where: Mapping[str, str | tuple[str, str]] | None = None
+    ):
         """All valid cells as a :class:`~repro.sweep.store.SweepResults`.
 
         Cells are ordered by (label, key) — deterministic whatever order

@@ -140,14 +140,45 @@ def qos_metrics(result) -> dict:
         prefix = domain.name.lower()
         try:
             out[f"{prefix}_latency_p50_s"] = tracker.percentile(50)
+            out[f"{prefix}_latency_p95_s"] = tracker.percentile(95)
             out[f"{prefix}_latency_p99_s"] = tracker.percentile(99)
+            out[f"{prefix}_latency_mean_s"] = tracker.mean_response_time
         except WorkloadError:
             out[f"{prefix}_latency_p50_s"] = None
+            out[f"{prefix}_latency_p95_s"] = None
             out[f"{prefix}_latency_p99_s"] = None
+            out[f"{prefix}_latency_mean_s"] = None
         out[f"{prefix}_completed_requests"] = tracker.completed_requests
         drop = getattr(workload, "drop_fraction", None)
         out[f"{prefix}_drop_percent"] = None if drop is None else 100.0 * drop
     return out
+
+
+def qos_control_metrics(result) -> dict:
+    """The QoS controller's decision ledger as flat cell scalars.
+
+    All-``None`` on ``qos="none"`` cells (no controller installed), so a
+    sweep over the ``qos`` axis yields one uniform column set.
+    """
+    controller = getattr(result.host, "qos_controller", None)
+    if controller is None:
+        return {
+            "qos_steps_down": None,
+            "qos_steps_up": None,
+            "qos_lc_sla_saves": None,
+            "qos_time_throttled_s": None,
+            "qos_contention_peak": None,
+            "qos_final_level": None,
+        }
+    stats = controller.stats
+    return {
+        "qos_steps_down": stats.steps_down,
+        "qos_steps_up": stats.steps_up,
+        "qos_lc_sla_saves": stats.lc_sla_saves,
+        "qos_time_throttled_s": stats.time_throttled_s,
+        "qos_contention_peak": stats.contention_peak,
+        "qos_final_level": stats.quota_level,
+    }
 
 
 def reaction_metrics(result) -> dict:
@@ -237,6 +268,7 @@ METRICS: dict[str, Callable] = {
     "frequency": frequency_metrics,
     "energy": energy_metrics,
     "qos": qos_metrics,
+    "qos_control": qos_control_metrics,
     "reaction": reaction_metrics,
     "sla": sla_error_metrics,
     "fleet": fleet_metrics,

@@ -1,0 +1,120 @@
+"""Controller-on runs must stay deterministic and observation-neutral.
+
+The contract mirrors ``tests/obs/test_determinism.py``: (1) a qos sweep
+exports byte-identically across serial/parallel and cold/store-resumed
+executions; (2) installing a tracer or metrics registry during a
+controller-on run never changes the exported results; (3) controller
+decisions are a pure function of (spec, seed).
+"""
+
+import pytest
+
+from repro.cluster.scenario import run_cluster_scenario
+from repro.experiments import get_preset, run_scenario
+from repro.obs import MetricsRegistry, observed, Tracer
+from repro.sweep import SweepGrid, SweepRunner
+
+
+_QOS_METRICS = ("qos", "qos_control")
+
+
+def _qos_grid() -> SweepGrid:
+    base = get_preset("qos-noisy-neighbor").config.with_changes(duration=60.0)
+    return SweepGrid({"qos": ["none", "naive", "ladder"]}, base=base)
+
+
+def test_serial_and_parallel_qos_sweeps_match():
+    exports = {}
+    for workers in (1, 2):
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            results = SweepRunner(
+                _qos_grid(), workers=workers, metrics=_QOS_METRICS
+            ).run()
+        exports[workers] = results.to_json()
+        assert registry.counter("sweep.cells") == 3
+    assert exports[1] == exports[2]
+
+
+def test_cold_and_resumed_qos_sweeps_match(tmp_path):
+    store = tmp_path / "store"
+    exports = {}
+    hits = {}
+    for phase in ("cold", "resumed"):
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            results = SweepRunner(
+                _qos_grid(), store=store, metrics=_QOS_METRICS
+            ).run()
+        exports[phase] = results.to_json()
+        hits[phase] = registry.counter("store.cache_hits")
+    assert exports["cold"] == exports["resumed"]
+    assert hits == {"cold": 0, "resumed": 3}
+
+
+def test_controller_decisions_are_reproducible():
+    config = get_preset("qos-noisy-neighbor").config.with_changes(duration=120.0)
+    ledgers = []
+    for _ in range(2):
+        result = run_scenario(config)
+        stats = result.host.qos_controller.stats
+        ledgers.append(
+            (stats.decisions, stats.steps_down, stats.steps_up, stats.contention_peak)
+        )
+    assert ledgers[0] == ledgers[1]
+
+
+def test_observation_does_not_change_qos_results():
+    config = get_preset("qos-noisy-neighbor").config.with_changes(duration=60.0)
+    plain = run_scenario(config)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with observed(tracer=tracer, metrics=registry):
+        watched = run_scenario(config)
+    assert watched.energy_joules == pytest.approx(plain.energy_joules, abs=0.0)
+    plain_stats = plain.host.qos_controller.stats
+    watched_stats = watched.host.qos_controller.stats
+    assert watched_stats.steps_down == plain_stats.steps_down
+    assert watched_stats.contention_peak == plain_stats.contention_peak
+
+
+def test_qos_trace_is_byte_identical_across_runs():
+    config = get_preset("qos-noisy-neighbor").config.with_changes(duration=60.0)
+    documents = []
+    for _ in range(2):
+        tracer = Tracer(categories=("qos",))
+        with observed(tracer=tracer):
+            run_scenario(config)
+        documents.append(tracer.to_json())
+    assert documents[0] == documents[1]
+    assert "qos_decision" in documents[0] or "qos" in documents[0]
+
+
+def test_qos_metrics_snapshot_is_identical_across_runs():
+    from repro.obs import collect_outcome
+
+    config = get_preset("qos-noisy-neighbor").config.with_changes(duration=60.0)
+    snapshots = []
+    for _ in range(2):
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            result = run_scenario(config)
+        collect_outcome(registry, result)
+        snapshots.append(registry.to_json())
+    assert snapshots[0] == snapshots[1]
+    assert "qos.steps_down" in snapshots[0]
+
+
+def test_cluster_qos_trace_is_byte_identical_across_runs():
+    from repro.cluster.scenario import ClusterScenarioConfig
+
+    config = ClusterScenarioConfig.from_dict(
+        get_preset("dc-diurnal-small").config.to_dict()
+    ).with_changes(qos="ladder", lc_vms=2)
+    documents = []
+    for _ in range(2):
+        tracer = Tracer()
+        with observed(tracer=tracer):
+            run_cluster_scenario(config)
+        documents.append(tracer.to_json())
+    assert documents[0] == documents[1]

@@ -1,0 +1,106 @@
+"""Unit tests for the contention monitor (the sensor half of the loop)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos import ContentionMonitor, make_controller
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def monitored_host(*, lc_load=None, be_load=None, controller="none", **kwargs):
+    """A host with one LC and one BE guest and a started monitor."""
+    host = make_host()
+    lc = host.create_domain("web", credit=30)
+    be = host.create_domain("batch", credit=0)
+    if lc_load is not None:
+        lc.attach_workload(ConstantLoad(lc_load, injection_period=0.02))
+    if be_load is not None:
+        be.attach_workload(ConstantLoad(be_load, injection_period=0.02))
+    ctrl = make_controller(controller)
+    ctrl.bind(host, [lc], [be])
+    monitor = ContentionMonitor(host, ctrl, [lc], host.recorder, **kwargs)
+    monitor.start()
+    return host, ctrl, monitor
+
+
+def test_monitor_rejects_empty_window():
+    host = make_host()
+    controller = make_controller("none")
+    with pytest.raises(ConfigurationError, match="window"):
+        ContentionMonitor(host, controller, [], window=0)
+
+
+def test_monitor_rejects_non_positive_period():
+    host = make_host()
+    controller = make_controller("none")
+    with pytest.raises(ConfigurationError):
+        ContentionMonitor(host, controller, [], period=0.0)
+
+
+def test_monitor_samples_on_its_cadence():
+    host, controller, _ = monitored_host(lc_load=10.0, period=1.0)
+    host.run(until=20.0)
+    # One control decision per period (the t=0 tick fires before any load).
+    assert controller.stats.decisions == pytest.approx(20, abs=1)
+
+
+def test_idle_lc_guest_scores_zero():
+    host, controller, _ = monitored_host(lc_load=None, be_load=80.0)
+    host.run(until=20.0)
+    assert controller.stats.contention_peak == 0.0
+    assert host.recorder.series("qos.score").max() == 0.0
+
+
+def test_content_lc_guest_scores_low():
+    # 10% demand against a 30% booking: no backlog, no starvation.
+    host, controller, _ = monitored_host(lc_load=10.0)
+    host.run(until=20.0)
+    assert controller.stats.contention_peak < 0.3
+
+
+def test_starved_lc_guest_scores_high():
+    # Demand far above the booked share piles up backlog behind the cap.
+    host, controller, _ = monitored_host(lc_load=90.0)
+    host.run(until=20.0)
+    assert controller.stats.contention_peak > 0.6
+
+
+def test_scores_stay_in_unit_interval():
+    host, _, _ = monitored_host(lc_load=95.0, be_load=95.0)
+    host.run(until=30.0)
+    for series in ("qos.contention", "qos.score"):
+        trace = host.recorder.series(series)
+        assert trace.min() >= 0.0
+        assert trace.max() <= 1.0
+
+
+def test_windowing_smooths_the_raw_signal():
+    host, _, _ = monitored_host(lc_load=90.0, window=5)
+    host.run(until=10.0)
+    raw = host.recorder.series("qos.contention")
+    smooth = host.recorder.series("qos.score")
+    # The window mean lags the raw signal on the rising edge.
+    assert smooth.values[3] < raw.values[3]
+
+
+def test_monitor_stop_halts_sampling():
+    host, controller, monitor = monitored_host(lc_load=50.0)
+    host.run(until=5.0)
+    monitor.stop()
+    seen = controller.stats.decisions
+    host.run(until=15.0)
+    assert controller.stats.decisions == seen
+
+
+def test_closed_loop_relieves_starvation():
+    # End to end on a raw host: a starved LC guest trips the ladder, BE caps
+    # step down, and the LC guest's backlog drains.
+    host, controller, _ = monitored_host(
+        lc_load=60.0, be_load=80.0, controller="ladder"
+    )
+    host.run(until=60.0)
+    assert controller.stats.steps_down >= 1
+    late = host.recorder.series("qos.score").window(40, 60).mean()
+    assert late < controller.stats.contention_peak

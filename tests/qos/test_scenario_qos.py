@@ -1,0 +1,191 @@
+"""QoS through the experiment layer: specs, wiring, presets, acceptance."""
+
+import pytest
+
+from repro.cluster.scenario import ClusterScenarioConfig, run_cluster_scenario
+from repro.errors import ConfigurationError
+from repro.experiments import get_preset, run_scenario
+from repro.experiments.scenario import (
+    GuestSpec,
+    ScenarioConfig,
+    WorkloadSpec,
+    build_scenario,
+)
+
+
+def qos_config(**changes) -> ScenarioConfig:
+    """The noisy-neighbor preset, shortened for unit-test budgets."""
+    return get_preset("qos-noisy-neighbor").config.with_changes(
+        duration=60.0, **changes
+    )
+
+
+# ---------------------------------------------------------------- GuestSpec
+
+
+def test_guest_spec_defaults_to_best_effort():
+    spec = GuestSpec(name="vm", credit=20.0)
+    assert spec.service_class == "be"
+    assert "service_class" not in spec.to_dict()  # byte-identity of old specs
+
+
+def test_guest_spec_service_class_round_trips():
+    spec = GuestSpec(name="web", credit=30.0, service_class="lc")
+    data = spec.to_dict()
+    assert data["service_class"] == "lc"
+    assert GuestSpec.from_dict(data) == spec
+
+
+def test_guest_spec_rejects_unknown_service_class():
+    with pytest.raises(ConfigurationError, match="service class"):
+        GuestSpec(name="vm", credit=20.0, service_class="gold")
+
+
+def test_guest_spec_describe_marks_lc_guests():
+    lc = GuestSpec(name="web", credit=30.0, service_class="lc")
+    be = GuestSpec(name="batch", credit=30.0)
+    assert "!lc" in lc.describe()
+    assert "!lc" not in be.describe()
+
+
+# ----------------------------------------------------------- ScenarioConfig
+
+
+def test_scenario_config_qos_round_trips():
+    config = qos_config(qos="naive", qos_kwargs={"threshold": 0.4})
+    data = config.to_dict()
+    assert data["qos"] == "naive"
+    assert ScenarioConfig.from_dict(data) == config
+
+
+def test_scenario_config_omits_default_qos():
+    assert "qos" not in ScenarioConfig().to_dict()
+    assert "qos_kwargs" not in ScenarioConfig().to_dict()
+
+
+def test_scenario_config_rejects_unknown_controller():
+    with pytest.raises(ConfigurationError, match="naive"):
+        ScenarioConfig(qos="bogus")
+
+
+def test_build_scenario_installs_controller_and_monitor():
+    host = build_scenario(qos_config(qos="ladder"))
+    assert host.qos_controller is not None
+    assert host.qos_monitor is not None
+    assert host.qos_controller.name == "ladder"
+
+
+def test_build_scenario_none_installs_nothing():
+    host = build_scenario(qos_config(qos="none"))
+    assert getattr(host, "qos_controller", None) is None
+    assert getattr(host, "qos_monitor", None) is None
+
+
+def test_qos_kwargs_reach_controller_and_monitor():
+    config = qos_config(
+        qos="ladder",
+        qos_kwargs={"cooldown_s": 2.0, "monitor": {"period": 0.5, "window": 3}},
+    )
+    host = build_scenario(config)
+    assert host.qos_controller._ladder.cooldown_s == 2.0
+    assert host.qos_monitor.period == 0.5
+
+
+def test_qos_requires_an_lc_guest_to_matter():
+    # All-BE fleets are legal; the monitor just never sees contention.
+    guests = (
+        GuestSpec(name="a", credit=40.0, workloads=(WorkloadSpec(kind="constant", demand_percent=80.0),)),
+        GuestSpec(name="b", credit=40.0, workloads=(WorkloadSpec(kind="constant", demand_percent=80.0),)),
+    )
+    config = ScenarioConfig(guests=guests, duration=30.0, qos="ladder")
+    result = run_scenario(config)
+    assert result.host.qos_controller.stats.steps_down == 0
+
+
+# ------------------------------------------------------------ cluster specs
+
+
+def test_cluster_config_qos_round_trips():
+    config = ClusterScenarioConfig(qos="ladder", lc_vms=3)
+    data = config.to_dict()
+    assert data["qos"] == "ladder"
+    assert data["lc_vms"] == 3
+    assert ClusterScenarioConfig.from_dict(data) == config
+
+
+def test_cluster_config_omits_defaults():
+    data = ClusterScenarioConfig().to_dict()
+    assert "qos" not in data
+    assert "lc_vms" not in data
+
+
+def test_cluster_config_validates_qos_and_lc_vms():
+    with pytest.raises(ConfigurationError):
+        ClusterScenarioConfig(qos="bogus")
+    with pytest.raises(ConfigurationError):
+        ClusterScenarioConfig(n_vms=4, lc_vms=5)
+
+
+def test_cluster_qos_run_throttles_under_shortfall():
+    config = ClusterScenarioConfig.from_dict(
+        get_preset("dc-diurnal-small").config.to_dict()
+    ).with_changes(qos="ladder", lc_vms=2)
+    sim = run_cluster_scenario(config)
+    assert sim.fleet_qos is not None
+    assert sim.fleet_qos.stats.decisions >= 0  # ledger present and harvested
+
+
+# -------------------------------------------------------------- the preset
+
+
+def lc_latency(result):
+    web = next(d for d in result.host.domains if d.name == "web")
+    workload = next(w for w in web.workloads if getattr(w, "latency", None))
+    return workload.latency
+
+
+def be_cpu_seconds(result):
+    return sum(
+        d.cpu_seconds for d in result.host.domains if d.name.startswith("batch")
+    )
+
+
+def test_preset_exists_with_qos_axis():
+    preset = get_preset("qos-noisy-neighbor")
+    assert preset.axes["qos"] == ("none", "naive", "ladder")
+    assert preset.config.qos == "ladder"
+    assert any(g.service_class == "lc" for g in preset.config.guests)
+
+
+def test_ladder_improves_lc_latency_without_tanking_be():
+    """The headline acceptance claim, at the preset's pinned seed."""
+    base = get_preset("qos-noisy-neighbor").config
+    uncontrolled = run_scenario(base.with_changes(qos="none"))
+    controlled = run_scenario(base.with_changes(qos="ladder"))
+    assert controlled.host.qos_controller.stats.steps_down >= 1
+    # LC p95 improves by well over the "improves" bar...
+    assert lc_latency(controlled).percentile(95) < lc_latency(uncontrolled).percentile(95) / 2
+    assert (
+        lc_latency(controlled).mean_response_time
+        < lc_latency(uncontrolled).mean_response_time
+    )
+    # ... while BE guests keep at least 80% of their uncontrolled service.
+    assert be_cpu_seconds(controlled) >= 0.8 * be_cpu_seconds(uncontrolled)
+
+
+def test_naive_controller_also_reacts_on_the_preset():
+    result = run_scenario(qos_config(qos="naive"))
+    stats = result.host.qos_controller.stats
+    assert stats.steps_down >= 1
+    assert stats.contention_peak > 0.5
+
+
+def test_qos_decisions_show_up_in_sweep_metrics():
+    from repro.sweep.metrics import qos_control_metrics
+
+    controlled = run_scenario(qos_config(qos="ladder"))
+    values = qos_control_metrics(controlled)
+    assert values["qos_steps_down"] >= 1
+    assert values["qos_time_throttled_s"] > 0.0
+    uncontrolled = run_scenario(qos_config(qos="none"))
+    assert qos_control_metrics(uncontrolled)["qos_steps_down"] is None

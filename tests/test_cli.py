@@ -577,3 +577,62 @@ def test_store_where_numeric_values_match(capsys, tmp_path):
     assert main(["store", "ls", "--store", store, "--where", "n_machines=4"]) == 0
     out = capsys.readouterr().out
     assert "4 cells" in out  # the four dc-diurnal-small policy cells
+
+
+def test_store_where_accepts_inequality_bounds(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    # The scenario cells ran 60 s, the dc-diurnal-small cluster cells 200 s.
+    assert main(["store", "ls", "--store", store, "--where", "duration<=100"]) == 0
+    assert "2 cells" in capsys.readouterr().out
+    assert main(["store", "ls", "--store", store, "--where", "duration>=100"]) == 0
+    assert "4 cells" in capsys.readouterr().out
+    assert main(["store", "ls", "--store", store, "--where", "n_machines>=5"]) == 0
+    assert "no cells matching n_machines>=5" in capsys.readouterr().out
+
+
+def test_store_where_inequality_composes_with_equality(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "store",
+                "ls",
+                "--store",
+                store,
+                "--where",
+                "scheduler=pas",
+                "--where",
+                "duration>=50",
+            ]
+        )
+        == 0
+    )
+    assert "1 cells" in capsys.readouterr().out
+
+
+def test_store_where_rejects_non_numeric_bound(capsys, tmp_path):
+    store = _populate_mixed_store(tmp_path)
+    capsys.readouterr()
+    assert main(["store", "ls", "--store", store, "--where", "scheduler>=pas"]) == 2
+    assert "numeric bound" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------ run --preset all
+
+
+def test_run_preset_all_smokes_every_scenario_preset(capsys):
+    assert main(["run", "--preset", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "ok    qos-noisy-neighbor" in out
+    assert "skip  dc-fleet-large (xlarge)" in out
+    assert "skip  dc-diurnal-small (cluster" in out
+    assert "preset smoke:" in out
+    assert "failed" not in out
+
+
+def test_run_preset_all_rejects_single_run_outputs(capsys, tmp_path):
+    trace = str(tmp_path / "t.json")
+    assert main(["run", "--preset", "all", "--trace", trace]) == 2
+    assert "--preset all" in capsys.readouterr().err
