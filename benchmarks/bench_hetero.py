@@ -1,0 +1,72 @@
+"""Heterogeneous fleet benchmark: the placement trade-off on dc-hetero.
+
+The acceptance shape for the heterogeneous hardware tier, on the
+``dc-hetero`` preset (8 VMs on 2 i7 hosts + 2 big.LITTLE blades):
+
+* efficiency-packing undercuts both static provisioning and
+  performance-bursting on fleet energy — the trade-off is measurable;
+* the SLA cost of packing the efficient blades stays under one percent;
+* ``power-budget`` holds its watt cap on the mixed fleet;
+* the big.LITTLE blades report C-state residency (the idle model runs).
+
+Runs without pytest-benchmark (plain assertions) so CI can invoke it with
+a bare ``python -m pytest benchmarks/bench_hetero.py``.
+"""
+
+from repro.cluster.scenario import run_cluster_scenario
+from repro.experiments import preset_config
+from repro.experiments.report import ExperimentReport
+from repro.sweep.metrics import cluster_metrics
+
+from .conftest import emit
+
+VARIANTS = {
+    "static": {"policy": "static"},
+    "efficiency": {"placement": "efficiency"},
+    "performance": {"placement": "performance"},
+    "power-budget": {"policy": "power-budget", "placement": "efficiency"},
+}
+
+
+def test_placement_trade_off_on_the_mixed_fleet():
+    config = preset_config("dc-hetero")
+    sims = {
+        name: run_cluster_scenario(config.with_changes(**changes))
+        for name, changes in VARIANTS.items()
+    }
+    metrics = {name: cluster_metrics(sim) for name, sim in sims.items()}
+
+    report = ExperimentReport(
+        experiment="Heterogeneous fleet benchmark",
+        title="placement trade-off on dc-hetero (8 VMs, 2 i7 + 2 big.LITTLE)",
+    )
+    for name, m in metrics.items():
+        report.add_row(
+            name,
+            "Wh / hosts / SLA / peak W",
+            f"{m['energy_kwh'] * 1000:6.2f} / {m['hosts_on_mean']:5.2f} / "
+            f"{m['sla_mean'] * 100:6.2f}% / {m['power_peak_w']:6.1f}",
+        )
+    report.check(
+        "efficiency-packing beats static provisioning on energy",
+        metrics["efficiency"]["energy_kwh"] < metrics["static"]["energy_kwh"],
+    )
+    report.check(
+        "efficiency-packing beats performance-bursting on energy",
+        metrics["efficiency"]["energy_kwh"] < metrics["performance"]["energy_kwh"],
+    )
+    report.check(
+        "packing the efficient blades costs under 1% SLA",
+        metrics["efficiency"]["sla_mean"]
+        >= metrics["performance"]["sla_mean"] - 0.01,
+    )
+    report.check(
+        f"power-budget respects the {config.power_budget_w:.0f} W cap on the mixed fleet",
+        metrics["power-budget"]["power_peak_w"] <= config.power_budget_w,
+    )
+    report.check(
+        "the big.LITTLE blades report C-state residency",
+        sum(sims["efficiency"].cstate_residency().values()) > 0.0,
+    )
+    emit(report)
+    assert report.all_passed, f"shape criteria failed: {[str(c) for c in report.failures]}"

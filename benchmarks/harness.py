@@ -246,6 +246,23 @@ def _bench_cluster_epoch() -> dict:
     return {"epochs": epochs, "vms": config.n_vms, "machines": config.n_machines}
 
 
+def _bench_hetero_fleet() -> dict:
+    """The dc-hetero mixed fleet (frequency domains + C-state accounting)."""
+    from repro.cluster.scenario import run_cluster_scenario
+    from repro.experiments import get_preset
+
+    config = get_preset("dc-hetero").config
+    sim = run_cluster_scenario(config)
+    residency = sim.cstate_residency()
+    return {
+        "epochs": len(sim.stats),
+        "vms": config.n_vms,
+        "machines": config.total_machines,
+        "domain_samples": len(sim.domain_records()),
+        "cstate_residency_s": sum(residency.values()),
+    }
+
+
 #: Native benches in run order: name -> callable returning a metrics dict.
 NATIVE_BENCHES: dict[str, Callable[[], dict]] = {
     "calibration": _bench_calibration,
@@ -255,6 +272,7 @@ NATIVE_BENCHES: dict[str, Callable[[], dict]] = {
     "tracing-off": _bench_tracing_off,
     "store-warm": _bench_store_warm,
     "dc-diurnal-small": _bench_cluster_epoch,
+    "dc-hetero": _bench_hetero_fleet,
 }
 
 

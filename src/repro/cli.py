@@ -369,7 +369,7 @@ def _run_cluster_config(
             ["machine", "power", "vms", "memory used", "placed"],
             rows,
             title=(
-                f"{title}: {config.n_vms} VMs on {config.n_machines} machines "
+                f"{title}: {config.n_vms} VMs on {config.total_machines} machines "
                 f"(policy={config.policy}, dvfs={'on' if config.dvfs else 'off'}, "
                 f"{config.duration:.0f}s)"
             ),
@@ -398,7 +398,7 @@ def _run_cluster_config(
     )
     hosts = TimeSeries(
         "hosts on (% of fleet)",
-        [(stat.time, 100.0 * stat.machines_on / config.n_machines) for stat in sim.stats],
+        [(stat.time, 100.0 * stat.machines_on / config.total_machines) for stat in sim.stats],
     )
     print()
     print(
@@ -1388,7 +1388,7 @@ def _cmd_cluster_compare(args: argparse.Namespace) -> int:
             ],
             rows,
             title=(
-                f"{title}: {config.n_vms} VMs / {config.n_machines} machines, "
+                f"{title}: {config.n_vms} VMs / {config.total_machines} machines, "
                 f"{config.duration:.0f}s per policy{replicate_note}"
             ),
         )

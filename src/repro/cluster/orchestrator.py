@@ -105,6 +105,12 @@ class Orchestrator:
     machine_spec:
         Hardware of every machine (homogeneous fleet, like the paper's
         Grid'5000 clusters).
+    machine_specs:
+        Machine *groups* for mixed fleets: each
+        :class:`~repro.cluster.machine.MachineSpec` contributes ``count``
+        machines, in group order (``m000``, ``m001``, ...).  Overrides
+        ``n_machines``/``machine_spec`` when given; a single group with
+        ``count=n`` behaves identically to the homogeneous form.
     vms:
         The VM population.
     policy:
@@ -126,6 +132,10 @@ class Orchestrator:
     power_budget_w:
         Cluster watt cap, handed to the ``"power-budget"`` policy when the
         policy is given by name.
+    placement:
+        Heterogeneity placement preference (``"efficiency"`` /
+        ``"performance"``) handed to by-name policies; ``None`` keeps
+        each policy's own default.
     qos:
         Fleet QoS controller kind (``"none"`` / ``"naive"`` / ``"ladder"``,
         :class:`~repro.qos.fleet.FleetQos`): throttles best-effort VM demand
@@ -140,13 +150,15 @@ class Orchestrator:
         policy: OrchestrationPolicy | Policy | str,
         dvfs: bool,
         machine_spec: MachineSpec | None = None,
+        machine_specs: Sequence[MachineSpec] | None = None,
         epoch_s: float = 10.0,
         repack_every: int = 1,
         migration: MigrationModel | None = None,
         power_budget_w: float | None = None,
+        placement: str | None = None,
         qos: str = "none",
     ) -> None:
-        if n_machines < 1:
+        if machine_specs is None and n_machines < 1:
             raise ConfigurationError(f"need at least one machine, got {n_machines}")
         if repack_every < 1:
             raise ConfigurationError(f"repack_every must be >= 1, got {repack_every}")
@@ -154,14 +166,22 @@ class Orchestrator:
         if len(names) != len(vms):
             raise ConfigurationError("duplicate VM names in the population")
         if isinstance(policy, str):
-            policy = make_policy(policy, power_budget_w=power_budget_w)
+            policy = make_policy(
+                policy, power_budget_w=power_budget_w, placement=placement
+            )
         if not isinstance(policy, OrchestrationPolicy) and not callable(policy):
             raise ConfigurationError(
                 f"policy must be an OrchestrationPolicy, a registry name or a "
                 f"placement callable, got {type(policy).__name__}"
             )
+        if machine_specs is not None:
+            expanded = [spec for spec in machine_specs for _ in range(spec.count)]
+            if not expanded:
+                raise ConfigurationError("machine_specs expands to an empty fleet")
+        else:
+            expanded = [machine_spec or MachineSpec()] * n_machines
         self.machines = [
-            Machine(f"m{i:03d}", machine_spec or MachineSpec()) for i in range(n_machines)
+            Machine(f"m{i:03d}", spec) for i, spec in enumerate(expanded)
         ]
         self.vms = list(vms)
         self.policy = policy
@@ -179,6 +199,7 @@ class Orchestrator:
         self.stats: list[EpochStats] = []
         self.events: list[MigrationEvent] = []
         self._host_stats: list[dict[str, Any]] = []
+        self._domain_stats: list[dict[str, Any]] = []
         self._time = 0.0
         self._epoch_index = 0
         self.total_migrations = 0
@@ -344,6 +365,20 @@ class Orchestrator:
                     "power_w": machine.last_power_w,
                 }
             )
+            if machine.is_heterogeneous:
+                if trace is not None:
+                    for record in machine.domain_records():
+                        trace.domain_freq(
+                            epoch_start,
+                            machine.name,
+                            record["domain"],
+                            record["freq_mhz"],
+                            record["power_w"],
+                        )
+                for record in machine.domain_records():
+                    self._domain_stats.append(
+                        {"time": self._time, "machine": machine.name, **record}
+                    )
         stat = EpochStats(
             time=self._time,
             machines_on=sum(1 for machine in self.machines if machine.powered_on),
@@ -440,6 +475,26 @@ class Orchestrator:
     def migration_records(self) -> list[dict[str, Any]]:
         """One flat dict per executed migration, in execution order."""
         return [event.record() for event in self.events]
+
+    def domain_records(self) -> list[dict[str, Any]]:
+        """One flat dict per (epoch, host, frequency domain).
+
+        Empty for homogeneous fleets: single-domain machines report through
+        :meth:`host_records` alone, keeping legacy exports unchanged.
+        """
+        return [dict(record) for record in self._domain_stats]
+
+    def cstate_residency(self) -> dict[str, float]:
+        """Fleet-wide idle-state residency seconds, keyed by C-state name.
+
+        Empty for fleets without C-state ladders (every legacy catalog
+        part), so homogeneous metrics snapshots gain no keys.
+        """
+        totals: dict[str, float] = {}
+        for machine in self.machines:
+            for name, seconds in machine.cstate_residency().items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
 
 #: The historical public name; every existing call site keeps working.

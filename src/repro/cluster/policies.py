@@ -40,7 +40,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-from ..core import laws
 from ..errors import ConfigurationError
 from ..units import check_positive
 from .machine import Machine
@@ -54,6 +53,55 @@ Assignment = Mapping[str, str]
 def current_assignment(machines: Sequence[Machine]) -> dict[str, str]:
     """The live VM→host assignment of a fleet."""
     return {vm.name: machine.name for machine in machines for vm in machine.vms}
+
+
+# --------------------------------------------------------- placement orders
+
+
+def efficiency_order(machines: Sequence[Machine]) -> list[Machine]:
+    """Machines cheapest-to-run first (full-load watts per capacity percent).
+
+    Efficiency-packing: fill the big.LITTLE blades before waking an i7.
+    Stable on homogeneous fleets — equal efficiency everywhere, so the
+    original (name) order survives and legacy placements are unchanged.
+    """
+    indexed = sorted(
+        enumerate(machines),
+        key=lambda pair: (pair[1].efficiency_w_per_percent, pair[0]),
+    )
+    return [machine for _, machine in indexed]
+
+
+def performance_order(machines: Sequence[Machine]) -> list[Machine]:
+    """Machines highest-capacity first (performance-bursting).
+
+    Stable on homogeneous fleets for the same reason as
+    :func:`efficiency_order`.
+    """
+    indexed = sorted(
+        enumerate(machines),
+        key=lambda pair: (-pair[1].capacity_percent, pair[0]),
+    )
+    return [machine for _, machine in indexed]
+
+
+#: The heterogeneity-aware placement preferences policies accept, by name.
+PLACEMENT_ORDERS: dict[str, Callable[[Sequence[Machine]], list[Machine]]] = {
+    "efficiency": efficiency_order,
+    "performance": performance_order,
+}
+
+
+def _placement_order(
+    placement: str | None, default: str
+) -> Callable[[Sequence[Machine]], list[Machine]]:
+    name = default if placement is None else placement
+    if name not in PLACEMENT_ORDERS:
+        raise ConfigurationError(
+            f"unknown placement preference {name!r}; "
+            f"use one of: {', '.join(PLACEMENT_ORDERS)}"
+        )
+    return PLACEMENT_ORDERS[name]
 
 
 @dataclass
@@ -105,9 +153,13 @@ def pack_first_fit(
     VMs are sorted by descending weight (name-tiebroken) and placed on the
     first machine where the memory footprint fits and the accumulated
     weight plus the hypervisor overhead stays within *limit_percent* of
-    max-frequency capacity.  A VM whose weight alone exceeds the limit is
-    still placed — alone on an empty machine — so overloads degrade to
-    clipped service rather than unplaceable fleets.
+    that machine's max-frequency capacity (its ``capacity_percent``, so a
+    smaller big.LITTLE blade admits proportionally less than an i7).  A VM
+    whose weight alone exceeds the limit is still placed — alone on an
+    empty machine — so overloads degrade to clipped service rather than
+    unplaceable fleets.  Machines are tried in the order given: pass an
+    :func:`efficiency_order` / :func:`performance_order` view to steer
+    heterogeneous packing.
     """
     loads: dict[str, float] = {machine.name: 0.0 for machine in machines}
     free_mb: dict[str, int] = {machine.name: machine.spec.memory_mb for machine in machines}
@@ -118,7 +170,10 @@ def pack_first_fit(
         for machine in machines:
             if vm.memory_mb > free_mb[machine.name]:
                 continue
-            budget = limit_percent - machine.spec.overhead_percent
+            budget = (
+                limit_percent * (machine.capacity_percent / 100.0)
+                - machine.spec.overhead_percent
+            )
             if loads[machine.name] + share > budget and loads[machine.name] > 0.0:
                 continue
             assignment[vm.name] = machine.name
@@ -138,7 +193,11 @@ def pack_balanced(
     vms: Sequence[ClusterVM],
     weight: Callable[[ClusterVM], float],
 ) -> dict[str, str]:
-    """Worst-fit by *weight*: each VM goes to the least-loaded feasible host."""
+    """Worst-fit by *weight*: each VM goes to the least-loaded feasible host.
+
+    Load is measured relative to each machine's capacity, so a half-full
+    big.LITTLE blade is "hotter" than a half-full i7 of twice its size.
+    """
     loads: dict[str, float] = {machine.name: 0.0 for machine in machines}
     free_mb: dict[str, int] = {machine.name: machine.spec.memory_mb for machine in machines}
     assignment: dict[str, str] = {}
@@ -148,7 +207,10 @@ def pack_balanced(
             raise PlacementError(
                 f"VM {vm.name!r} ({vm.memory_mb} MB) fits no machine"
             )
-        target = min(feasible, key=lambda m: (loads[m.name], m.name))
+        target = min(
+            feasible,
+            key=lambda m: (loads[m.name] / (m.capacity_percent / 100.0), m.name),
+        )
         assignment[vm.name] = target.name
         loads[target.name] += weight(vm)
         free_mb[target.name] -= vm.memory_mb
@@ -168,7 +230,9 @@ class _FleetState:
 
     Tracks per-host demand load and free memory as VMs are staged from
     host to host; ``assignment`` is the final VM→host mapping handed to
-    the orchestrator (which executes only the diff).
+    the orchestrator (which executes only the diff).  *order* is the host
+    preference used when shopping for headroom (default: name order, which
+    every placement order degenerates to on a homogeneous fleet).
     """
 
     def __init__(
@@ -176,12 +240,23 @@ class _FleetState:
         machines: Sequence[Machine],
         vms: Sequence[ClusterVM],
         demands: Mapping[str, float],
+        *,
+        order: Sequence[Machine] | None = None,
     ) -> None:
         self._machines = {machine.name: machine for machine in machines}
         self._vms = {vm.name: vm for vm in vms}
         self._demands = demands
+        self._order = (
+            [machine.name for machine in order]
+            if order is not None
+            else sorted(machine.name for machine in machines)
+        )
         self.assignment = current_assignment(machines)
         self._loads: dict[str, float] = {name: 0.0 for name in self._machines}
+        self._capacity_scale: dict[str, float] = {
+            name: machine.capacity_percent / 100.0
+            for name, machine in self._machines.items()
+        }
         self._free_mb: dict[str, int] = {
             name: machine.spec.memory_mb for name, machine in self._machines.items()
         }
@@ -203,6 +278,14 @@ class _FleetState:
 
     def load(self, machine_name: str) -> float:
         return self._loads[machine_name]
+
+    def relative_load(self, machine_name: str) -> float:
+        """Load as a fraction of the old 100 %-host scale (hetero-aware)."""
+        return self._loads[machine_name] / self._capacity_scale[machine_name]
+
+    def capacity_scale(self, machine_name: str) -> float:
+        """``capacity_percent / 100`` — exactly 1.0 on legacy hosts."""
+        return self._capacity_scale[machine_name]
 
     def overhead(self, machine_name: str) -> float:
         return self._machines[machine_name].spec.overhead_percent
@@ -228,14 +311,16 @@ class _FleetState:
     ) -> str | None:
         """First host that can absorb *vm_name* under *limit_percent*.
 
-        Already-used hosts are preferred (name order); an empty host — a
-        power-on — is the fallback unless ``powered_only``.
+        Already-used hosts are preferred (in the state's placement order);
+        an empty host — a power-on — is the fallback unless
+        ``powered_only``.  The limit scales with each host's capacity, so
+        a small blade fills up (proportionally) as fast as a big one.
         """
         share = self._demands[vm_name]
-        used = [n for n in sorted(self._machines) if n != exclude and self.vms_on(n)]
-        empty = [n for n in sorted(self._machines) if n != exclude and not self.vms_on(n)]
+        used = [n for n in self._order if n != exclude and self.vms_on(n)]
+        empty = [n for n in self._order if n != exclude and not self.vms_on(n)]
         for name in used + ([] if powered_only else empty):
-            budget = limit_percent - self.overhead(name)
+            budget = limit_percent * self._capacity_scale[name] - self.overhead(name)
             if self.fits(vm_name, name) and self._loads[name] + share <= budget:
                 return name
         return None
@@ -245,18 +330,31 @@ class _FleetState:
 
 
 class StaticPolicy(OrchestrationPolicy):
-    """Credit-reserved placement computed once; zero migrations forever."""
+    """Credit-reserved placement computed once; zero migrations forever.
+
+    Defaults to *performance* placement on mixed fleets: a static booking
+    is sized for the worst case, so it books the biggest machines first.
+    """
 
     name = "static"
 
-    def __init__(self, *, reserve_percent: float = 100.0) -> None:
+    def __init__(
+        self,
+        *,
+        reserve_percent: float = 100.0,
+        placement: str | None = None,
+    ) -> None:
         self.reserve_percent = check_positive(reserve_percent, "reserve_percent")
+        self._order = _placement_order(placement, "performance")
         self._assignment: dict[str, str] | None = None
 
     def plan(self, machines, vms, *, time, epoch_index, epoch_s, dvfs) -> EpochPlan:
         if self._assignment is None or set(self._assignment) != {v.name for v in vms}:
             self._assignment = pack_first_fit(
-                machines, vms, lambda vm: vm.credit, limit_percent=self.reserve_percent
+                self._order(machines),
+                vms,
+                lambda vm: vm.credit,
+                limit_percent=self.reserve_percent,
             )
         return EpochPlan(assignment=self._assignment)
 
@@ -275,6 +373,10 @@ class ConsolidatePolicy(OrchestrationPolicy):
       fewer hosts for ``hysteresis_epochs`` consecutive epochs, the
       least-loaded host is drained (one host per epoch) and powers off;
     * otherwise — do nothing: the explicit no-churn default.
+
+    Defaults to *efficiency* placement on mixed fleets: consolidation
+    exists to cut watts, so it fills the cheapest machines (full-load W
+    per capacity percent) first and wakes the big burners last.
     """
 
     name = "consolidate"
@@ -285,7 +387,9 @@ class ConsolidatePolicy(OrchestrationPolicy):
         target_percent: float = 75.0,
         spill_percent: float = 88.0,
         hysteresis_epochs: int = 3,
+        placement: str | None = None,
     ) -> None:
+        self._order = _placement_order(placement, "efficiency")
         self.target_percent = check_positive(target_percent, "target_percent")
         self.spill_percent = check_positive(spill_percent, "spill_percent")
         if spill_percent <= target_percent:
@@ -308,20 +412,20 @@ class ConsolidatePolicy(OrchestrationPolicy):
             self._shrink_streak = 0
             return EpochPlan(
                 assignment=pack_first_fit(
-                    machines,
+                    self._order(machines),
                     vms,
                     lambda vm: demands[vm.name],
                     limit_percent=self.target_percent,
                 )
             )
-        state = _FleetState(machines, vms, demands)
+        state = _FleetState(machines, vms, demands, order=self._order(machines))
         moved = self._spill(state)
         if moved:
             self._shrink_streak = 0
             return EpochPlan(assignment=state.assignment)
         desired_hosts = _hosts_used(
             pack_first_fit(
-                machines,
+                self._order(machines),
                 vms,
                 lambda vm: demands[vm.name],
                 limit_percent=self.target_percent,
@@ -337,11 +441,12 @@ class ConsolidatePolicy(OrchestrationPolicy):
         return EpochPlan()
 
     def _spill(self, state: "_FleetState") -> bool:
-        """Shed load from every host above the spill threshold."""
+        """Shed load from every host above its (capacity-scaled) threshold."""
         moved = False
         for name in sorted(state.hosts()):
             while (
-                state.load(name) + state.overhead(name) > self.spill_percent
+                state.load(name) + state.overhead(name)
+                > self.spill_percent * state.capacity_scale(name)
                 and len(state.vms_on(name)) > 1
             ):
                 vm = max(state.vms_on(name), key=lambda v: (state.demand(v), v))
@@ -359,7 +464,7 @@ class ConsolidatePolicy(OrchestrationPolicy):
         used = [name for name in state.hosts() if state.vms_on(name)]
         if len(used) < 2:
             return False
-        coldest = min(used, key=lambda name: (state.load(name), name))
+        coldest = min(used, key=lambda name: (state.relative_load(name), name))
         staged: list[tuple[str, str]] = []
         for vm in sorted(
             state.vms_on(coldest), key=lambda v: (-state.demand(v), v)
@@ -407,23 +512,29 @@ class LoadBalancePolicy(OrchestrationPolicy):
         moved = False
         for _ in range(self.max_moves_per_epoch):
             hosts = sorted(state.hosts())
-            hottest = max(hosts, key=lambda name: (state.load(name), name))
-            coldest = min(hosts, key=lambda name: (state.load(name), name))
-            gap = state.load(hottest) - state.load(coldest)
+            # Capacity-relative load, so a mixed fleet balances fill level
+            # rather than absolute percent (identical on legacy fleets).
+            hottest = max(hosts, key=lambda name: (state.relative_load(name), name))
+            coldest = min(hosts, key=lambda name: (state.relative_load(name), name))
+            gap = state.relative_load(hottest) - state.relative_load(coldest)
             if gap <= self.imbalance_percent:
                 break
+            scale = state.capacity_scale(hottest)
             # Strictly less than the gap: a move of exactly the gap just
             # swaps which host is hot and ping-pongs the VM forever.
             candidates = [
                 vm
                 for vm in state.vms_on(hottest)
-                if state.fits(vm, coldest) and 0.0 < state.demand(vm) < gap
+                if state.fits(vm, coldest) and 0.0 < state.demand(vm) / scale < gap
             ]
             if not candidates:
                 break
             # The VM whose demand lands closest to half the gap evens the
             # pair best without overshooting into a reverse imbalance.
-            vm = min(candidates, key=lambda v: (abs(state.demand(v) - gap / 2.0), v))
+            vm = min(
+                candidates,
+                key=lambda v: (abs(state.demand(v) / scale - gap / 2.0), v),
+            )
             state.move(vm, coldest)
             moved = True
         if moved:
@@ -456,6 +567,7 @@ class PowerBudgetPolicy(ConsolidatePolicy):
         target_percent: float = 75.0,
         spill_percent: float = 88.0,
         hysteresis_epochs: int = 3,
+        placement: str | None = None,
     ) -> None:
         if budget_w is None:
             raise ConfigurationError(
@@ -466,6 +578,7 @@ class PowerBudgetPolicy(ConsolidatePolicy):
             target_percent=target_percent,
             spill_percent=spill_percent,
             hysteresis_epochs=hysteresis_epochs,
+            placement=placement,
         )
         self.budget_w = check_positive(budget_w, "budget_w")
 
@@ -500,31 +613,27 @@ class PowerBudgetPolicy(ConsolidatePolicy):
             machine = by_name[machine_name]
             total = demand + machine.spec.overhead_percent
             if dvfs:
-                chosen[machine_name] = laws.compute_new_frequency(machine.table, total)
+                chosen[machine_name] = machine.plan_frequency(total)
             else:
-                chosen[machine_name] = machine.table.max_state.freq_mhz
+                chosen[machine_name] = machine.max_freq_mhz
 
         def predicted(machine_name: str) -> float:
             machine = by_name[machine_name]
-            table = machine.table
-            state = table.state_for(chosen[machine_name])
-            capacity = state.capacity_fraction(table.max_state.freq_mhz) * 100.0
             total = hosted[machine_name] + machine.spec.overhead_percent
-            utilization = min(1.0, total / capacity) if capacity > 0 else 0.0
-            if machine_name in migrating:
-                utilization = 1.0
-            return machine.spec.processor.power.power(state, table, utilization)
+            return machine.predict_power(
+                total,
+                chosen[machine_name],
+                full_util=machine_name in migrating,
+            )
 
         while sum(predicted(name) for name in chosen) > self.budget_w:
             candidates = [
-                name
-                for name in chosen
-                if chosen[name] > by_name[name].table.min_state.freq_mhz
+                name for name in chosen if chosen[name] > by_name[name].min_freq_mhz
             ]
             if not candidates:
                 break  # cap infeasible even at the floor; nothing left to shed
             hottest = max(candidates, key=lambda name: (predicted(name), name))
-            chosen[hottest] = by_name[hottest].table.step_down(chosen[hottest]).freq_mhz
+            chosen[hottest] = by_name[hottest].step_down_choice(chosen[hottest])
         return EpochPlan(
             assignment=placement.assignment,
             freq_floors=dict(chosen),
@@ -546,12 +655,19 @@ def policy_names() -> tuple[str, ...]:
     return tuple(POLICY_REGISTRY)
 
 
-def make_policy(name: str, *, power_budget_w: float | None = None) -> OrchestrationPolicy:
+def make_policy(
+    name: str,
+    *,
+    power_budget_w: float | None = None,
+    placement: str | None = None,
+) -> OrchestrationPolicy:
     """Instantiate the registered policy *name*.
 
     ``power_budget_w`` feeds the ``power-budget`` policy (required there,
-    ignored elsewhere); unknown names raise a :class:`ConfigurationError`
-    listing the registry.
+    ignored elsewhere); ``placement`` overrides the policy's default
+    heterogeneity preference (``"efficiency"`` / ``"performance"``,
+    ``None`` keeps each policy's own default).  Unknown names raise a
+    :class:`ConfigurationError` listing the registry.
     """
     if name not in POLICY_REGISTRY:
         raise ConfigurationError(
@@ -559,5 +675,7 @@ def make_policy(name: str, *, power_budget_w: float | None = None) -> Orchestrat
             f"use one of: {', '.join(POLICY_REGISTRY)}"
         )
     if name == PowerBudgetPolicy.name:
-        return PowerBudgetPolicy(budget_w=power_budget_w)
-    return POLICY_REGISTRY[name]()
+        return PowerBudgetPolicy(budget_w=power_budget_w, placement=placement)
+    if name == LoadBalancePolicy.name:
+        return LoadBalancePolicy()
+    return POLICY_REGISTRY[name](placement=placement)

@@ -54,7 +54,7 @@ POLICIES = {**{name: cls for name, cls in POLICY_REGISTRY.items()}, **LEGACY_POL
 
 @dataclass(frozen=True)
 class ClusterScenarioConfig:
-    """Parameters of a fleet run (homogeneous machines, synthetic traces).
+    """Parameters of a fleet run (machine groups, synthetic traces).
 
     ``policy`` is a name from :data:`POLICIES` (the orchestration registry
     — ``static``, ``consolidate``, ``load-balance``, ``power-budget`` — or
@@ -62,6 +62,17 @@ class ClusterScenarioConfig:
     JSON-describable.  The trace fields parameterize the per-VM
     :class:`~repro.workloads.trace.SyntheticTrace` demand; ``dayshapes``
     replaces them with named catalog shapes dealt round-robin across VMs.
+
+    The fleet's hardware is declared through ``machines`` — a tuple of
+    :class:`~repro.cluster.machine.MachineSpec` groups (count + processor +
+    memory each), so fleets can mix host kinds (``dc-hetero``).  When
+    ``machines`` is empty, the legacy homogeneous triple (``n_machines`` +
+    ``processor`` + ``machine_memory_mb``) is expanded by
+    :meth:`effective_machines` into the equivalent one-group form — the
+    same compatibility pattern as the scenario-spec ``effective_guests`` —
+    and ``to_dict`` omits the empty field, so pre-heterogeneity specs and
+    their store keys serialise byte-identically.  When ``machines`` is
+    set, the legacy triple is ignored.
     """
 
     n_machines: int = 8
@@ -90,6 +101,12 @@ class ClusterScenarioConfig:
     qos: str = "none"
     #: The first ``lc_vms`` VMs of the population are latency-critical.
     lc_vms: int = 0
+    #: Machine groups; empty = the legacy homogeneous triple above.
+    machines: tuple[MachineSpec, ...] = ()
+    #: Heterogeneity placement preference (``"efficiency"`` packs cheap
+    #: machines first, ``"performance"`` books big ones first); ``""``
+    #: keeps each policy's own default.  A sweepable axis on mixed fleets.
+    placement: str = ""
 
     def __post_init__(self) -> None:
         if isinstance(self.migration, Mapping):
@@ -98,8 +115,24 @@ class ClusterScenarioConfig:
             )
         if not isinstance(self.dayshapes, tuple):
             object.__setattr__(self, "dayshapes", tuple(self.dayshapes))
+        if not isinstance(self.machines, tuple) or any(
+            isinstance(group, Mapping) for group in self.machines
+        ):
+            object.__setattr__(
+                self,
+                "machines",
+                tuple(
+                    MachineSpec.from_dict(group) if isinstance(group, Mapping) else group
+                    for group in self.machines
+                ),
+            )
         for shape in self.dayshapes:
             require_dayshape(shape)
+        if self.placement not in ("", "efficiency", "performance"):
+            raise ConfigurationError(
+                f"unknown placement preference {self.placement!r}; "
+                f"use efficiency/performance (or '' for the policy default)"
+            )
         if self.qos not in ("none", "naive", "ladder"):
             raise ConfigurationError(
                 f"unknown fleet QoS kind {self.qos!r}; use none/naive/ladder"
@@ -113,13 +146,39 @@ class ClusterScenarioConfig:
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
+    def effective_machines(self) -> tuple[MachineSpec, ...]:
+        """The machine groups this config describes.
+
+        ``machines`` when declared; otherwise the legacy homogeneous
+        triple expanded to one group — the ``effective_guests`` pattern,
+        so every consumer reasons over one declarative surface.
+        """
+        if self.machines:
+            return self.machines
+        return (
+            MachineSpec(
+                processor=self.processor,
+                memory_mb=self.machine_memory_mb,
+                count=self.n_machines,
+            ),
+        )
+
+    @property
+    def total_machines(self) -> int:
+        """Fleet size after group expansion."""
+        return sum(group.count for group in self.effective_machines())
+
     def describe(self) -> str:
         """Compact human-readable label (grid cell labelling)."""
         dvfs = "+dvfs" if self.dvfs else ""
         budget = (
             f"@{self.power_budget_w:g}W" if self.power_budget_w is not None else ""
         )
-        return f"fleet({self.n_vms}vm/{self.n_machines}m:{self.policy}{dvfs}{budget})"
+        kinds = f"x{len(self.machines)}kinds" if self.machines else ""
+        return (
+            f"fleet({self.n_vms}vm/{self.total_machines}m{kinds}:"
+            f"{self.policy}{dvfs}{budget})"
+        )
 
     @classmethod
     def coerce_field(cls, name: str, value: Any) -> Any:
@@ -127,12 +186,17 @@ class ClusterScenarioConfig:
 
         Sweep grids call this so fleet axes can come straight from JSON
         (the processor by catalog name, the migration model as a mapping,
-        list values as tuples).
+        machine groups as lists of mappings, list values as tuples).
         """
         if name == "processor" and isinstance(value, str):
             return catalog.processor_from_name(value)
         if name == "migration" and isinstance(value, Mapping):
             return MigrationModel.from_dict(value)
+        if name == "machines" and isinstance(value, (list, tuple)):
+            return tuple(
+                MachineSpec.from_dict(group) if isinstance(group, Mapping) else group
+                for group in value
+            )
         if isinstance(value, list):
             return tuple(value)
         return value
@@ -160,6 +224,14 @@ class ClusterScenarioConfig:
                 # serialise byte-identically.
                 continue
             elif spec_field.name == "lc_vms" and self.lc_vms == 0:
+                continue
+            elif spec_field.name == "machines":
+                if not self.machines:
+                    # Omit-when-default: pre-heterogeneity specs (and their
+                    # store keys) serialise byte-identically.
+                    continue
+                value = [group.to_dict() for group in self.machines]
+            elif spec_field.name == "placement" and self.placement == "":
                 continue
             out[spec_field.name] = value
         return out
@@ -191,6 +263,12 @@ class ClusterScenarioConfig:
         processor = kwargs.get("processor")
         if isinstance(processor, str):
             kwargs["processor"] = catalog.processor_from_name(processor)
+        machines = kwargs.get("machines")
+        if machines is not None:
+            kwargs["machines"] = tuple(
+                MachineSpec.from_dict(group) if isinstance(group, Mapping) else group
+                for group in machines
+            )
         return cls(**kwargs)
 
 
@@ -244,17 +322,19 @@ def build_cluster(config: ClusterScenarioConfig) -> Orchestrator:
     if config.policy in LEGACY_POLICIES:
         policy = LEGACY_POLICIES[config.policy]
     elif config.policy in POLICY_REGISTRY:
-        policy = make_policy(config.policy, power_budget_w=config.power_budget_w)
+        policy = make_policy(
+            config.policy,
+            power_budget_w=config.power_budget_w,
+            placement=config.placement or None,
+        )
     else:
         raise ConfigurationError(
             f"unknown placement policy {config.policy!r}; "
             f"use one of: {', '.join(sorted(POLICIES))}"
         )
     return Orchestrator(
-        n_machines=config.n_machines,
-        machine_spec=MachineSpec(
-            processor=config.processor, memory_mb=config.machine_memory_mb
-        ),
+        n_machines=config.total_machines,
+        machine_specs=config.effective_machines(),
         vms=make_population(config),
         policy=policy,
         dvfs=config.dvfs,

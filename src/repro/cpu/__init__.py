@@ -20,6 +20,8 @@ This package models the hardware the paper's hypervisor runs on:
 from .pstate import PState
 from .freq_table import FrequencyTable
 from .power import PowerModel
+from .cstate import CState, deepest_cstate, make_cstates
+from .domains import DomainSpec, FrequencyDomain
 from .processor import Processor, ProcessorSpec
 from .cpufreq import CpuFreq
 from . import catalog
@@ -28,6 +30,11 @@ __all__ = [
     "PState",
     "FrequencyTable",
     "PowerModel",
+    "CState",
+    "deepest_cstate",
+    "make_cstates",
+    "DomainSpec",
+    "FrequencyDomain",
     "Processor",
     "ProcessorSpec",
     "CpuFreq",

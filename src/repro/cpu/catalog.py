@@ -23,6 +23,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..errors import ConfigurationError
+from .cstate import make_cstates
+from .domains import DomainSpec
 from .power import PowerModel
 from .processor import ProcessorSpec, make_states
 
@@ -99,6 +101,50 @@ CORE_I7_3770 = spec_with_cf_min(
     power=PowerModel(idle_watts=35.0, busy_watts=95.0),
 )
 
+#: Idle ladder of the big.LITTLE clusters: clock-gate (C1) for sub-ms
+#: gaps, cluster retention (C2) past 2 ms, cluster off (C3) past 50 ms —
+#: the arm_idle ordering devlib's ``module/cpuidle.py`` manages.
+_BL_BIG_CSTATES = make_cstates(
+    [("C1", 4.0, 0.0005), ("C2", 1.5, 0.002), ("C3", 0.4, 0.05)]
+)
+_BL_LITTLE_CSTATES = make_cstates(
+    [("C1", 1.0, 0.0005), ("C2", 0.4, 0.002), ("C3", 0.1, 0.05)]
+)
+
+_BL_BIG_STATES = make_states([1000, 1400, 1800, 2000], cf=1.0)
+_BL_LITTLE_STATES = make_states([600, 1000, 1400], cf=1.0)
+
+#: A 4+4 big.LITTLE server blade (Cortex-A15/A7 class clusters).  The
+#: little cluster is listed first — machines fill domains in catalog order
+#: at equal efficiency, and the cheap cluster should absorb light load
+#: while the big cluster sleeps.  The big cluster alone delivers 60 % of a
+#: reference host's capacity, the little one 30 %: the part trades peak
+#: capacity for a full-load draw of ~47 W against the i7's 95 W — the
+#: efficiency-packing side of the placement trade-off.
+BIG_LITTLE_44 = ProcessorSpec(
+    name="ARM big.LITTLE 4+4 (A15/A7)",
+    states=_BL_BIG_STATES,
+    power=PowerModel(idle_watts=10.5, busy_watts=47.0),
+    domains=(
+        DomainSpec(
+            name="little",
+            cores=4,
+            states=_BL_LITTLE_STATES,
+            power=PowerModel(idle_watts=2.5, busy_watts=9.0),
+            cstates=_BL_LITTLE_CSTATES,
+            capacity_scale=0.30,
+        ),
+        DomainSpec(
+            name="big",
+            cores=4,
+            states=_BL_BIG_STATES,
+            power=PowerModel(idle_watts=8.0, busy_watts=38.0),
+            cstates=_BL_BIG_CSTATES,
+            capacity_scale=0.60,
+        ),
+    ),
+)
+
 #: All Table 1 machines keyed by the paper's column headers.
 TABLE1_PROCESSORS: dict[str, ProcessorSpec] = {
     "Intel Xeon X3440": XEON_X3440,
@@ -112,6 +158,7 @@ TABLE1_PROCESSORS: dict[str, ProcessorSpec] = {
 ALL_PROCESSORS: dict[str, ProcessorSpec] = {
     OPTIPLEX_755.name: OPTIPLEX_755,
     **{spec.name: spec for spec in TABLE1_PROCESSORS.values()},
+    BIG_LITTLE_44.name: BIG_LITTLE_44,
 }
 
 

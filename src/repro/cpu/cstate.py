@@ -1,0 +1,96 @@
+"""C-state idle model: per-state power with entry/exit latency.
+
+The homogeneous machine model charges a single idle-watt figure whenever
+the package is not executing.  Real silicon exposes a ladder of idle
+states (``cpuidle`` in the kernel, ``module/cpuidle.py`` in devlib): each
+state powers down more of the core/cluster — lower residency power — but
+costs entry and exit latency, so a state only pays off when the idle gap
+exceeds its *target residency*.  The governor rule mirrored here is the
+kernel menu governor's first-order criterion: pick the deepest state whose
+target residency fits the predicted gap, so short idle gaps stay in
+shallow states and long ones reach package sleep.
+
+Time spent transitioning (entry + exit) is *not* spent at the state's
+residency power; accounting splits each gap into a transition share billed
+as shallow (C0) time and a residency share billed at ``power_w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..units import check_non_negative, check_positive
+
+__all__ = ["CState", "deepest_cstate", "make_cstates"]
+
+
+@dataclass(frozen=True, slots=True)
+class CState:
+    """One idle state: residency power plus the latency to reach it.
+
+    ``target_residency_s`` is the break-even gap length (the kernel's
+    ``target_residency``): below it, entering the state costs more than it
+    saves and the selection rule keeps the core in a shallower state.
+    """
+
+    name: str
+    #: Power drawn while resident in the state (whole domain).
+    power_w: float
+    #: Minimum idle-gap length for which entering pays off.
+    target_residency_s: float
+    #: Time to enter the state (billed as shallow time).
+    entry_latency_s: float = 0.0
+    #: Time to wake back to C0 (billed as shallow time).
+    exit_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a C-state needs a non-empty name")
+        check_non_negative(self.power_w, "power_w")
+        check_non_negative(self.target_residency_s, "target_residency_s")
+        check_non_negative(self.entry_latency_s, "entry_latency_s")
+        check_non_negative(self.exit_latency_s, "exit_latency_s")
+
+    @property
+    def transition_s(self) -> float:
+        """Round-trip latency (entry + exit) in seconds."""
+        return self.entry_latency_s + self.exit_latency_s
+
+
+def make_cstates(entries: Sequence[tuple[str, float, float]]) -> tuple[CState, ...]:
+    """Build a C-state ladder from ``(name, power_w, target_residency_s)``.
+
+    Entry/exit latencies default to 10 % of the target residency each — the
+    typical order on real parts, and enough that transition time visibly
+    erodes barely-qualifying gaps.
+    """
+    return tuple(
+        CState(
+            name=name,
+            power_w=power_w,
+            target_residency_s=target_residency_s,
+            entry_latency_s=0.1 * target_residency_s,
+            exit_latency_s=0.1 * target_residency_s,
+        )
+        for name, power_w, target_residency_s in entries
+    )
+
+
+def deepest_cstate(cstates: Sequence[CState], idle_gap_s: float) -> CState | None:
+    """The deepest state whose target residency fits *idle_gap_s*.
+
+    Returns ``None`` when no state qualifies (the gap is too short: the
+    core stays in C0 at the P-state's shallow idle power).  ``cstates``
+    must be ordered ascending by target residency — the catalog convention,
+    validated by :class:`~repro.cpu.domains.DomainSpec`.
+    """
+    check_positive(idle_gap_s, "idle_gap_s")
+    chosen: CState | None = None
+    for state in cstates:
+        if state.target_residency_s <= idle_gap_s:
+            chosen = state
+        else:
+            break
+    return chosen

@@ -19,6 +19,7 @@ from typing import Sequence
 
 from ..errors import ConfigurationError, FrequencyError
 from ..units import check_fraction, check_non_negative
+from .domains import DomainSpec
 from .freq_table import FrequencyTable
 from .power import PowerModel
 from .pstate import PState
@@ -30,6 +31,13 @@ class ProcessorSpec:
 
     Catalog entries (:mod:`repro.cpu.catalog`) are instances of this class;
     a :class:`Processor` is the mutable runtime object built from one.
+
+    Heterogeneous parts additionally carry ``domains`` — per-cluster
+    frequency domains (:class:`~repro.cpu.domains.DomainSpec`, big.LITTLE
+    style).  For those parts the top-level ``states``/``power`` mirror the
+    performance cluster, so every legacy single-table consumer still works;
+    domain-aware consumers (the cluster machine model) branch on
+    :attr:`is_heterogeneous`.
     """
 
     name: str
@@ -38,10 +46,25 @@ class ProcessorSpec:
     #: DVFS transition latency in seconds (tens of microseconds on real
     #: parts; kept for fidelity and ablation, negligible at default).
     transition_latency: float = 50e-6
+    #: Per-cluster frequency domains; empty = homogeneous (every core
+    #: scales with the one table above).
+    domains: tuple[DomainSpec, ...] = ()
 
     def table(self) -> FrequencyTable:
         """Build the frequency table for this spec."""
         return FrequencyTable(self.states)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when the part has per-cluster frequency domains."""
+        return bool(self.domains)
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across all domains (1 for homogeneous single-table parts)."""
+        if self.domains:
+            return sum(domain.cores for domain in self.domains)
+        return 1
 
     @property
     def max_freq_mhz(self) -> int:

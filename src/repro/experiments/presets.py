@@ -41,6 +41,25 @@ Registry
     QoS controller axis (``none`` / ``naive`` / ``ladder``) — the
     closed-loop control-plane demonstration (``docs/qos.md``).
 
+Calibration presets (the paper's measurement micro-scenarios as named
+grids, so ``run --preset all`` exercises every law the model rests on):
+
+``calib-eq1``
+    Eq. 1 proportionality: one uncapped pi batch on the Optiplex 755
+    (``cf = 1``), pinned at each catalog frequency — execution time must
+    scale as ``1/ratio``.
+``calib-eq2``
+    Eq. 2 correction factor: the same ladder on the i7-3770
+    (``cf_min = 0.86``) — the memory-bound deviation from pure
+    proportionality.
+``calib-eq3``
+    Eq. 3 capacity: a credit-cap ladder at the pinned maximum frequency —
+    execution time must scale as ``100/cap``.
+``calib-compensation``
+    Eq. 4 / Fig. 1: the same ladder re-run at 2133 MHz with each cap
+    replaced by its compensated value — times should coincide with
+    ``calib-eq3`` until compensation saturates past 100 %.
+
 Cluster presets (``kind: cluster`` — fleet specs for ``python -m repro
 cluster run/sweep/compare``):
 
@@ -54,6 +73,10 @@ cluster run/sweep/compare``):
 ``dc-fleet-medium`` / ``dc-fleet-large``
     Fleet-size scaling points (16 machines / 40 VMs and 32 machines /
     96 VMs) of the same day-shape mix.
+``dc-hetero``
+    The heterogeneous fleet: 2 i7 hosts beside 2 big.LITTLE 4+4 blades,
+    swept over policy x placement preference (efficiency-packing vs
+    performance-bursting) — the hardware-tier trade-off demonstration.
 """
 
 from __future__ import annotations
@@ -62,6 +85,9 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..cluster import ClusterScenarioConfig
+from ..cluster.machine import MachineSpec
+from ..core import laws
+from ..cpu import catalog
 from ..errors import ConfigurationError
 from .scenario import GuestSpec, ScenarioConfig, WorkloadSpec
 
@@ -295,6 +321,105 @@ def _qos_noisy_neighbor() -> Preset:
     )
 
 
+# ----------------------------------------------------- calibration presets
+
+#: The credit-cap ladder the Eq. 3 / Eq. 4 calibrations sweep.
+_CALIB_CAPS = (20.0, 40.0, 60.0, 80.0)
+
+#: The reduced frequency of the Fig. 1 compensation run (Optiplex 755).
+_CALIB_REDUCED_MHZ = 2133
+
+
+def _pi_guest(cap: float) -> tuple[GuestSpec, ...]:
+    """One capped pi batch guest (the paper's measurement configuration)."""
+    return (
+        GuestSpec(
+            name="pi",
+            credit=min(cap, 100.0),
+            cap=cap,
+            workloads=(WorkloadSpec(kind="pi", work=20.0),),
+        ),
+    )
+
+
+def _calib_config(**changes) -> ScenarioConfig:
+    """Common calibration base: one pinned host, run-to-completion.
+
+    ``governor="performance"`` always requests the maximum and the policy
+    ceiling (``cpufreq_max_mhz``) clamps it, so each cell executes its
+    whole batch at exactly one P-state — the paper's measurement setup.
+    """
+    base = ScenarioConfig(
+        governor="performance",
+        processor=catalog.OPTIPLEX_755,
+        guests=_pi_guest(100.0),
+        duration=4000.0,
+        stop_when_batch_done=True,
+        dom0_demand_percent=0.0,
+        seed=3,
+    )
+    return base.with_changes(**changes)
+
+
+def _calib_eq1() -> Preset:
+    return Preset(
+        name="calib-eq1",
+        description="Eq. 1 proportionality: pi time vs pinned frequency (cf = 1)",
+        config=_calib_config(),
+        axes={
+            "cpufreq_max_mhz": tuple(
+                state.freq_mhz for state in catalog.OPTIPLEX_755.states
+            )
+        },
+        metrics=("batch", "frequency", "energy"),
+    )
+
+
+def _calib_eq2() -> Preset:
+    return Preset(
+        name="calib-eq2",
+        description="Eq. 2 correction factor: the frequency ladder on the i7-3770",
+        config=_calib_config(processor=catalog.CORE_I7_3770),
+        axes={
+            "cpufreq_max_mhz": tuple(
+                state.freq_mhz for state in catalog.CORE_I7_3770.states
+            )
+        },
+        metrics=("batch", "frequency", "energy"),
+    )
+
+
+def _calib_eq3() -> Preset:
+    return Preset(
+        name="calib-eq3",
+        description="Eq. 3 capacity: pi time vs credit cap at the max frequency",
+        config=_calib_config(guests=_pi_guest(_CALIB_CAPS[0])),
+        axes={"guests": tuple(_pi_guest(cap) for cap in _CALIB_CAPS)},
+        metrics=("batch", "frequency", "energy"),
+    )
+
+
+def _calib_compensation() -> Preset:
+    table = catalog.OPTIPLEX_755.table()
+    reduced = table.state_for(_CALIB_REDUCED_MHZ)
+    ratio = reduced.freq_mhz / table.max_state.freq_mhz
+    compensated = tuple(
+        laws.compensated_credit(cap, ratio, reduced.cf) for cap in _CALIB_CAPS
+    )
+    return Preset(
+        name="calib-compensation",
+        description="Eq. 4 / Fig. 1: the Eq. 3 ladder at 2133 MHz, caps compensated",
+        config=_calib_config(
+            guests=_pi_guest(compensated[0]),
+            cpufreq_max_mhz=_CALIB_REDUCED_MHZ,
+        ),
+        axes={"guests": tuple(_pi_guest(cap) for cap in compensated)},
+        metrics=("batch", "frequency", "energy"),
+    )
+
+
+# ------------------------------------------------------ datacenter presets
+
 #: The heterogeneous day mix every datacenter preset deals across its VMs.
 _DC_DAYSHAPES = (
     "diurnal-office",
@@ -370,6 +495,33 @@ def _dc_fleet_medium() -> Preset:
     )
 
 
+def _dc_hetero() -> Preset:
+    # Two reference i7 hosts next to two big.LITTLE blades: the blades
+    # hold 90 % of an i7's capacity at half its full-load draw, so
+    # efficiency-packing and performance-bursting genuinely disagree —
+    # the placement axis measures the trade.
+    machines = (
+        MachineSpec(processor=catalog.CORE_I7_3770, memory_mb=16384, count=2),
+        MachineSpec(processor=catalog.BIG_LITTLE_44, memory_mb=16384, count=2),
+    )
+    return Preset(
+        name="dc-hetero",
+        description="mixed fleet: 2 i7 + 2 big.LITTLE blades, policy x placement",
+        config=_dc_config(
+            machines=machines,
+            n_vms=8,
+            duration=200.0,
+            day_length=200.0,
+            power_budget_w=120.0,
+        ),
+        axes={
+            "policy": ("static", "consolidate", "power-budget"),
+            "placement": ("efficiency", "performance"),
+        },
+        metrics=("fleet", "cluster"),
+    )
+
+
 def _dc_fleet_large() -> Preset:
     return Preset(
         name="dc-fleet-large",
@@ -394,10 +546,15 @@ PRESETS: dict[str, Preset] = {
         _mixed_guests(),
         _stress_fleet(),
         _qos_noisy_neighbor(),
+        _calib_eq1(),
+        _calib_eq2(),
+        _calib_eq3(),
+        _calib_compensation(),
         _dc_diurnal(),
         _dc_diurnal_small(),
         _dc_fleet_medium(),
         _dc_fleet_large(),
+        _dc_hetero(),
     )
 }
 

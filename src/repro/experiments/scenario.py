@@ -353,6 +353,10 @@ class ScenarioConfig:
     manager: str | None = None
     manager_kwargs: dict = field(default_factory=dict)
     cpufreq_min_mhz: int | None = None
+    #: Ceiling on the governor (``scaling_max_freq``); with the
+    #: ``performance`` governor this *pins* the frequency, which is how the
+    #: calibration presets hold each Eq. 1–3 measurement at one P-state.
+    cpufreq_max_mhz: int | None = None
     stop_when_batch_done: bool = False
     #: QoS controller name (:data:`repro.qos.controllers.CONTROLLER_REGISTRY`);
     #: ``"none"`` installs no contention monitor at all.
@@ -451,6 +455,8 @@ class ScenarioConfig:
             out["manager_kwargs"] = dict(self.manager_kwargs)
         if self.cpufreq_min_mhz is not None:
             out["cpufreq_min_mhz"] = self.cpufreq_min_mhz
+        if self.cpufreq_max_mhz is not None:
+            out["cpufreq_max_mhz"] = self.cpufreq_max_mhz
         if self.stop_when_batch_done:
             out["stop_when_batch_done"] = self.stop_when_batch_done
         if self.qos != "none":
@@ -667,8 +673,15 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """
     host = build_scenario(config)
     host.start()
-    if config.cpufreq_min_mhz is not None:
-        host.cpufreq.set_policy_limits(min_mhz=config.cpufreq_min_mhz)
+    if config.cpufreq_min_mhz is not None or config.cpufreq_max_mhz is not None:
+        host.cpufreq.set_policy_limits(
+            min_mhz=config.cpufreq_min_mhz, max_mhz=config.cpufreq_max_mhz
+        )
+        if config.cpufreq_max_mhz is not None:
+            # Unsampled governors (``performance``) picked their frequency
+            # at start(), before the ceiling existed; re-request it so the
+            # new limit clamps the running P-state immediately.
+            host.cpufreq.set_speed(host.processor.state.freq_mhz)
     batch = _batch_workloads(host) if config.stop_when_batch_done else []
     if batch:
         step = min(200.0, config.duration)

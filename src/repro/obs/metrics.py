@@ -161,6 +161,12 @@ def collect_cluster(registry: MetricsRegistry, sim: Any) -> None:
     fleet_qos = getattr(sim, "fleet_qos", None)
     if fleet_qos is not None:
         _fold_qos_stats(registry, fleet_qos.stats)
+    residency = getattr(sim, "cstate_residency", None)
+    if residency is not None:
+        # Empty for homogeneous fleets (no C-state ladders), so legacy
+        # metrics snapshots gain no keys.
+        for name, seconds in sorted(residency().items()):
+            registry.gauge(f"cstate.{name}_s", seconds)
 
 
 def collect_sweep(registry: MetricsRegistry, runner: Any) -> None:

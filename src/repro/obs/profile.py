@@ -216,8 +216,12 @@ def profile_scenario(config: Any) -> tuple[Any, PhaseProfiler]:
     profiler = PhaseProfiler()
     host = build_scenario(config)
     host.start()
-    if config.cpufreq_min_mhz is not None:
-        host.cpufreq.set_policy_limits(min_mhz=config.cpufreq_min_mhz)
+    if config.cpufreq_min_mhz is not None or config.cpufreq_max_mhz is not None:
+        host.cpufreq.set_policy_limits(
+            min_mhz=config.cpufreq_min_mhz, max_mhz=config.cpufreq_max_mhz
+        )
+        if config.cpufreq_max_mhz is not None:
+            host.cpufreq.set_speed(host.processor.state.freq_mhz)
     profiler.attach_host(host)
     began = wall_now()
     batch = _batch_workloads(host) if config.stop_when_batch_done else []

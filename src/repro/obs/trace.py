@@ -249,6 +249,27 @@ class Tracer:
             args={"vm": vm, "source": source, "dest": dest},
         )
 
+    def domain_freq(
+        self,
+        time_s: float,
+        machine: str,
+        domain: str,
+        freq_mhz: int,
+        power_w: float,
+    ) -> None:
+        """One frequency-domain sample: its own counter track per domain.
+
+        Heterogeneous machines emit one track per (machine, domain) pair —
+        ``domain.m000/little`` next to ``domain.m000/big`` — so Perfetto
+        shows the clusters' P-states diverging under the same epoch spans.
+        """
+        self.counter(
+            "cluster",
+            f"domain.{machine}/{domain}",
+            time_s,
+            {"freq_mhz": float(freq_mhz), "power_w": power_w},
+        )
+
     def qos_score(self, time_s: float, raw: float, windowed: float) -> None:
         """One contention-monitor sample (raw and window-mean scores)."""
         self.counter(

@@ -26,6 +26,7 @@ from ..units import check_positive
 from .base import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hypervisor.domain import Domain
     from ..hypervisor.vcpu import VCpu
 
 #: Remaining guaranteed budget below which a vCPU leaves EDF mode.
@@ -42,6 +43,11 @@ class _SedfAccount:
     slice_s: float
     period_p: float
     extra: bool
+    #: Proportional-share weight (QoS boost knob); the admitted slice is
+    #: ``base_slice_s * weight / base_weight``, clamped to EDF feasibility.
+    weight: float = 1.0
+    base_weight: float = 1.0
+    base_slice_s: float = 0.0
     deadline: float = 0.0
     remaining: float = 0.0
     #: Mode of the most recent dispatch ("edf" or "extra"): extra time is
@@ -108,6 +114,9 @@ class SedfScheduler(Scheduler):
             slice_s=slice_s,
             period_p=config.sedf_period,
             extra=config.sedf_extra,
+            weight=config.effective_weight,
+            base_weight=config.effective_weight,
+            base_slice_s=slice_s,
         )
 
     def remove_vcpu(self, vcpu: "VCpu") -> None:
@@ -214,3 +223,32 @@ class SedfScheduler(Scheduler):
     def deadline_of(self, vcpu: "VCpu") -> float:
         """Current period deadline (tests/telemetry)."""
         return self._account_of(vcpu).deadline
+
+    def set_weight(self, domain: "Domain", weight: float) -> None:
+        """Rescale *domain*'s guaranteed slice by ``weight / base_weight``.
+
+        SEDF has no native weight; the paper's triplet fixes the slice at
+        admission.  The QoS controllers still need a proportional boost
+        knob that works against every scheduler, so a weight change maps
+        onto the one SEDF parameter with that meaning: the slice grows (or
+        shrinks) in proportion, clamped so the fleet stays EDF-admissible
+        (``sum(s_i / p_i) <= 1``) — a boost can never over-commit the
+        processor, it just takes all the remaining bandwidth.  Takes
+        effect at the next period refresh.
+        """
+        if weight <= 0:
+            raise SchedulerError(f"weight must be > 0, got {weight}")
+        account = self._account_of(domain.vcpu)
+        others = sum(
+            other.utilization
+            for other in self._accounts.values()
+            if other is not account
+        )
+        feasible_slice = max(0.0, (1.0 + ADMISSION_SLACK - others)) * account.period_p
+        account.weight = weight
+        account.slice_s = min(
+            account.base_slice_s * (weight / account.base_weight), feasible_slice
+        )
+
+    def weight_of(self, domain: "Domain") -> float:
+        return self._account_of(domain.vcpu).weight

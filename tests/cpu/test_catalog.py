@@ -54,7 +54,8 @@ def test_i7_spans_1600_to_3400():
 
 def test_all_processors_registry():
     assert catalog.OPTIPLEX_755.name in catalog.ALL_PROCESSORS
-    assert len(catalog.ALL_PROCESSORS) == 6
+    assert catalog.BIG_LITTLE_44.name in catalog.ALL_PROCESSORS
+    assert len(catalog.ALL_PROCESSORS) == 7
 
 
 def test_spec_with_cf_min_interpolates():

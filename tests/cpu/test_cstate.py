@@ -1,0 +1,61 @@
+"""Unit tests for the C-state idle model."""
+
+import pytest
+
+from repro.cpu import CState, deepest_cstate, make_cstates
+from repro.errors import ConfigurationError
+
+
+LADDER = make_cstates([("C1", 4.0, 0.0005), ("C2", 1.5, 0.002), ("C3", 0.4, 0.05)])
+
+
+def test_cstate_needs_a_name():
+    with pytest.raises(ConfigurationError):
+        CState(name="", power_w=1.0, target_residency_s=0.001)
+
+
+def test_cstate_rejects_negative_figures():
+    with pytest.raises(ConfigurationError):
+        CState(name="C1", power_w=-1.0, target_residency_s=0.001)
+    with pytest.raises(ConfigurationError):
+        CState(name="C1", power_w=1.0, target_residency_s=-0.001)
+    with pytest.raises(ConfigurationError):
+        CState(name="C1", power_w=1.0, target_residency_s=0.001, entry_latency_s=-1.0)
+
+
+def test_transition_is_entry_plus_exit():
+    state = CState(
+        name="C2",
+        power_w=1.0,
+        target_residency_s=0.01,
+        entry_latency_s=0.001,
+        exit_latency_s=0.002,
+    )
+    assert state.transition_s == pytest.approx(0.003)
+
+
+def test_make_cstates_defaults_latencies_to_tenth_of_residency():
+    (c1,) = make_cstates([("C1", 2.0, 0.01)])
+    assert c1.entry_latency_s == pytest.approx(0.001)
+    assert c1.exit_latency_s == pytest.approx(0.001)
+    assert c1.transition_s == pytest.approx(0.002)
+
+
+def test_selection_prefers_the_deepest_qualifying_state():
+    assert deepest_cstate(LADDER, 10.0).name == "C3"
+    assert deepest_cstate(LADDER, 0.01).name == "C2"
+    assert deepest_cstate(LADDER, 0.001).name == "C1"
+
+
+def test_short_gaps_stay_shallow():
+    # Below every target residency: no state qualifies, the core stays C0.
+    assert deepest_cstate(LADDER, 0.0001) is None
+
+
+def test_selection_rejects_non_positive_gaps():
+    with pytest.raises(ConfigurationError):
+        deepest_cstate(LADDER, 0.0)
+
+
+def test_boundary_gap_exactly_at_target_residency_enters():
+    assert deepest_cstate(LADDER, 0.05).name == "C3"

@@ -1,0 +1,149 @@
+"""Unit tests for frequency domains (clusters sharing one P-state)."""
+
+import pytest
+
+from repro.cpu import DomainSpec, FrequencyDomain, make_cstates
+from repro.cpu.domains import IDLE_GAP_QUANTUM_S
+from repro.cpu.power import PowerModel
+from repro.cpu.processor import make_states
+from repro.errors import ConfigurationError
+
+
+STATES = make_states([600, 1000, 1400], cf=1.0)
+CSTATES = make_cstates([("C1", 1.0, 0.0005), ("C2", 0.4, 0.002), ("C3", 0.1, 0.05)])
+
+
+def little(**changes):
+    base = dict(
+        name="little",
+        cores=4,
+        states=STATES,
+        power=PowerModel(2.5, 9.0),
+        cstates=CSTATES,
+        capacity_scale=0.30,
+    )
+    base.update(changes)
+    return DomainSpec(**base)
+
+
+# ----------------------------------------------------------------- DomainSpec
+
+
+def test_spec_requires_a_name_and_a_core():
+    with pytest.raises(ConfigurationError):
+        little(name="")
+    with pytest.raises(ConfigurationError):
+        little(cores=0)
+
+
+def test_spec_rejects_non_positive_capacity_scale():
+    with pytest.raises(ConfigurationError):
+        little(capacity_scale=0.0)
+
+
+def test_spec_rejects_unordered_cstate_ladder():
+    unordered = (CSTATES[1], CSTATES[0], CSTATES[2])
+    with pytest.raises(ConfigurationError, match="ascend"):
+        little(cstates=unordered)
+
+
+def test_spec_rejects_duplicate_cstate_names():
+    duped = make_cstates([("C1", 1.0, 0.0005), ("C1", 0.4, 0.002)])
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        little(cstates=duped)
+
+
+# ----------------------------------------------------------- frequency coupling
+
+
+def test_domain_starts_at_its_top_pstate():
+    domain = FrequencyDomain(little())
+    assert domain.freq_mhz == 1400
+    assert domain.capacity_percent == pytest.approx(30.0)
+
+
+def test_set_frequency_moves_every_core_together():
+    domain = FrequencyDomain(little())
+    assert domain.set_frequency(1000) is True
+    assert domain.set_frequency(1000) is False
+    fractions = {domain.core_capacity_fraction(core) for core in range(4)}
+    assert fractions == {domain.state.capacity_fraction(1400)}
+    assert domain.capacity_percent == pytest.approx(30.0 * 1000 / 1400)
+
+
+def test_set_frequency_requires_a_table_entry():
+    domain = FrequencyDomain(little())
+    with pytest.raises(ConfigurationError):
+        domain.set_frequency(1234)
+
+
+def test_core_index_is_bounds_checked():
+    domain = FrequencyDomain(little())
+    with pytest.raises(ConfigurationError):
+        domain.core_capacity_fraction(4)
+    with pytest.raises(ConfigurationError):
+        domain.core_capacity_fraction(-1)
+
+
+# -------------------------------------------------------------- accounting
+
+
+def test_residency_plus_busy_time_sums_to_elapsed():
+    domain = FrequencyDomain(little())
+    for dt, util in ((1.0, 0.0), (2.0, 0.5), (3.0, 1.0), (0.5, 0.25)):
+        domain.account_epoch(dt, util)
+    total = domain.busy_seconds + sum(domain.residency_s.values())
+    assert total == pytest.approx(domain.elapsed_seconds)
+    assert domain.elapsed_seconds == pytest.approx(6.5)
+
+
+def test_fully_idle_epoch_reaches_the_deepest_state():
+    domain = FrequencyDomain(little())
+    domain.account_epoch(10.0, 0.0)
+    assert domain.last_cstate == "C3"
+    assert domain.residency_s["C3"] > 0.0
+    assert domain.busy_seconds == 0.0
+
+
+def test_partial_utilisation_fragments_idle_into_shallow_gaps():
+    # util 0.9 → gaps of 0.001 s: only C1 (residency 0.0005 s) qualifies.
+    domain = FrequencyDomain(little())
+    domain.account_epoch(10.0, 0.9)
+    assert domain.last_cstate == "C1"
+    gap = (1.0 - 0.9) * IDLE_GAP_QUANTUM_S
+    assert gap == pytest.approx(0.001)
+    assert domain.residency_s["C2"] == 0.0
+    assert domain.residency_s["C3"] == 0.0
+
+
+def test_transition_time_is_billed_as_shallow_c0():
+    domain = FrequencyDomain(little())
+    domain.account_epoch(10.0, 0.0)
+    # One 10 s gap in C3: transition share = 0.01/10 of the idle time.
+    c3 = CSTATES[2]
+    shallow = 10.0 * (c3.transition_s / 10.0)
+    assert domain.residency_s["C0"] == pytest.approx(shallow)
+    assert domain.residency_s["C3"] == pytest.approx(10.0 - shallow)
+
+
+def test_deep_idle_beats_shallow_idle_on_energy():
+    deep = FrequencyDomain(little())
+    shallow = FrequencyDomain(little(cstates=()))
+    deep.account_epoch(10.0, 0.0)
+    shallow.account_epoch(10.0, 0.0)
+    assert deep.energy_joules < shallow.energy_joules
+
+
+def test_zero_dt_is_a_no_op():
+    domain = FrequencyDomain(little())
+    assert domain.account_epoch(0.0, 0.5) == 0.0
+    assert domain.elapsed_seconds == 0.0
+    assert domain.energy_joules == 0.0
+
+
+def test_busy_time_is_billed_at_full_load_power():
+    domain = FrequencyDomain(little(cstates=()))
+    joules = domain.account_epoch(2.0, 1.0)
+    expected = 2.0 * domain.spec.power.power(domain.state, domain.table, 1.0)
+    assert joules == pytest.approx(expected)
+    assert domain.last_power_w == pytest.approx(expected / 2.0)

@@ -20,6 +20,10 @@ REQUIRED = {
     "pi-batch",
     "mixed-guests",
     "stress-fleet",
+    "calib-eq1",
+    "calib-eq2",
+    "calib-eq3",
+    "calib-compensation",
 }
 
 
@@ -163,6 +167,26 @@ def test_cluster_preset_grid_expands_policy_axis():
     assert len(grid) == 4
     policies = [cell.config.policy for cell in grid]
     assert policies == ["static", "consolidate", "load-balance", "power-budget"]
+
+
+def test_dc_hetero_preset_declares_the_mixed_fleet():
+    import json
+
+    from repro.cluster import ClusterScenarioConfig
+
+    preset = get_preset("dc-hetero")
+    assert preset.kind == "cluster"
+    assert preset.axes == {
+        "policy": ("static", "consolidate", "power-budget"),
+        "placement": ("efficiency", "performance"),
+    }
+    config = preset_config("dc-hetero")
+    assert len(config.machines) == 2  # i7 group + big.LITTLE group
+    assert config.total_machines == 4
+    text = json.dumps(config.to_dict())
+    assert ClusterScenarioConfig.from_dict(json.loads(text)) == config
+    grid = preset_grid("dc-hetero")
+    assert len(grid) == 6  # 3 policies x 2 placements
 
 
 def test_cluster_preset_budgets_are_feasible_and_binding():

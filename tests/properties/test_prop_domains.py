@@ -1,0 +1,101 @@
+"""Property-based tests for frequency-domain coupling and idle accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import catalog, DomainSpec, FrequencyDomain, make_cstates
+from repro.cpu.processor import make_states
+from repro.cpu.power import PowerModel
+
+
+def little_domain() -> FrequencyDomain:
+    return FrequencyDomain(
+        DomainSpec(
+            name="little",
+            cores=4,
+            states=make_states([600, 1000, 1400], cf=1.0),
+            power=PowerModel(2.5, 9.0),
+            cstates=make_cstates(
+                [("C1", 1.0, 0.0005), ("C2", 0.4, 0.002), ("C3", 0.1, 0.05)]
+            ),
+            capacity_scale=0.30,
+        )
+    )
+
+
+@given(freqs=st.lists(st.sampled_from([600, 1000, 1400]), max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_cores_never_disagree_with_their_domain_pstate(freqs):
+    # The coupling invariant the issue names: after any sequence of
+    # frequency changes, every core's capacity is its domain's P-state's.
+    domain = little_domain()
+    for freq in freqs:
+        domain.set_frequency(freq)
+        expected = domain.state.capacity_fraction(domain.table.max_state.freq_mhz)
+        for core in range(domain.spec.cores):
+            assert domain.core_capacity_fraction(core) == expected
+        assert domain.freq_mhz == freq
+        assert domain.capacity_percent == pytest.approx(
+            expected * 100.0 * domain.spec.capacity_scale
+        )
+
+
+@given(
+    epochs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=20.0),
+            st.floats(min_value=0.0, max_value=1.0),
+            st.sampled_from([600, 1000, 1400]),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_residency_plus_busy_always_sums_to_elapsed(epochs):
+    # The accounting invariant: C-state residency (including shallow C0)
+    # plus busy time covers the whole wall sim-time, at any P-state mix.
+    domain = little_domain()
+    for dt, util, freq in epochs:
+        domain.set_frequency(freq)
+        domain.account_epoch(dt, util)
+    total = domain.busy_seconds + sum(domain.residency_s.values())
+    assert total == pytest.approx(domain.elapsed_seconds, abs=1e-9)
+    assert domain.energy_joules >= 0.0
+
+
+@given(
+    epochs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=20.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_energy_is_bounded_by_the_pstate_power_envelope(epochs):
+    # Every epoch's mean power sits between the deepest idle power and the
+    # current P-state's full-load power.
+    domain = little_domain()
+    floor = min(state.power_w for state in domain.spec.cstates)
+    for dt, util in epochs:
+        joules = domain.account_epoch(dt, util)
+        ceiling = domain.spec.power.power(domain.state, domain.table, 1.0)
+        assert floor * dt - 1e-9 <= joules <= ceiling * dt + 1e-9
+
+
+@given(freqs=st.lists(st.sampled_from([1000, 1400, 1800, 2000]), max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_catalog_big_little_clusters_hold_the_coupling(freqs):
+    # Same invariant on the shipped catalog part (both clusters).
+    for spec in catalog.BIG_LITTLE_44.domains:
+        domain = FrequencyDomain(spec)
+        table_freqs = [state.freq_mhz for state in spec.states]
+        for freq in freqs:
+            snapped = domain.table.clamp(min(freq, table_freqs[-1]))
+            domain.set_frequency(snapped.freq_mhz)
+            fractions = {
+                domain.core_capacity_fraction(core) for core in range(spec.cores)
+            }
+            assert len(fractions) == 1

@@ -1,0 +1,96 @@
+"""SEDF weight control: the QoS-controller surface on the EDF scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.workloads import ConstantLoad
+
+from ..conftest import make_host
+
+
+def shares(host, duration, *names):
+    host.run(until=duration)
+    return {name: host.domain(name).cpu_seconds / duration for name in names}
+
+
+def test_initial_weight_mirrors_the_credit_allocation():
+    host = make_host(scheduler="sedf")
+    vm = host.create_domain("vm", credit=30, sedf_extra=False)
+    assert host.scheduler.weight_of(vm) == vm.config.effective_weight
+
+
+def test_doubling_the_weight_doubles_the_guaranteed_slice():
+    host = make_host(scheduler="sedf")
+    vm = host.create_domain("vm", credit=20, sedf_extra=False)
+    host.create_domain("other", credit=30, sedf_extra=False)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.scheduler.set_weight(vm, 2 * host.scheduler.weight_of(vm))
+    result = shares(host, 10.0, "vm")
+    assert result["vm"] == pytest.approx(0.40, abs=0.02)
+
+
+def test_halving_the_weight_halves_the_slice():
+    host = make_host(scheduler="sedf")
+    vm = host.create_domain("vm", credit=40, sedf_extra=False)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.scheduler.set_weight(vm, 0.5 * host.scheduler.weight_of(vm))
+    result = shares(host, 10.0, "vm")
+    assert result["vm"] == pytest.approx(0.20, abs=0.02)
+
+
+def test_boost_then_restore_returns_the_booked_share():
+    host = make_host(scheduler="sedf")
+    vm = host.create_domain("vm", credit=30, sedf_extra=False)
+    vm.attach_workload(ConstantLoad(100, injection_period=0.01))
+    base = host.scheduler.weight_of(vm)
+    host.scheduler.set_weight(vm, 3 * base)
+    host.scheduler.set_weight(vm, base)
+    assert host.scheduler.weight_of(vm) == base
+    result = shares(host, 10.0, "vm")
+    assert result["vm"] == pytest.approx(0.30, abs=0.02)
+
+
+def test_weight_growth_is_clamped_to_edf_feasibility():
+    # Two 40 % reservations leave 60 % of the period free: boosting one
+    # domain 10x cannot overbook the EDF schedule past 100 % utilisation.
+    host = make_host(scheduler="sedf")
+    a = host.create_domain("a", credit=40, sedf_extra=False)
+    b = host.create_domain("b", credit=40, sedf_extra=False)
+    for domain in (a, b):
+        domain.attach_workload(ConstantLoad(100, injection_period=0.01))
+    host.scheduler.set_weight(a, 10 * host.scheduler.weight_of(a))
+    result = shares(host, 10.0, "a", "b")
+    # a grows only into the free 20 %; b's guarantee survives untouched.
+    assert result["a"] == pytest.approx(0.60, abs=0.03)
+    assert result["b"] == pytest.approx(0.40, abs=0.03)
+
+
+def test_non_positive_weights_are_rejected():
+    host = make_host(scheduler="sedf")
+    vm = host.create_domain("vm", credit=30, sedf_extra=False)
+    with pytest.raises(SchedulerError):
+        host.scheduler.set_weight(vm, 0.0)
+    with pytest.raises(SchedulerError):
+        host.scheduler.set_weight(vm, -1.0)
+
+
+def test_unadmitted_domains_are_rejected():
+    host = make_host(scheduler="sedf")
+    other = make_host(scheduler="sedf")
+    stranger = other.create_domain("stranger", credit=30, sedf_extra=False)
+    with pytest.raises(SchedulerError):
+        host.scheduler.set_weight(stranger, 2.0)
+    with pytest.raises(SchedulerError):
+        host.scheduler.weight_of(stranger)
+
+
+def test_all_three_schedulers_expose_the_weight_surface():
+    # The QoS controllers call set_weight/weight_of polymorphically; every
+    # registered scheduler must answer.
+    for scheduler in ("credit", "pas", "sedf"):
+        host = make_host(scheduler=scheduler)
+        vm = host.create_domain("vm", credit=30, sedf_extra=False)
+        base = host.scheduler.weight_of(vm)
+        assert base > 0
+        host.scheduler.set_weight(vm, 2 * base)
+        assert host.scheduler.weight_of(vm) == 2 * base
